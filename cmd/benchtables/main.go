@@ -1,0 +1,125 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section on the simulated GA100 and Xavier testbeds.
+//
+// Usage:
+//
+//	benchtables                  # everything
+//	benchtables -only fig7       # one experiment
+//	benchtables -gpu xavier      # restrict GPU where applicable
+//	benchtables -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/bench"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(g *arch.GPU) string
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"fig1", "gemm power vs problem size", func(g *arch.GPU) string {
+			return bench.Fig1(g, nil).Render()
+		}},
+		{"fig2", "2mm/gemm exhaustive tile space (3,375 variants)", func(g *arch.GPU) string {
+			return bench.Fig2("2mm", g).Render() + bench.Fig2("gemm", g).Render()
+		}},
+		{"fig3", "2mm space on both GPUs", func(g *arch.GPU) string {
+			return bench.Fig3().Render()
+		}},
+		{"fig7", "Polybench evaluation (Med/Def/Best PPCG vs EATSS)", func(g *arch.GPU) string {
+			return bench.Fig7(g, nil).Render()
+		}},
+		{"fig8", "shared-memory split study", func(g *arch.GPU) string {
+			return bench.Fig8(g, nil, nil).Render()
+		}},
+		{"fig9", "L2 sectors vs power correlation", func(g *arch.GPU) string {
+			return bench.Fig9(g, nil).Render()
+		}},
+		{"fig10", "non-Polybench kernels with warp fractions", func(g *arch.GPU) string {
+			return bench.Fig10(g).Render()
+		}},
+		{"fig11", "non-Polybench space histograms (Freedman-Diaconis)", func(g *arch.GPU) string {
+			return bench.Fig11(g).Render()
+		}},
+		{"fig12", "input-size sensitivity (Polybench)", func(g *arch.GPU) string {
+			return bench.Fig12(g, nil, nil).Render()
+		}},
+		{"fig13", "input-size sensitivity (non-Polybench)", func(g *arch.GPU) string {
+			return bench.Fig13(g, nil).Render()
+		}},
+		{"table4", "cuBLAS / cuDNN comparison", func(g *arch.GPU) string {
+			return bench.Table4().Render()
+		}},
+		{"fig14", "EATSS vs ytopt autotuner", func(g *arch.GPU) string {
+			return bench.Fig14(g, nil).Render()
+		}},
+		{"secvg", "solver overhead by loop depth", func(g *arch.GPU) string {
+			return bench.SecVG(g).Render()
+		}},
+		{"timetile", "extension: overlapped time tiling on stencils", func(g *arch.GPU) string {
+			return bench.TimeTilingStudy(g, nil, nil).Render()
+		}},
+		{"regtile", "extension: register micro-tiles on BLAS3", func(g *arch.GPU) string {
+			return bench.RegTileStudy(g, nil, nil).Render()
+		}},
+		{"precision", "Sec. IV-I precision adaptation study", func(g *arch.GPU) string {
+			return bench.PrecisionStudy(g, nil).Render()
+		}},
+		{"ablation", "design-choice ablations", func(g *arch.GPU) string {
+			return bench.AblateObjective(g, nil).Render() +
+				bench.AblateMemorySplit(g, nil).Render() +
+				bench.AblateWarpFraction(g).Render() +
+				bench.AblateFPFactor(g).Render()
+		}},
+	}
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	gpuName := flag.String("gpu", "ga100", "GPU for single-GPU experiments (ga100|xavier)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	g, ok := arch.ByName(*gpuName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown GPU %q\n", *gpuName)
+		os.Exit(2)
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+	ran := 0
+	for _, e := range exps {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		fmt.Printf("### %s: %s\n\n", e.id, e.desc)
+		fmt.Println(e.run(g))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q (use -list)\n", *only)
+		os.Exit(2)
+	}
+}

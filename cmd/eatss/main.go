@@ -1,0 +1,172 @@
+// Command eatss runs the Energy-Aware Tile Size Selection pipeline on one
+// kernel: it builds the non-linear integer model, solves it, optionally
+// prints the formulation and the generated CUDA-style code, and simulates
+// the chosen configuration against the PPCG default.
+//
+// Examples:
+//
+//	eatss -kernel gemm                       # paper's walkthrough (GA100)
+//	eatss -kernel heat-3d -warpfrac 0.125    # high-dimensional kernel
+//	eatss -kernel 2mm -gpu xavier -best      # full 3-split protocol
+//	eatss -kernel gemm -dump-model -cuda     # show formulation and code
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	eatss "repro"
+)
+
+func main() {
+	kernel := flag.String("kernel", "gemm", "kernel name (see -list)")
+	file := flag.String("file", "", "load the kernel from a DSL file instead of the catalog")
+	gpuName := flag.String("gpu", "ga100", "GPU: ga100 | xavier | v100")
+	gpuFile := flag.String("gpu-file", "", "load the GPU description from a JSON file")
+	split := flag.Float64("split", 0.5, "shared-memory split factor in [0, 1]")
+	warpFrac := flag.Float64("warpfrac", 0.5, "warp alignment fraction (1, 0.5, 0.25, 0.125)")
+	fp32 := flag.Bool("fp32", false, "use single precision (default FP64)")
+	best := flag.Bool("best", false, "run the full protocol: 3 shared splits, keep best PPW")
+	dumpModel := flag.Bool("dump-model", false, "print the generated formulation")
+	explain := flag.Bool("explain", false, "print per-constraint usage and binding constraints")
+	showPower := flag.Bool("power", false, "print the average power breakdown")
+	cuda := flag.Bool("cuda", false, "print the generated CUDA-style code")
+	list := flag.Bool("list", false, "list available kernels")
+	flag.Parse()
+
+	if *list {
+		for _, n := range eatss.Kernels() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var k *eatss.AffineKernel
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		k, err = eatss.ParseKernel(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		for _, plan := range eatss.Schedule(k) {
+			if plan.Changed {
+				fmt.Printf("scheduled nest %s: loop order %v\n", plan.Nest, plan.Order)
+			}
+		}
+	} else {
+		var err error
+		k, err = eatss.Kernel(*kernel)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var g *eatss.GPU
+	if *gpuFile != "" {
+		var err error
+		g, err = eatss.LoadGPU(*gpuFile)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		g, err = eatss.GPUByName(*gpuName)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	prec := eatss.FP64
+	if *fp32 {
+		prec = eatss.FP32
+	}
+	params := k.Params
+	if g.Name == "Xavier" && *file == "" {
+		if std, err := eatss.StandardParams(*kernel); err == nil {
+			params = std
+		}
+	}
+
+	if *best {
+		b, err := eatss.SelectBest(k.WithParams(params), g, prec, params)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("EATSS protocol for %s on %s (%d candidates, %d solver calls)\n",
+			k.Name, g.Name, len(b.Candidates), b.SolverCalls)
+		for _, c := range b.Candidates {
+			marker := " "
+			if c.Selection == b.Chosen.Selection {
+				marker = "*"
+			}
+			fmt.Printf("%s split=%.2f tiles=%v  %.1f GFLOP/s  %.1f W  %.3f J  PPW %.2f\n",
+				marker, c.SharedFrac, c.Selection.Tiles,
+				c.Result.GFLOPS, c.Result.AvgPowerW, c.Result.EnergyJ, c.Result.PPW)
+		}
+		compareDefault(k, g, params, b.Chosen.Result)
+		return
+	}
+
+	opts := eatss.Options{
+		SplitFactor:      *split,
+		WarpFraction:     *warpFrac,
+		Precision:        prec,
+		ProblemSizeAware: true,
+	}
+	sel, err := eatss.SelectTiles(k.WithParams(params), g, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(sel.String())
+	if *dumpModel {
+		fmt.Println("\n--- formulation ---")
+		fmt.Print(sel.Model)
+	}
+	if *explain {
+		_, rendered := eatss.Explain(k.WithParams(params), g, sel)
+		fmt.Println("\n--- constraint usage ---")
+		fmt.Print(rendered)
+	}
+
+	cfg := eatss.RunConfig{Params: params, UseShared: *split > 0, Precision: prec}
+	if *cuda {
+		mk, err := eatss.Compile(k, g, sel.Tiles, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\n--- generated CUDA ---")
+		fmt.Print(mk.CUDASource())
+	}
+
+	res, err := eatss.Run(k, g, sel.Tiles, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nsimulated: %.1f GFLOP/s  %.1f W  %.3f J  PPW %.2f  (%.2f ms)\n",
+		res.GFLOPS, res.AvgPowerW, res.EnergyJ, res.PPW, res.TimeSec*1e3)
+	if *showPower {
+		b := res.Power
+		fmt.Printf("power breakdown: const %.1fW  static %.1fW  SM %.1fW  L2 %.1fW  DRAM %.1fW  shared %.1fW  liveness %.1fW\n",
+			b.Constant, b.Static, b.DynSM, b.DynL2, b.DynDRAM, b.DynShared, b.DynLive)
+	}
+	compareDefault(k, g, params, res)
+}
+
+func compareDefault(k *eatss.AffineKernel, g *eatss.GPU, params map[string]int64, res eatss.Result) {
+	def, err := eatss.Run(k, g, eatss.DefaultTiles(k), eatss.RunConfig{
+		Params: params, UseShared: true, Precision: eatss.FP64,
+	})
+	if err != nil {
+		return
+	}
+	fmt.Printf("vs default PPCG (32^d): %.1f GFLOP/s  %.1f W  PPW %.2f  =>  %.2fx perf, %.2fx PPW, %.2fx energy\n",
+		def.GFLOPS, def.AvgPowerW, def.PPW,
+		res.GFLOPS/def.GFLOPS, res.PPW/def.PPW, res.EnergyJ/def.EnergyJ)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eatss:", err)
+	os.Exit(1)
+}

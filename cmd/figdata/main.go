@@ -1,0 +1,138 @@
+// Command figdata exports the raw data series behind every figure and
+// table of the evaluation as CSV files, for regenerating the paper's plots
+// with any plotting tool.
+//
+// Usage:
+//
+//	figdata -out ./figdata            # everything, GA100
+//	figdata -out ./figdata -gpu xavier
+//	figdata -out ./figdata -only fig2,fig9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/bench"
+)
+
+type export struct {
+	id    string
+	files func(g *arch.GPU) map[string]func(io.Writer) error
+}
+
+func exports() []export {
+	return []export{
+		{"fig1", func(g *arch.GPU) map[string]func(io.Writer) error {
+			r := bench.Fig1(g, nil)
+			return map[string]func(io.Writer) error{"fig1_power_vs_size.csv": r.WriteCSV}
+		}},
+		{"fig2", func(g *arch.GPU) map[string]func(io.Writer) error {
+			r2 := bench.Fig2("2mm", g)
+			rg := bench.Fig2("gemm", g)
+			return map[string]func(io.Writer) error{
+				"fig2_space_2mm.csv":  r2.WriteCSV,
+				"fig2_space_gemm.csv": rg.WriteCSV,
+			}
+		}},
+		{"fig7", func(g *arch.GPU) map[string]func(io.Writer) error {
+			r := bench.Fig7(g, nil)
+			name := fmt.Sprintf("fig7_polybench_%s.csv", strings.ToLower(g.Name))
+			return map[string]func(io.Writer) error{name: r.WriteCSV}
+		}},
+		{"fig8", func(g *arch.GPU) map[string]func(io.Writer) error {
+			r := bench.Fig8(g, nil, nil)
+			return map[string]func(io.Writer) error{"fig8_shared_splits.csv": r.WriteCSV}
+		}},
+		{"fig9", func(g *arch.GPU) map[string]func(io.Writer) error {
+			r := bench.Fig9(g, nil)
+			return map[string]func(io.Writer) error{"fig9_l2_power_correlation.csv": r.WriteCSV}
+		}},
+		{"fig10", func(g *arch.GPU) map[string]func(io.Writer) error {
+			r := bench.Fig10(g)
+			return map[string]func(io.Writer) error{"fig10_nonpolybench.csv": r.WriteCSV}
+		}},
+		{"fig12", func(g *arch.GPU) map[string]func(io.Writer) error {
+			r := bench.Fig12(g, nil, nil)
+			return map[string]func(io.Writer) error{"fig12_size_sensitivity.csv": r.WriteCSV}
+		}},
+		{"fig13", func(g *arch.GPU) map[string]func(io.Writer) error {
+			r := bench.Fig13(g, nil)
+			return map[string]func(io.Writer) error{"fig13_nonpolybench_sensitivity.csv": r.WriteCSV}
+		}},
+		{"table4", func(g *arch.GPU) map[string]func(io.Writer) error {
+			r := bench.Table4()
+			return map[string]func(io.Writer) error{"table4_cuxx.csv": r.WriteCSV}
+		}},
+		{"fig14", func(g *arch.GPU) map[string]func(io.Writer) error {
+			r := bench.Fig14(g, nil)
+			return map[string]func(io.Writer) error{"fig14_ytopt.csv": r.WriteCSV}
+		}},
+		{"secvg", func(g *arch.GPU) map[string]func(io.Writer) error {
+			r := bench.SecVG(g)
+			return map[string]func(io.Writer) error{"secvg_solver_overhead.csv": r.WriteCSV}
+		}},
+		{"timetile", func(g *arch.GPU) map[string]func(io.Writer) error {
+			r := bench.TimeTilingStudy(g, nil, nil)
+			return map[string]func(io.Writer) error{"ext_time_tiling.csv": r.WriteCSV}
+		}},
+	}
+}
+
+func main() {
+	out := flag.String("out", "figdata", "output directory")
+	gpuName := flag.String("gpu", "ga100", "GPU (ga100|xavier|v100)")
+	only := flag.String("only", "", "comma-separated experiment ids (default all)")
+	flag.Parse()
+
+	g, ok := arch.ByName(*gpuName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "figdata: unknown GPU %q\n", *gpuName)
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figdata:", err)
+		os.Exit(1)
+	}
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+
+	wrote := 0
+	for _, e := range exports() {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		for name, write := range e.files(g) {
+			path := filepath.Join(*out, name)
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figdata:", err)
+				os.Exit(1)
+			}
+			if err := write(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "figdata:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "figdata:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+			wrote++
+		}
+	}
+	if wrote == 0 {
+		fmt.Fprintf(os.Stderr, "figdata: no experiment matched %q\n", *only)
+		os.Exit(2)
+	}
+}

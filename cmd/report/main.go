@@ -1,0 +1,37 @@
+// Command report runs the complete evaluation and writes a Markdown
+// reproduction report with a pass/deviation verdict per paper artifact —
+// the machine-generated counterpart of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	report                # to stdout
+//	report -out REPORT.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	out := flag.String("out", "", "write the report to a file (default stdout)")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := bench.Report(w); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,320 @@
+// Package eatss is a pure-Go reproduction of "Energy-Aware Tile Size
+// Selection for Affine Programs on GPUs" (CGO 2024). It bundles the full
+// pipeline the paper builds from isl/PPCG, Z3 and two NVIDIA GPUs:
+//
+//   - an affine-kernel IR and benchmark catalog (Polybench + the paper's
+//     non-Polybench kernels),
+//   - dependence/reuse analysis,
+//   - the EATSS non-linear integer model generator and a finite-domain
+//     solver standing in for Z3,
+//   - a PPCG-style tiled-code mapper and baseline,
+//   - a GPU performance/power simulator standing in for the GA100 and
+//     Jetson AGX Xavier testbeds.
+//
+// The typical flow:
+//
+//	k, _ := eatss.Kernel("gemm")
+//	g := eatss.GA100()
+//	sel, _ := eatss.SelectTiles(k, g, eatss.DefaultOptions())
+//	res, _ := eatss.Run(k, g, sel.Tiles, eatss.RunConfig{UseShared: true})
+//	fmt.Println(res.GFLOPS, res.AvgPowerW, res.PPW)
+package eatss
+
+import (
+	"fmt"
+
+	"repro/internal/affine"
+	"repro/internal/arch"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/parser"
+	"repro/internal/ppcg"
+	"repro/internal/sched"
+)
+
+// Re-exported core types. The aliases make the internal packages' types
+// part of the public API without duplicating them.
+type (
+	// AffineKernel is an affine program: arrays, parameters, loop nests.
+	AffineKernel = affine.Kernel
+	// Precision selects FP32 or FP64 data.
+	Precision = affine.Precision
+	// GPU is a machine description (resources, throughput, power model).
+	GPU = arch.GPU
+	// Options configures the EATSS model generator (split factor, warp
+	// fraction, precision).
+	Options = core.Options
+	// Selection is a solved EATSS tile choice.
+	Selection = core.Selection
+	// Result is a simulated execution (time, GFLOP/s, power, energy,
+	// PPW, L2 sectors).
+	Result = gpusim.Result
+	// MappedKernel is a compiled (tiled + GPU-mapped) kernel.
+	MappedKernel = codegen.MappedKernel
+)
+
+// Floating-point precisions.
+const (
+	FP32 = affine.FP32
+	FP64 = affine.FP64
+)
+
+// Kernels returns the names of the built-in benchmark kernels.
+func Kernels() []string { return affine.Catalog() }
+
+// PolybenchKernels returns the Polybench subset of the catalog.
+func PolybenchKernels() []string { return affine.PolybenchNames() }
+
+// NonPolybenchKernels returns conv-2d, heat-3d and mttkrp (Sec. V-D).
+func NonPolybenchKernels() []string { return affine.NonPolybenchNames() }
+
+// Kernel returns a built-in kernel with its EXTRALARGE default parameters.
+func Kernel(name string) (*AffineKernel, error) { return affine.Lookup(name) }
+
+// MustKernel is Kernel for static names; it panics on unknown kernels.
+func MustKernel(name string) *AffineKernel { return affine.MustLookup(name) }
+
+// StandardParams returns the STANDARD-dataset parameters for a kernel
+// (the sizes the paper uses on the Xavier).
+func StandardParams(name string) (map[string]int64, error) {
+	return affine.StandardParams(name)
+}
+
+// ParseKernel parses a kernel written in the affine-kernel DSL (see
+// internal/parser's package documentation for the grammar) and validates
+// it. The DSL round-trips: WriteKernel(k) re-parses to an equivalent
+// kernel.
+func ParseKernel(src string) (*AffineKernel, error) { return parser.Parse(src) }
+
+// WriteKernel serializes a kernel into the DSL.
+func WriteKernel(k *AffineKernel) string { return parser.Write(k) }
+
+// Schedule permutes each nest's loops into the GPU-canonical order
+// (parallel loops outermost, the coalescing loop innermost among them,
+// serial loops last), when dependences allow it — the normalization
+// PPCG's scheduler performs before tiling. Built-in kernels are already
+// canonical; call this on kernels parsed from the DSL in arbitrary loop
+// orders. The kernel is modified in place; the returned plans say what
+// changed.
+func Schedule(k *AffineKernel) []SchedulePlan { return sched.ScheduleKernel(k) }
+
+// SchedulePlan describes one nest's scheduling outcome.
+type SchedulePlan = sched.Plan
+
+// GA100 returns the NVIDIA GA100 machine description (Table III).
+func GA100() *GPU { return arch.GA100() }
+
+// Xavier returns the Jetson AGX Xavier machine description (Table III).
+func Xavier() *GPU { return arch.Xavier() }
+
+// V100 returns an NVIDIA V100-class description — a third platform beyond
+// the paper's testbed for generality studies.
+func V100() *GPU { return arch.V100() }
+
+// LoadGPU reads and validates a machine description from a JSON file,
+// allowing the pipeline to target hardware beyond the built-in presets.
+func LoadGPU(path string) (*GPU, error) { return arch.LoadFile(path) }
+
+// GPUByName resolves "ga100"/"a100"/"xavier"/"v100".
+func GPUByName(name string) (*GPU, error) {
+	g, ok := arch.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("eatss: unknown GPU %q (want ga100, xavier or v100)", name)
+	}
+	return g, nil
+}
+
+// ConstraintSlack reports one resource constraint's usage under a
+// selection (see Explain).
+type ConstraintSlack = core.ConstraintSlack
+
+// Explain evaluates the selection's resource constraints under its chosen
+// tiles and reports usage and binding constraints (the paper's
+// walkthrough arithmetic: e.g. gemm's L1 capacity binds exactly at
+// (Ti+Tk)*Tj = M_L1). The string is a rendered table.
+func Explain(k *AffineKernel, g *GPU, sel *Selection) ([]ConstraintSlack, string) {
+	return core.Explain(k, g, sel)
+}
+
+// DefaultOptions mirrors the paper's GA100 walkthrough (50% split,
+// half-warp alignment, FP64).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// SelectTiles runs the EATSS model generator and solver (Sec. IV).
+func SelectTiles(k *AffineKernel, g *GPU, opts Options) (*Selection, error) {
+	return core.SelectTiles(k, g, opts)
+}
+
+// DefaultTiles returns PPCG's default 32^d configuration.
+func DefaultTiles(k *AffineKernel) map[string]int64 { return ppcg.DefaultTiles(k) }
+
+// RunConfig configures compilation and simulation of one tile choice.
+type RunConfig struct {
+	// Params overrides the kernel's problem sizes (nil = defaults).
+	Params map[string]int64
+	// UseShared enables shared-memory staging of non-coalescable
+	// references (PPCG --use-shared-memory).
+	UseShared bool
+	// SharedQuota caps the per-block staging bytes (0 = hardware limit).
+	SharedQuota int64
+	// Precision selects FP32/FP64 (default FP64, like the paper).
+	Precision Precision
+	// TimeTileFuse > 1 enables the overlapped time-tiling extension on
+	// repeated stencil nests, fusing that many time steps per launch —
+	// the inter-step reuse the paper notes PPCG lacks (Sec. V-B). Nests
+	// where the fusion is infeasible (no halo, tile too small) keep the
+	// step-per-launch behavior.
+	TimeTileFuse int64
+	// RegTile > 1 enables register micro-tiles: each thread computes an
+	// r x r output block held in registers (the optimization separating
+	// PPCG code from vendor libraries). Nests where it is infeasible
+	// keep one point per thread.
+	RegTile int64
+}
+
+// Compile maps a kernel with the given tiles onto the GPU (the PPCG step).
+func Compile(k *AffineKernel, g *GPU, tiles map[string]int64, cfg RunConfig) (*MappedKernel, error) {
+	mk, err := ppcg.Compile(k, cfg.Params, tiles, g, codegen.Options{
+		UseShared:   cfg.UseShared,
+		SharedQuota: cfg.SharedQuota,
+		Precision:   cfg.Precision,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TimeTileFuse > 1 {
+		for _, mn := range mk.Nests {
+			// Fuse where feasible; non-stencil or too-small-tile nests
+			// keep PPCG's one-launch-per-step behavior.
+			_ = mn.ApplyTimeTiling(cfg.TimeTileFuse)
+		}
+	}
+	if cfg.RegTile > 1 {
+		for _, mn := range mk.Nests {
+			_ = mn.ApplyRegisterTiling(cfg.RegTile, g.RegsPerThread)
+		}
+	}
+	return mk, nil
+}
+
+// Run compiles and simulates one tile configuration.
+func Run(k *AffineKernel, g *GPU, tiles map[string]int64, cfg RunConfig) (Result, error) {
+	mk, err := Compile(k, g, tiles, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return gpusim.Simulate(mk, g), nil
+}
+
+// Candidate is one (EATSS configuration, simulated outcome) pair from
+// SelectBest.
+type Candidate struct {
+	Selection *Selection
+	Result    Result
+	// SharedFrac is the shared-memory split the configuration used.
+	SharedFrac float64
+}
+
+// Best is the outcome of the paper's end-to-end protocol.
+type Best struct {
+	Kernel     string
+	GPU        string
+	Chosen     Candidate
+	Candidates []Candidate
+	// SolverCalls and SolveTime aggregate across all candidates
+	// (Sec. V-G measures the end-to-end iterative process).
+	SolverCalls int
+}
+
+// SharedSplits are the three shared-memory levels the paper generates
+// configurations for (Sec. V-B: 0%, 50%, 67%).
+var SharedSplits = []float64{0.0, 0.5, 0.67}
+
+// WarpFractions are tried coarsest-first; finer fractions unlock
+// high-dimensional kernels (Sec. V-D).
+var WarpFractions = []float64{0.5, 0.25, 0.125}
+
+// SelectBest runs the paper's full protocol: generate one EATSS
+// configuration per shared-memory split (falling back to finer warp
+// fractions when the formulation is unsatisfiable), evaluate each, and
+// keep the best by performance-per-Watt.
+func SelectBest(k *AffineKernel, g *GPU, prec Precision, params map[string]int64) (*Best, error) {
+	best := &Best{Kernel: k.Name, GPU: g.Name}
+	for _, split := range SharedSplits {
+		var sel *Selection
+		var err error
+		for _, wf := range WarpFractions {
+			opts := Options{
+				SplitFactor:      split,
+				WarpFraction:     wf,
+				Precision:        prec,
+				ProblemSizeAware: true,
+			}
+			sel, err = SelectTiles(k, g, opts)
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			continue // this split has no feasible configuration
+		}
+		best.SolverCalls += sel.SolverCalls
+		res, err := Run(k, g, sel.Tiles, RunConfig{
+			Params:    params,
+			UseShared: split > 0,
+			Precision: prec,
+		})
+		if err != nil {
+			continue
+		}
+		best.Candidates = append(best.Candidates, Candidate{
+			Selection:  sel,
+			Result:     res,
+			SharedFrac: split,
+		})
+	}
+	if len(best.Candidates) == 0 {
+		return nil, fmt.Errorf("eatss: no feasible configuration for %s on %s", k.Name, g.Name)
+	}
+	best.Chosen = best.Candidates[0]
+	for _, c := range best.Candidates[1:] {
+		if c.Result.PPW > best.Chosen.Result.PPW {
+			best.Chosen = c
+		}
+	}
+	return best, nil
+}
+
+// ExploreSpace simulates every tile configuration in the space (the
+// paper's exhaustive exploration studies, Secs. II and V). Configurations
+// that fail to map are skipped. The returned slice is ordered like the
+// input space.
+func ExploreSpace(k *AffineKernel, g *GPU, space []map[string]int64, cfg RunConfig) []SpacePoint {
+	var out []SpacePoint
+	for _, tiles := range space {
+		res, err := Run(k, g, tiles, cfg)
+		if err != nil {
+			continue
+		}
+		out = append(out, SpacePoint{Tiles: tiles, Result: res})
+	}
+	return out
+}
+
+// SpacePoint is one evaluated tile configuration.
+type SpacePoint struct {
+	Tiles  map[string]int64
+	Result Result
+}
+
+// PaperSpace returns the paper's 15-sizes-per-dimension exploration space
+// for a kernel (15^d configurations).
+func PaperSpace(k *AffineKernel) []map[string]int64 {
+	return ppcg.Space(k, ppcg.PaperSpaceSizes())
+}
+
+// Space enumerates a tile space over custom candidate sizes.
+func Space(k *AffineKernel, sizes []int64) []map[string]int64 {
+	return ppcg.Space(k, sizes)
+}

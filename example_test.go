@@ -1,0 +1,62 @@
+package eatss_test
+
+import (
+	"fmt"
+
+	eatss "repro"
+)
+
+// ExampleSelectTiles reproduces the paper's worked matmul example
+// (Sec. IV-A): on the GA100 with a 50% shared-memory split and
+// warp-alignment 16, the solver returns Ti=16, Tj=384, Tk=16.
+func ExampleSelectTiles() {
+	k, _ := eatss.Kernel("gemm")
+	sel, _ := eatss.SelectTiles(k, eatss.GA100(), eatss.DefaultOptions())
+	fmt.Printf("Ti=%d Tj=%d Tk=%d\n", sel.Tiles["i"], sel.Tiles["j"], sel.Tiles["k"])
+	// Output: Ti=16 Tj=384 Tk=16
+}
+
+// ExampleParseKernel defines a custom kernel in the DSL and selects tiles
+// for it — the Sec. IV-M "model generator as a library" use case.
+func ExampleParseKernel() {
+	src := `
+kernel axpy2d {
+  param N = 4096
+  array Y[N][N], X[N][N]
+  nest axpy {
+    for i in 0..N
+    for j in 0..N {
+      S: Y[i][j] = Y[i][j] + X[i][j] @flops(2)
+    }
+  }
+}`
+	k, err := eatss.ParseKernel(src)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	eatss.Schedule(k)
+	fmt.Println(k.Name, k.MaxDepth())
+	// Output: axpy2d 2
+}
+
+// ExampleDefaultTiles shows the PPCG baseline every experiment compares
+// against.
+func ExampleDefaultTiles() {
+	k, _ := eatss.Kernel("gemm")
+	tiles := eatss.DefaultTiles(k)
+	fmt.Println(tiles["i"], tiles["j"], tiles["k"])
+	// Output: 32 32 32
+}
+
+// ExampleRun compiles and simulates one configuration and prints whether
+// EATSS's choice beats the default on performance-per-Watt.
+func ExampleRun() {
+	k, _ := eatss.Kernel("gemm")
+	g := eatss.GA100()
+	sel, _ := eatss.SelectTiles(k, g, eatss.DefaultOptions())
+	ours, _ := eatss.Run(k, g, sel.Tiles, eatss.RunConfig{UseShared: true, Precision: eatss.FP64})
+	def, _ := eatss.Run(k, g, eatss.DefaultTiles(k), eatss.RunConfig{UseShared: true, Precision: eatss.FP64})
+	fmt.Println(ours.PPW > def.PPW)
+	// Output: true
+}

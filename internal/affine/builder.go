@@ -1,0 +1,139 @@
+package affine
+
+// Builder incrementally constructs a Kernel. It exists so the kernel
+// library (and user code) can describe loop nests compactly without
+// hand-assembling Expr maps.
+type Builder struct {
+	k Kernel
+}
+
+// NewBuilder starts a kernel with the given name and default parameters.
+func NewBuilder(name string, params map[string]int64) *Builder {
+	ps := make(map[string]int64, len(params))
+	for k, v := range params {
+		ps[k] = v
+	}
+	return &Builder{k: Kernel{Name: name, Params: ps}}
+}
+
+// Array declares an array whose dimension sizes are parameter names.
+func (b *Builder) Array(name string, dimParams ...string) *Builder {
+	dims := make([]Expr, len(dimParams))
+	for i, p := range dimParams {
+		dims[i] = NewParam(p)
+	}
+	b.k.Arrays = append(b.k.Arrays, Array{Name: name, Dims: dims})
+	return b
+}
+
+// ArrayExpr declares an array with explicit dimension expressions.
+func (b *Builder) ArrayExpr(name string, dims ...Expr) *Builder {
+	b.k.Arrays = append(b.k.Arrays, Array{Name: name, Dims: dims})
+	return b
+}
+
+// NestBuilder constructs one loop nest of the kernel.
+type NestBuilder struct {
+	b *Builder
+	n Nest
+}
+
+// Nest starts a new loop nest with the given name.
+func (b *Builder) Nest(name string) *NestBuilder {
+	return &NestBuilder{b: b, n: Nest{Name: name}}
+}
+
+// Loop appends a loop `for it = 0; it < <param>; it++`.
+func (nb *NestBuilder) Loop(iter, upperParam string) *NestBuilder {
+	nb.n.Loops = append(nb.n.Loops, Loop{Name: iter, Upper: NewParam(upperParam)})
+	return nb
+}
+
+// LoopExpr appends a loop with explicit bounds.
+func (nb *NestBuilder) LoopExpr(iter string, lower, upper Expr) *NestBuilder {
+	nb.n.Loops = append(nb.n.Loops, Loop{Name: iter, Lower: lower, Upper: upper})
+	return nb
+}
+
+// Repeat marks the nest as launched <param> times from a sequential host
+// loop (e.g. a stencil time loop that PPCG does not tile).
+func (nb *NestBuilder) Repeat(param string) *NestBuilder {
+	nb.n.Repeat = NewParam(param)
+	return nb
+}
+
+// StmtBuilder constructs one statement of the nest body.
+type StmtBuilder struct {
+	nb *NestBuilder
+	s  Statement
+}
+
+// Stmt starts a statement with a name and per-iteration flop count.
+func (nb *NestBuilder) Stmt(name string, flops int64) *StmtBuilder {
+	return &StmtBuilder{nb: nb, s: Statement{Name: name, FlopsPerIter: flops}}
+}
+
+// sub converts iterator-or-offset shorthand into subscript expressions.
+// Each entry is either an iterator name ("i"), an iterator with offset
+// ("i+1" is not parsed here — use RefExpr for offsets).
+func subExprs(iters []string) []Expr {
+	out := make([]Expr, len(iters))
+	for i, it := range iters {
+		out[i] = NewIter(it)
+	}
+	return out
+}
+
+// Write adds a store reference subscripted directly by iterator names.
+func (sb *StmtBuilder) Write(array string, iters ...string) *StmtBuilder {
+	sb.s.Refs = append(sb.s.Refs, Ref{Array: array, Subscripts: subExprs(iters), Write: true})
+	return sb
+}
+
+// Read adds a load reference subscripted directly by iterator names.
+func (sb *StmtBuilder) Read(array string, iters ...string) *StmtBuilder {
+	sb.s.Refs = append(sb.s.Refs, Ref{Array: array, Subscripts: subExprs(iters)})
+	return sb
+}
+
+// WriteExpr adds a store reference with explicit subscript expressions.
+func (sb *StmtBuilder) WriteExpr(array string, subs ...Expr) *StmtBuilder {
+	sb.s.Refs = append(sb.s.Refs, Ref{Array: array, Subscripts: subs, Write: true})
+	return sb
+}
+
+// ReadExpr adds a load reference with explicit subscript expressions.
+func (sb *StmtBuilder) ReadExpr(array string, subs ...Expr) *StmtBuilder {
+	sb.s.Refs = append(sb.s.Refs, Ref{Array: array, Subscripts: subs})
+	return sb
+}
+
+// Reduction marks the statement as an accumulation (X += ...), which makes
+// the loops not used by the write target carry a dependence.
+func (sb *StmtBuilder) Reduction() *StmtBuilder {
+	sb.s.Reduction = true
+	return sb
+}
+
+// End finishes the statement and returns to the nest builder.
+func (sb *StmtBuilder) End() *NestBuilder {
+	sb.nb.n.Body = append(sb.nb.n.Body, sb.s)
+	return sb.nb
+}
+
+// End finishes the nest and returns to the kernel builder.
+func (nb *NestBuilder) End() *Builder {
+	nb.b.k.Nests = append(nb.b.k.Nests, nb.n)
+	return nb.b
+}
+
+// Build validates and returns the kernel. It panics on malformed kernels —
+// the builder is used to define the static kernel library, where a
+// construction error is a programming bug.
+func (b *Builder) Build() *Kernel {
+	k := b.k
+	if err := k.Validate(); err != nil {
+		panic(err)
+	}
+	return &k
+}

@@ -1,0 +1,567 @@
+package affine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file defines the benchmark kernel library used throughout the paper's
+// evaluation: the Polybench/C 3.2 kernels of Sec. V-B plus the three
+// non-Polybench kernels of Sec. V-D (conv-2d, heat-3d, mttkrp).
+//
+// Default parameters correspond to the EXTRALARGE dataset used on the GA100;
+// StandardParams returns the STANDARD dataset used on the Xavier (Sec. V-A).
+
+var (
+	catalogOnce sync.Once
+	catalog     map[string]*Kernel
+	standard    map[string]map[string]int64
+	order       []string
+)
+
+func register(k *Kernel, std map[string]int64) {
+	if _, dup := catalog[k.Name]; dup {
+		panic(fmt.Sprintf("affine: duplicate kernel %q", k.Name))
+	}
+	catalog[k.Name] = k
+	standard[k.Name] = std
+	order = append(order, k.Name)
+}
+
+func buildCatalog() {
+	catalog = make(map[string]*Kernel)
+	standard = make(map[string]map[string]int64)
+
+	register(gemmKernel(), map[string]int64{"NI": 1024, "NJ": 1024, "NK": 1024})
+	register(twoMMKernel(), map[string]int64{"NI": 1024, "NJ": 1024, "NK": 1024, "NL": 1024})
+	register(threeMMKernel(), map[string]int64{"NI": 1024, "NJ": 1024, "NK": 1024, "NL": 1024, "NM": 1024})
+	register(syrkKernel(), map[string]int64{"N": 1024, "M": 1024})
+	register(syr2kKernel(), map[string]int64{"N": 1024, "M": 1024})
+	register(ataxKernel(), map[string]int64{"NX": 4000, "NY": 4000})
+	register(bicgKernel(), map[string]int64{"NX": 4000, "NY": 4000})
+	register(mvtKernel(), map[string]int64{"N": 4000})
+	register(gemverKernel(), map[string]int64{"N": 4000})
+	register(covarianceKernel(), map[string]int64{"M": 1200, "N": 1200})
+	register(correlationKernel(), map[string]int64{"M": 1200, "N": 1200})
+	register(jacobi1DKernel(), map[string]int64{"N": 100000, "T": 100})
+	register(jacobi2DKernel(), map[string]int64{"N": 1000, "T": 20})
+	register(fdtd2DKernel(), map[string]int64{"NX": 1000, "NY": 1000, "T": 50})
+	register(fdtdAPMLKernel(), map[string]int64{"CZ": 256, "CYM": 256, "CXM": 256})
+	register(doitgenKernel(), map[string]int64{"NQ": 64, "NR": 64, "NP": 64})
+	register(trmmKernel(), map[string]int64{"N": 1024})
+	register(gesummvKernel(), map[string]int64{"N": 2000})
+	register(conv2DKernel(), map[string]int64{"NI": 2048, "NJ": 2048, "KW": 9})
+	register(heat3DKernel(), map[string]int64{"N": 120, "T": 50})
+	register(mttkrpKernel(), map[string]int64{"I": 256, "J": 256, "K": 128, "L": 128})
+}
+
+// Catalog returns the names of all registered kernels in registration order.
+func Catalog() []string {
+	catalogOnce.Do(buildCatalog)
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}
+
+// PolybenchNames returns the Polybench subset of the catalog.
+func PolybenchNames() []string {
+	nonPB := map[string]bool{"conv-2d": true, "heat-3d": true, "mttkrp": true}
+	var out []string
+	for _, n := range Catalog() {
+		if !nonPB[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NonPolybenchNames returns conv-2d, heat-3d and mttkrp (Sec. V-D).
+func NonPolybenchNames() []string { return []string{"conv-2d", "heat-3d", "mttkrp"} }
+
+// Lookup returns the named kernel with its EXTRALARGE default parameters.
+func Lookup(name string) (*Kernel, error) {
+	catalogOnce.Do(buildCatalog)
+	k, ok := catalog[name]
+	if !ok {
+		names := make([]string, 0, len(catalog))
+		for n := range catalog {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("affine: unknown kernel %q (known: %v)", name, names)
+	}
+	return k, nil
+}
+
+// MustLookup is Lookup for static kernel names; it panics on failure.
+func MustLookup(name string) *Kernel {
+	k, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// StandardParams returns the STANDARD-dataset parameter bindings for the
+// named kernel (used for the Xavier in the paper).
+func StandardParams(name string) (map[string]int64, error) {
+	catalogOnce.Do(buildCatalog)
+	ps, ok := standard[name]
+	if !ok {
+		return nil, fmt.Errorf("affine: unknown kernel %q", name)
+	}
+	out := make(map[string]int64, len(ps))
+	for k, v := range ps {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// --- kernel definitions -------------------------------------------------
+
+// gemm: C = alpha*A*B + beta*C.
+func gemmKernel() *Kernel {
+	return NewBuilder("gemm", map[string]int64{"NI": 4000, "NJ": 4000, "NK": 4000}).
+		Array("C", "NI", "NJ").
+		Array("A", "NI", "NK").
+		Array("B", "NK", "NJ").
+		Nest("matmul").
+		Loop("i", "NI").Loop("j", "NJ").Loop("k", "NK").
+		Stmt("S0", 2).Write("C", "i", "j").Read("C", "i", "j").
+		Read("A", "i", "k").Read("B", "k", "j").Reduction().End().
+		End().
+		Build()
+}
+
+// 2mm: tmp = A*B; D = tmp*C (two back-to-back matrix multiplies).
+func twoMMKernel() *Kernel {
+	return NewBuilder("2mm", map[string]int64{"NI": 4000, "NJ": 4000, "NK": 4000, "NL": 4000}).
+		Array("tmp", "NI", "NJ").
+		Array("A", "NI", "NK").
+		Array("B", "NK", "NJ").
+		Array("C", "NJ", "NL").
+		Array("D", "NI", "NL").
+		Nest("mm1").
+		Loop("i", "NI").Loop("j", "NJ").Loop("k", "NK").
+		Stmt("S0", 2).Write("tmp", "i", "j").Read("tmp", "i", "j").
+		Read("A", "i", "k").Read("B", "k", "j").Reduction().End().
+		End().
+		Nest("mm2").
+		Loop("i", "NI").Loop("j", "NL").Loop("k", "NJ").
+		Stmt("S1", 2).Write("D", "i", "j").Read("D", "i", "j").
+		Read("tmp", "i", "k").Read("C", "k", "j").Reduction().End().
+		End().
+		Build()
+}
+
+// 3mm: E = A*B; F = C*D; G = E*F.
+func threeMMKernel() *Kernel {
+	return NewBuilder("3mm", map[string]int64{"NI": 4000, "NJ": 4000, "NK": 4000, "NL": 4000, "NM": 4000}).
+		Array("A", "NI", "NK").
+		Array("B", "NK", "NJ").
+		Array("C", "NJ", "NM").
+		Array("D", "NM", "NL").
+		Array("E", "NI", "NJ").
+		Array("F", "NJ", "NL").
+		Array("G", "NI", "NL").
+		Nest("mm1").
+		Loop("i", "NI").Loop("j", "NJ").Loop("k", "NK").
+		Stmt("S0", 2).Write("E", "i", "j").Read("E", "i", "j").
+		Read("A", "i", "k").Read("B", "k", "j").Reduction().End().
+		End().
+		Nest("mm2").
+		Loop("i", "NJ").Loop("j", "NL").Loop("k", "NM").
+		Stmt("S1", 2).Write("F", "i", "j").Read("F", "i", "j").
+		Read("C", "i", "k").Read("D", "k", "j").Reduction().End().
+		End().
+		Nest("mm3").
+		Loop("i", "NI").Loop("j", "NL").Loop("k", "NJ").
+		Stmt("S2", 2).Write("G", "i", "j").Read("G", "i", "j").
+		Read("E", "i", "k").Read("F", "k", "j").Reduction().End().
+		End().
+		Build()
+}
+
+// syrk: C = alpha*A*A^T + beta*C (symmetric rank-k update).
+func syrkKernel() *Kernel {
+	return NewBuilder("syrk", map[string]int64{"N": 4000, "M": 4000}).
+		Array("C", "N", "N").
+		Array("A", "N", "M").
+		Nest("update").
+		Loop("i", "N").Loop("j", "N").Loop("k", "M").
+		Stmt("S0", 2).Write("C", "i", "j").Read("C", "i", "j").
+		Read("A", "i", "k").Read("A", "j", "k").Reduction().End().
+		End().
+		Build()
+}
+
+// syr2k: C = alpha*A*B^T + alpha*B*A^T + beta*C.
+func syr2kKernel() *Kernel {
+	return NewBuilder("syr2k", map[string]int64{"N": 4000, "M": 4000}).
+		Array("C", "N", "N").
+		Array("A", "N", "M").
+		Array("B", "N", "M").
+		Nest("update").
+		Loop("i", "N").Loop("j", "N").Loop("k", "M").
+		Stmt("S0", 4).Write("C", "i", "j").Read("C", "i", "j").
+		Read("A", "i", "k").Read("B", "j", "k").
+		Read("B", "i", "k").Read("A", "j", "k").Reduction().End().
+		End().
+		Build()
+}
+
+// atax: y = A^T * (A*x).
+func ataxKernel() *Kernel {
+	return NewBuilder("atax", map[string]int64{"NX": 8000, "NY": 8000}).
+		Array("A", "NX", "NY").
+		Array("x", "NY").
+		Array("y", "NY").
+		Array("tmp", "NX").
+		Nest("ax").
+		Loop("i", "NX").Loop("j", "NY").
+		Stmt("S0", 2).Write("tmp", "i").Read("tmp", "i").
+		Read("A", "i", "j").Read("x", "j").Reduction().End().
+		End().
+		Nest("aty").
+		Loop("i", "NX").Loop("j", "NY").
+		Stmt("S1", 2).Write("y", "j").Read("y", "j").
+		Read("A", "i", "j").Read("tmp", "i").Reduction().End().
+		End().
+		Build()
+}
+
+// bicg: s = r*A; q = A*p (BiCG sub-kernel of BiCGStab). The two reductions
+// are loop-distributed, as PPCG does, so each nest has one parallel loop.
+func bicgKernel() *Kernel {
+	return NewBuilder("bicg", map[string]int64{"NX": 8000, "NY": 8000}).
+		Array("A", "NX", "NY").
+		Array("s", "NY").
+		Array("q", "NX").
+		Array("p", "NY").
+		Array("r", "NX").
+		Nest("ra").
+		Loop("i", "NX").Loop("j", "NY").
+		Stmt("S0", 2).Write("s", "j").Read("s", "j").
+		Read("r", "i").Read("A", "i", "j").Reduction().End().
+		End().
+		Nest("ap").
+		Loop("i", "NX").Loop("j", "NY").
+		Stmt("S1", 2).Write("q", "i").Read("q", "i").
+		Read("A", "i", "j").Read("p", "j").Reduction().End().
+		End().
+		Build()
+}
+
+// mvt: x1 = x1 + A*y1; x2 = x2 + A^T*y2.
+func mvtKernel() *Kernel {
+	return NewBuilder("mvt", map[string]int64{"N": 8000}).
+		Array("A", "N", "N").
+		Array("x1", "N").
+		Array("x2", "N").
+		Array("y1", "N").
+		Array("y2", "N").
+		Nest("mv1").
+		Loop("i", "N").Loop("j", "N").
+		Stmt("S0", 2).Write("x1", "i").Read("x1", "i").
+		Read("A", "i", "j").Read("y1", "j").Reduction().End().
+		End().
+		Nest("mv2").
+		Loop("i", "N").Loop("j", "N").
+		Stmt("S1", 2).Write("x2", "i").Read("x2", "i").
+		Read("A", "j", "i").Read("y2", "j").Reduction().End().
+		End().
+		Build()
+}
+
+// gemver: A = A + u1*v1^T + u2*v2^T; x = beta*A^T*y + z; w = alpha*A*x.
+func gemverKernel() *Kernel {
+	return NewBuilder("gemver", map[string]int64{"N": 8000}).
+		Array("A", "N", "N").
+		Array("u1", "N").Array("v1", "N").
+		Array("u2", "N").Array("v2", "N").
+		Array("x", "N").Array("y", "N").Array("z", "N").
+		Array("w", "N").
+		Nest("rank2update").
+		Loop("i", "N").Loop("j", "N").
+		Stmt("S0", 4).Write("A", "i", "j").Read("A", "i", "j").
+		Read("u1", "i").Read("v1", "j").
+		Read("u2", "i").Read("v2", "j").End().
+		End().
+		Nest("atx").
+		Loop("i", "N").Loop("j", "N").
+		Stmt("S1", 2).Write("x", "i").Read("x", "i").
+		Read("A", "j", "i").Read("y", "j").Reduction().End().
+		End().
+		Nest("xplusz").
+		Loop("i", "N").
+		Stmt("S2", 1).Write("x", "i").Read("x", "i").Read("z", "i").End().
+		End().
+		Nest("ax").
+		Loop("i", "N").Loop("j", "N").
+		Stmt("S3", 2).Write("w", "i").Read("w", "i").
+		Read("A", "i", "j").Read("x", "j").Reduction().End().
+		End().
+		Build()
+}
+
+// covariance: mean, center, cov = data^T*data / (N-1).
+func covarianceKernel() *Kernel {
+	return NewBuilder("covariance", map[string]int64{"M": 2600, "N": 2600}).
+		Array("data", "N", "M").
+		Array("mean", "M").
+		Array("cov", "M", "M").
+		Nest("mean").
+		Loop("j", "M").Loop("i", "N").
+		Stmt("S0", 1).Write("mean", "j").Read("mean", "j").
+		Read("data", "i", "j").Reduction().End().
+		End().
+		Nest("center").
+		Loop("i", "N").Loop("j", "M").
+		Stmt("S1", 1).Write("data", "i", "j").Read("data", "i", "j").
+		Read("mean", "j").End().
+		End().
+		Nest("cov").
+		Loop("i", "M").Loop("j", "M").Loop("k", "N").
+		Stmt("S2", 2).Write("cov", "i", "j").Read("cov", "i", "j").
+		Read("data", "k", "i").Read("data", "k", "j").Reduction().End().
+		End().
+		Build()
+}
+
+// correlation: covariance with per-column standard deviation normalization.
+func correlationKernel() *Kernel {
+	return NewBuilder("correlation", map[string]int64{"M": 2600, "N": 2600}).
+		Array("data", "N", "M").
+		Array("mean", "M").
+		Array("stddev", "M").
+		Array("corr", "M", "M").
+		Nest("mean").
+		Loop("j", "M").Loop("i", "N").
+		Stmt("S0", 1).Write("mean", "j").Read("mean", "j").
+		Read("data", "i", "j").Reduction().End().
+		End().
+		Nest("stddev").
+		Loop("j", "M").Loop("i", "N").
+		Stmt("S1", 3).Write("stddev", "j").Read("stddev", "j").
+		Read("data", "i", "j").Read("mean", "j").Reduction().End().
+		End().
+		Nest("center").
+		Loop("i", "N").Loop("j", "M").
+		Stmt("S2", 2).Write("data", "i", "j").Read("data", "i", "j").
+		Read("mean", "j").Read("stddev", "j").End().
+		End().
+		Nest("corr").
+		Loop("i", "M").Loop("j", "M").Loop("k", "N").
+		Stmt("S3", 2).Write("corr", "i", "j").Read("corr", "i", "j").
+		Read("data", "k", "i").Read("data", "k", "j").Reduction().End().
+		End().
+		Build()
+}
+
+// jacobi-1d: T time steps of a 3-point stencil. PPCG leaves the time loop
+// on the host and launches one kernel per space sweep (no time-tiling,
+// Sec. V-B), so each space nest carries Repeat(T).
+func jacobi1DKernel() *Kernel {
+	i := NewIter("i")
+	return NewBuilder("jacobi-1d", map[string]int64{"N": 400000, "T": 500}).
+		Array("A", "N").
+		Array("B", "N").
+		Nest("update").Repeat("T").
+		LoopExpr("i", NewConst(1), NewParam("N").AddConst(-1)).
+		Stmt("S0", 3).WriteExpr("B", i).
+		ReadExpr("A", i.AddConst(-1)).ReadExpr("A", i).ReadExpr("A", i.AddConst(1)).End().
+		End().
+		Nest("copy").Repeat("T").
+		LoopExpr("i", NewConst(1), NewParam("N").AddConst(-1)).
+		Stmt("S1", 1).WriteExpr("A", i).ReadExpr("B", i).End().
+		End().
+		Build()
+}
+
+// jacobi-2d: T time steps of a 5-point stencil (two launches per step).
+func jacobi2DKernel() *Kernel {
+	i, j := NewIter("i"), NewIter("j")
+	return NewBuilder("jacobi-2d", map[string]int64{"N": 2800, "T": 100}).
+		Array("A", "N", "N").
+		Array("B", "N", "N").
+		Nest("update").Repeat("T").
+		LoopExpr("i", NewConst(1), NewParam("N").AddConst(-1)).
+		LoopExpr("j", NewConst(1), NewParam("N").AddConst(-1)).
+		Stmt("S0", 5).WriteExpr("B", i, j).
+		ReadExpr("A", i, j).
+		ReadExpr("A", i, j.AddConst(-1)).ReadExpr("A", i, j.AddConst(1)).
+		ReadExpr("A", i.AddConst(-1), j).ReadExpr("A", i.AddConst(1), j).End().
+		End().
+		Nest("copy").Repeat("T").
+		LoopExpr("i", NewConst(1), NewParam("N").AddConst(-1)).
+		LoopExpr("j", NewConst(1), NewParam("N").AddConst(-1)).
+		Stmt("S1", 1).WriteExpr("A", i, j).ReadExpr("B", i, j).End().
+		End().
+		Build()
+}
+
+// fdtd-2d: 2-D finite-difference time-domain (electromagnetic) kernel;
+// three field-update launches per time step.
+func fdtd2DKernel() *Kernel {
+	i, j := NewIter("i"), NewIter("j")
+	return NewBuilder("fdtd-2d", map[string]int64{"NX": 2000, "NY": 2000, "T": 100}).
+		Array("ex", "NX", "NY").
+		Array("ey", "NX", "NY").
+		Array("hz", "NX", "NY").
+		Nest("ey").Repeat("T").
+		LoopExpr("i", NewConst(1), NewParam("NX").AddConst(-1)).
+		LoopExpr("j", NewConst(1), NewParam("NY").AddConst(-1)).
+		Stmt("Sey", 2).WriteExpr("ey", i, j).ReadExpr("ey", i, j).
+		ReadExpr("hz", i, j).ReadExpr("hz", i.AddConst(-1), j).End().
+		End().
+		Nest("ex").Repeat("T").
+		LoopExpr("i", NewConst(1), NewParam("NX").AddConst(-1)).
+		LoopExpr("j", NewConst(1), NewParam("NY").AddConst(-1)).
+		Stmt("Sex", 2).WriteExpr("ex", i, j).ReadExpr("ex", i, j).
+		ReadExpr("hz", i, j).ReadExpr("hz", i, j.AddConst(-1)).End().
+		End().
+		Nest("hz").Repeat("T").
+		LoopExpr("i", NewConst(1), NewParam("NX").AddConst(-1)).
+		LoopExpr("j", NewConst(1), NewParam("NY").AddConst(-1)).
+		Stmt("Shz", 6).WriteExpr("hz", i, j).ReadExpr("hz", i, j).
+		ReadExpr("ex", i, j.AddConst(1)).ReadExpr("ex", i, j).
+		ReadExpr("ey", i.AddConst(1), j).ReadExpr("ey", i, j).End().
+		End().
+		Build()
+}
+
+// fdtd-apml: 3-D anisotropic perfectly-matched-layer FDTD update
+// (Polybench's fdtd-apml main loop, simplified to its dominant H-field
+// update structure).
+func fdtdAPMLKernel() *Kernel {
+	iz, iy, ix := NewIter("iz"), NewIter("iy"), NewIter("ix")
+	return NewBuilder("fdtd-apml", map[string]int64{"CZ": 512, "CYM": 512, "CXM": 512}).
+		Array("Bza", "CZ", "CYM", "CXM").
+		Array("Ex", "CZ", "CYM", "CXM").
+		Array("Ey", "CZ", "CYM", "CXM").
+		Array("Hz", "CZ", "CYM", "CXM").
+		Array("czm", "CZ").
+		Array("czp", "CZ").
+		Nest("hfield").
+		Loop("iz", "CZ").Loop("iy", "CYM").Loop("ix", "CXM").
+		Stmt("S0", 9).WriteExpr("Bza", iz, iy, ix).ReadExpr("Bza", iz, iy, ix).
+		ReadExpr("Ex", iz, iy.AddConst(1), ix).ReadExpr("Ex", iz, iy, ix).
+		ReadExpr("Ey", iz, iy, ix.AddConst(1)).ReadExpr("Ey", iz, iy, ix).
+		ReadExpr("czm", iz).ReadExpr("czp", iz).End().
+		Stmt("S1", 4).WriteExpr("Hz", iz, iy, ix).ReadExpr("Hz", iz, iy, ix).
+		ReadExpr("Bza", iz, iy, ix).ReadExpr("czp", iz).End().
+		End().
+		Build()
+}
+
+// doitgen: multi-resolution analysis kernel, sum[r][q][p] = A[r][q][s]*C4[s][p].
+func doitgenKernel() *Kernel {
+	return NewBuilder("doitgen", map[string]int64{"NQ": 128, "NR": 128, "NP": 128}).
+		Array("A", "NR", "NQ", "NP").
+		Array("C4", "NP", "NP").
+		Array("sum", "NR", "NQ", "NP").
+		Nest("mra").
+		Loop("r", "NR").Loop("q", "NQ").Loop("p", "NP").Loop("s", "NP").
+		Stmt("S0", 2).Write("sum", "r", "q", "p").Read("sum", "r", "q", "p").
+		Read("A", "r", "q", "s").Read("C4", "s", "p").Reduction().End().
+		End().
+		Nest("copy").
+		Loop("r", "NR").Loop("q", "NQ").Loop("p", "NP").
+		Stmt("S1", 1).Write("A", "r", "q", "p").Read("sum", "r", "q", "p").End().
+		End().
+		Build()
+}
+
+// trmm: triangular matrix multiply, B = alpha*A*B (rectangular
+// approximation of the triangular iteration space, as PPCG's rectangular
+// tiling sees it).
+func trmmKernel() *Kernel {
+	return NewBuilder("trmm", map[string]int64{"N": 4000}).
+		Array("A", "N", "N").
+		Array("B", "N", "N").
+		Nest("trmm").
+		Loop("i", "N").Loop("j", "N").Loop("k", "N").
+		Stmt("S0", 2).Write("B", "i", "j").Read("B", "i", "j").
+		Read("A", "i", "k").Read("B", "k", "j").Reduction().End().
+		End().
+		Build()
+}
+
+// gesummv: y = alpha*A*x + beta*B*x (two simultaneous matrix-vector
+// products).
+func gesummvKernel() *Kernel {
+	return NewBuilder("gesummv", map[string]int64{"N": 8000}).
+		Array("A", "N", "N").
+		Array("B", "N", "N").
+		Array("x", "N").
+		Array("y", "N").
+		Nest("sum").
+		Loop("i", "N").Loop("j", "N").
+		Stmt("S0", 4).Write("y", "i").Read("y", "i").
+		Read("A", "i", "j").Read("B", "i", "j").Read("x", "j").Reduction().End().
+		End().
+		Build()
+}
+
+// conv-2d: dense 2-D convolution with a KW x KW kernel window (4-D nest),
+// the computer-vision kernel of Sec. V-D.
+func conv2DKernel() *Kernel {
+	i, j, p, q := NewIter("i"), NewIter("j"), NewIter("p"), NewIter("q")
+	kw := NewParam("KW")
+	return NewBuilder("conv-2d", map[string]int64{"NI": 4096, "NJ": 4096, "KW": 9}).
+		ArrayExpr("Out", NewParam("NI"), NewParam("NJ")).
+		ArrayExpr("In", NewParam("NI").Add(kw), NewParam("NJ").Add(kw)).
+		ArrayExpr("W", kw, kw).
+		Nest("conv").
+		Loop("i", "NI").Loop("j", "NJ").Loop("p", "KW").Loop("q", "KW").
+		Stmt("S0", 2).WriteExpr("Out", i, j).ReadExpr("Out", i, j).
+		ReadExpr("In", i.Add(p), j.Add(q)).ReadExpr("W", p, q).Reduction().End().
+		End().
+		Build()
+}
+
+// heat-3d: T time steps of a 7-point 3-D heat stencil. The paper treats
+// this as a 4-D problem (time + 3 space dims); the time loop stays on the
+// host as Repeat(T).
+func heat3DKernel() *Kernel {
+	i, j, k := NewIter("i"), NewIter("j"), NewIter("k")
+	nm1 := NewParam("N").AddConst(-1)
+	return NewBuilder("heat-3d", map[string]int64{"N": 200, "T": 100}).
+		Array("A", "N", "N", "N").
+		Array("B", "N", "N", "N").
+		Nest("update").Repeat("T").
+		LoopExpr("i", NewConst(1), nm1).
+		LoopExpr("j", NewConst(1), nm1).
+		LoopExpr("k", NewConst(1), nm1).
+		Stmt("S0", 10).WriteExpr("B", i, j, k).
+		ReadExpr("A", i, j, k).
+		ReadExpr("A", i.AddConst(-1), j, k).ReadExpr("A", i.AddConst(1), j, k).
+		ReadExpr("A", i, j.AddConst(-1), k).ReadExpr("A", i, j.AddConst(1), k).
+		ReadExpr("A", i, j, k.AddConst(-1)).ReadExpr("A", i, j, k.AddConst(1)).End().
+		End().
+		Nest("copy").Repeat("T").
+		LoopExpr("i", NewConst(1), nm1).
+		LoopExpr("j", NewConst(1), nm1).
+		LoopExpr("k", NewConst(1), nm1).
+		Stmt("S1", 1).WriteExpr("A", i, j, k).ReadExpr("B", i, j, k).End().
+		End().
+		Build()
+}
+
+// mttkrp: matricized tensor times Khatri-Rao product (4-D nest),
+// A[i][j] += X[i][k][l] * B[k][j] * C[l][j].
+func mttkrpKernel() *Kernel {
+	i, j, k, l := NewIter("i"), NewIter("j"), NewIter("k"), NewIter("l")
+	return NewBuilder("mttkrp", map[string]int64{"I": 768, "J": 768, "K": 256, "L": 256}).
+		Array("A", "I", "J").
+		Array("X", "I", "K", "L").
+		Array("B", "K", "J").
+		Array("C", "L", "J").
+		Nest("mttkrp").
+		Loop("i", "I").Loop("j", "J").Loop("k", "K").Loop("l", "L").
+		Stmt("S0", 3).WriteExpr("A", i, j).ReadExpr("A", i, j).
+		ReadExpr("X", i, k, l).ReadExpr("B", k, j).ReadExpr("C", l, j).Reduction().End().
+		End().
+		Build()
+}

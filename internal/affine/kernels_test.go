@@ -1,0 +1,159 @@
+package affine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	names := Catalog()
+	if len(names) < 18 {
+		t.Fatalf("catalog has %d kernels, want >= 18", len(names))
+	}
+	// Every kernel the paper evaluates must be present.
+	required := []string{
+		"gemm", "2mm", "3mm", "atax", "bicg", "mvt", "gemver",
+		"covariance", "correlation", "jacobi-1d", "jacobi-2d",
+		"fdtd-2d", "fdtd-apml", "syrk", "syr2k",
+		"conv-2d", "heat-3d", "mttkrp",
+	}
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, r := range required {
+		if !have[r] {
+			t.Errorf("catalog missing kernel %q", r)
+		}
+	}
+}
+
+func TestAllKernelsValidate(t *testing.T) {
+	for _, name := range Catalog() {
+		k := MustLookup(name)
+		if err := k.Validate(); err != nil {
+			t.Errorf("kernel %s: %v", name, err)
+		}
+		if k.Flops(k.Params) <= 0 {
+			t.Errorf("kernel %s: nonpositive flops", name)
+		}
+		if k.FootprintBytes(k.Params, FP64) <= 0 {
+			t.Errorf("kernel %s: nonpositive footprint", name)
+		}
+	}
+}
+
+func TestStandardParamsSmaller(t *testing.T) {
+	for _, name := range Catalog() {
+		k := MustLookup(name)
+		std, err := StandardParams(name)
+		if err != nil {
+			t.Fatalf("StandardParams(%s): %v", name, err)
+		}
+		stdFlops := k.Flops(std)
+		xlFlops := k.Flops(k.Params)
+		if stdFlops <= 0 {
+			t.Errorf("%s: standard flops %d", name, stdFlops)
+		}
+		if stdFlops > xlFlops {
+			t.Errorf("%s: STANDARD (%d flops) larger than EXTRALARGE (%d)", name, stdFlops, xlFlops)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("no-such-kernel"); err == nil {
+		t.Fatal("Lookup of unknown kernel succeeded")
+	}
+}
+
+func TestStandardParamsReturnsCopy(t *testing.T) {
+	a, _ := StandardParams("gemm")
+	a["NI"] = -1
+	b, _ := StandardParams("gemm")
+	if b["NI"] == -1 {
+		t.Fatal("StandardParams aliases internal state")
+	}
+}
+
+func TestMaxDepths(t *testing.T) {
+	// Stencil time loops live on the host (Nest.Repeat), so depths below
+	// count only GPU-mapped loops.
+	wants := map[string]int{
+		"gemm": 3, "2mm": 3, "3mm": 3, "mvt": 2, "atax": 2, "bicg": 2,
+		"gemver": 2, "covariance": 3, "jacobi-1d": 1, "jacobi-2d": 2,
+		"fdtd-2d": 2, "fdtd-apml": 3,
+		"conv-2d": 4, "heat-3d": 3, "mttkrp": 4,
+	}
+	for name, want := range wants {
+		if got := MustLookup(name).MaxDepth(); got != want {
+			t.Errorf("%s: MaxDepth = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestNonPolybenchSplit(t *testing.T) {
+	pb := PolybenchNames()
+	npb := NonPolybenchNames()
+	if len(npb) != 3 {
+		t.Fatalf("non-Polybench = %v", npb)
+	}
+	for _, n := range npb {
+		for _, p := range pb {
+			if n == p {
+				t.Errorf("%s in both Polybench and non-Polybench lists", n)
+			}
+		}
+	}
+	if len(pb)+len(npb) != len(Catalog()) {
+		t.Fatal("Polybench + non-Polybench does not cover catalog")
+	}
+}
+
+func TestGemmReductionMarked(t *testing.T) {
+	k := MustLookup("gemm")
+	if !k.Nests[0].Body[0].Reduction {
+		t.Fatal("gemm statement should be a reduction (carries k-loop dependence)")
+	}
+}
+
+func TestStencilOffsets(t *testing.T) {
+	k := MustLookup("jacobi-2d")
+	nest := k.Nests[0]
+	s0 := nest.Body[0]
+	// The 5-point stencil must read A at j-1 and j+1.
+	var sawMinus, sawPlus bool
+	for _, r := range s0.Refs {
+		if r.Array != "A" || r.Write {
+			continue
+		}
+		fv := r.FastestVarying()
+		if fv.UsesIter("j") {
+			switch fv.Const {
+			case -1:
+				sawMinus = true
+			case 1:
+				sawPlus = true
+			}
+		}
+	}
+	if !sawMinus || !sawPlus {
+		t.Fatal("jacobi-2d missing j-1/j+1 neighbor reads")
+	}
+}
+
+func TestRandomKernelDeterministicAndValid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := RandomKernel(rand.New(rand.NewSource(seed)))
+		b := RandomKernel(rand.New(rand.NewSource(seed)))
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: generator not deterministic", seed)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, a)
+		}
+		if a.Flops(a.Params) <= 0 {
+			t.Fatalf("seed %d: nonpositive flops", seed)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package affine
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomKernel generates a random valid affine kernel from a seeded
+// source: 1-3 rectangular nests of depth 1-4 over shared arrays, with
+// pointwise and reduction statements, optional stencil offsets and
+// occasional transposed accesses. It exists for robustness testing: the
+// whole pipeline (analysis, model generation, mapping, simulation) must
+// handle anything this returns.
+func RandomKernel(r *rand.Rand) *Kernel {
+	k := &Kernel{
+		Name:   fmt.Sprintf("rand%04d", r.Intn(10000)),
+		Params: map[string]int64{},
+	}
+
+	// Parameters: one size per potential loop depth.
+	paramNames := []string{"P0", "P1", "P2", "P3"}
+	for _, p := range paramNames {
+		k.Params[p] = int64(64 + r.Intn(8)*64)
+	}
+
+	iterNames := []string{"i", "j", "k", "l"}
+	nNests := 1 + r.Intn(3)
+	arrayID := 0
+
+	for ni := 0; ni < nNests; ni++ {
+		depth := 1 + r.Intn(4)
+		nest := Nest{Name: fmt.Sprintf("n%d", ni)}
+		for d := 0; d < depth; d++ {
+			nest.Loops = append(nest.Loops, Loop{
+				Name:  iterNames[d],
+				Lower: NewConst(int64(r.Intn(2))),
+				Upper: NewParam(paramNames[d]),
+			})
+		}
+
+		// One write target indexed by a subset of iterators (always
+		// including the innermost parallel candidate to keep rank >= 1).
+		nRefs := 2 + r.Intn(3)
+		st := Statement{Name: "S0", FlopsPerIter: int64(1 + r.Intn(4))}
+
+		writeRank := 1 + r.Intn(depth)
+		wSubs := make([]Expr, writeRank)
+		for p := 0; p < writeRank; p++ {
+			wSubs[p] = NewIter(iterNames[p])
+		}
+		if writeRank < depth {
+			st.Reduction = true
+		}
+		wName := fmt.Sprintf("W%d", arrayID)
+		arrayID++
+		k.Arrays = append(k.Arrays, arrayFor(wName, wSubs, paramNames))
+		st.Refs = append(st.Refs, Ref{Array: wName, Subscripts: wSubs, Write: true})
+		if st.Reduction {
+			st.Refs = append(st.Refs, Ref{Array: wName, Subscripts: wSubs})
+		}
+
+		for ri := 0; ri < nRefs; ri++ {
+			rank := 1 + r.Intn(depth)
+			subs := make([]Expr, rank)
+			perm := r.Perm(depth)[:rank]
+			for p := 0; p < rank; p++ {
+				e := NewIter(iterNames[perm[p]])
+				if r.Intn(4) == 0 {
+					e = e.AddConst(int64(r.Intn(3) - 1)) // stencil offset
+				}
+				subs[p] = e
+			}
+			name := fmt.Sprintf("R%d", arrayID)
+			arrayID++
+			k.Arrays = append(k.Arrays, arrayFor(name, subs, paramNames))
+			st.Refs = append(st.Refs, Ref{Array: name, Subscripts: subs})
+		}
+		nest.Body = append(nest.Body, st)
+		k.Nests = append(k.Nests, nest)
+	}
+	return k
+}
+
+// arrayFor sizes an array generously enough for the subscripts' reachable
+// range (parameter bound + slack for offsets).
+func arrayFor(name string, subs []Expr, paramNames []string) Array {
+	dims := make([]Expr, len(subs))
+	for i := range subs {
+		// Upper-bound each dimension by the largest parameter plus
+		// offset slack; precise sizing is irrelevant to the analyses.
+		dims[i] = NewParam(paramNames[len(paramNames)-1]).Add(NewParam(paramNames[0])).AddConst(4)
+	}
+	return Array{Name: name, Dims: dims}
+}

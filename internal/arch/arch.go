@@ -1,0 +1,193 @@
+// Package arch describes the GPU platforms of the paper's testbed
+// (Table I and Table III): the NVIDIA GA100 (Ampere data-center part) and
+// the Jetson AGX Xavier (embedded Volta). Each description carries the
+// resource limits EATSS constrains against, the throughput parameters the
+// simulator times against, and the power-model coefficients used to
+// reproduce the paper's energy measurements.
+package arch
+
+// GPU is a machine description.
+type GPU struct {
+	Name string
+
+	// --- execution resources (Table I / Table III) ---
+
+	SMCount         int64 // streaming multiprocessors
+	ThreadsPerBlock int64 // T_P_B
+	ThreadsPerWarp  int64 // T_P_W
+	RegsPerSM       int64 // R_P_S
+	RegsPerBlock    int64 // R_P_B
+	RegsPerThread   int64 // R_P_T
+	MaxBlocksPerSM  int64
+	MaxWarpsPerSM   int64
+
+	// --- memory hierarchy ---
+
+	L1SharedBytes     int64 // combined L1 + shared memory per SM (the split is configurable)
+	SharedPerBlock    int64 // shared memory limit per thread block
+	SharedPerSM       int64 // shared memory limit per SM
+	L2Bytes           int64
+	GlobalBytes       int64
+	SectorBytes       int64 // L2 sector granularity (32B on NVIDIA)
+	CacheLineBytes    int64
+	BypassL2ForShared bool // GA100 loads global->shared without polluting L2 (Sec. IV-H)
+
+	// --- throughput ---
+
+	BaseClockMHz   float64
+	MaxClockMHz    float64
+	MinClockMHz    float64
+	FP32LanesPerSM int64   // FP32 FMA lanes per SM
+	FP64Ratio      float64 // FP64 throughput as a fraction of FP32
+	DRAMBandwidth  float64 // bytes/s at base clock
+	L2Bandwidth    float64 // bytes/s aggregate
+	SharedBwPerSM  float64 // bytes/s per SM
+	LaunchOverhead float64 // seconds per kernel launch
+
+	// --- power model (constant + static + dynamic, Fig. 1) ---
+
+	TDPWatts      float64
+	ConstantWatts float64 // board/host overhead, always present
+	StaticWatts   float64 // leakage at operating temperature
+	// PowerRampTauSec is the thermal/boost ramp time constant of the
+	// *measured* average power: sampling a short kernel (the paper reads
+	// nvidia-smi / tegrastats every 10 ms across 100 runs) sees the
+	// device still ramping, so short executions report lower average
+	// power than the steady state (Fig. 1's small-size regime).
+	PowerRampTauSec float64
+	// Dynamic coefficients: watts at 100% utilization of each resource.
+	DynSMWatts         float64 // all SMs busy at base clock
+	DynL2WattsPerGBs   float64 // per GB/s of L2 sector traffic
+	DynDRAMWattsPerGBs float64 // per GB/s of DRAM traffic
+	DynSharedWatts     float64 // all shared-memory banks busy
+	// DynLiveWatts is the ceiling of the data-liveness component: the
+	// power spent keeping thread-private data resident in SM-local
+	// storage between that thread's reuses. Long intra-thread reuse
+	// distances (large serial-loop tiles) drive this term up — the
+	// wasted-energy mechanism of [23] that EATSS's objective targets.
+	DynLiveWatts float64
+}
+
+// PeakFlops returns the peak FLOP/s at the given clock (MHz) for the
+// precision factor (1 = FP32, 2 = FP64).
+func (g *GPU) PeakFlops(clockMHz float64, fpFactor int64) float64 {
+	fp32 := float64(g.SMCount*g.FP32LanesPerSM*2) * clockMHz * 1e6
+	if fpFactor >= 2 {
+		return fp32 * g.FP64Ratio
+	}
+	return fp32
+}
+
+// WarpsPerBlock returns how many warps a block of the given size occupies.
+func (g *GPU) WarpsPerBlock(threads int64) int64 {
+	return (threads + g.ThreadsPerWarp - 1) / g.ThreadsPerWarp
+}
+
+// GA100 returns the NVIDIA GA100 description used in the paper
+// (A100-40GB: 108 SMs, 192 KB L1+shared per SM, 40 MB L2, CUDA 11.4,
+// 250 W TDP, 9.7 TFLOP/s peak FP64 without tensor cores).
+func GA100() *GPU {
+	return &GPU{
+		Name:            "GA100",
+		SMCount:         108,
+		ThreadsPerBlock: 1024,
+		ThreadsPerWarp:  32,
+		RegsPerSM:       64 * 1024,
+		RegsPerBlock:    64 * 1024,
+		RegsPerThread:   255,
+		MaxBlocksPerSM:  32,
+		MaxWarpsPerSM:   64,
+
+		L1SharedBytes:     192 * 1024,
+		SharedPerBlock:    48 * 1024,
+		SharedPerSM:       164 * 1024,
+		L2Bytes:           40 * 1024 * 1024,
+		GlobalBytes:       40 << 30,
+		SectorBytes:       32,
+		CacheLineBytes:    128,
+		BypassL2ForShared: true,
+
+		BaseClockMHz:   1095,
+		MaxClockMHz:    1410,
+		MinClockMHz:    555,
+		FP32LanesPerSM: 64,
+		FP64Ratio:      0.5,
+		DRAMBandwidth:  1555e9,
+		L2Bandwidth:    4500e9,
+		SharedBwPerSM:  256e9,
+		LaunchOverhead: 4e-6,
+
+		TDPWatts:           250,
+		PowerRampTauSec:    0.030,
+		ConstantWatts:      38,
+		StaticWatts:        17,
+		DynSMWatts:         100,
+		DynL2WattsPerGBs:   0.015,
+		DynDRAMWattsPerGBs: 0.035,
+		DynSharedWatts:     16,
+		DynLiveWatts:       85,
+	}
+}
+
+// Xavier returns the Jetson AGX Xavier description used in the paper
+// (8-SM embedded Volta, 128 KB L1+shared per SM, 512 KB L2, CUDA 10.2,
+// 30 W module power, ~44 GFLOP/s measured FP64 via cuBLAS).
+func Xavier() *GPU {
+	return &GPU{
+		Name:            "Xavier",
+		SMCount:         8,
+		ThreadsPerBlock: 1024,
+		ThreadsPerWarp:  32,
+		RegsPerSM:       64 * 1024,
+		RegsPerBlock:    64 * 1024,
+		RegsPerThread:   255,
+		MaxBlocksPerSM:  32,
+		MaxWarpsPerSM:   64,
+
+		L1SharedBytes:     128 * 1024,
+		SharedPerBlock:    48 * 1024,
+		SharedPerSM:       96 * 1024,
+		L2Bytes:           512 * 1024,
+		GlobalBytes:       32 << 30,
+		SectorBytes:       32,
+		CacheLineBytes:    128,
+		BypassL2ForShared: false,
+
+		BaseClockMHz:   854,
+		MaxClockMHz:    1377,
+		MinClockMHz:    318,
+		FP32LanesPerSM: 64,
+		// Embedded Volta has no dedicated FP64 pipe worth of
+		// throughput: cuBLAS measures ~44 GFLOP/s (Table III), i.e.
+		// roughly 1/32 of FP32.
+		FP64Ratio:      1.0 / 32.0,
+		DRAMBandwidth:  137e9,
+		L2Bandwidth:    400e9,
+		SharedBwPerSM:  128e9,
+		LaunchOverhead: 8e-6,
+
+		TDPWatts:           30,
+		PowerRampTauSec:    0.060,
+		ConstantWatts:      9,
+		StaticWatts:        3,
+		DynSMWatts:         11,
+		DynL2WattsPerGBs:   0.008,
+		DynDRAMWattsPerGBs: 0.015,
+		DynSharedWatts:     2,
+		DynLiveWatts:       7,
+	}
+}
+
+// ByName returns the named GPU description ("ga100", "xavier" or
+// "v100").
+func ByName(name string) (*GPU, bool) {
+	switch name {
+	case "ga100", "GA100", "a100", "A100":
+		return GA100(), true
+	case "xavier", "Xavier":
+		return Xavier(), true
+	case "v100", "V100":
+		return V100(), true
+	}
+	return nil, false
+}

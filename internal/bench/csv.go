@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// CSV writers: every experiment can dump its underlying series as CSV so
+// the paper's plots can be regenerated with any plotting tool. Each
+// writer emits a header row followed by data rows; numbers use full
+// precision (formatting is the plot's job).
+
+func writeAll(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func d(v int64) string   { return strconv.FormatInt(v, 10) }
+
+// WriteCSV dumps the Fig. 1 power series.
+func (r *Fig1Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			d(row.N), f(row.ConstStaticW), f(row.DynamicW), f(row.TotalW), f(row.GFLOPS),
+		})
+	}
+	return writeAll(w, []string{"n", "const_static_w", "dynamic_w", "total_w", "gflops"}, rows)
+}
+
+// WriteCSV dumps every variant of a tile-space study (Fig. 2 / Fig. 3):
+// one row per variant with its tiles, performance, energy and L2 sectors.
+func (r *Fig2Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Variants)+1)
+	for _, v := range r.Variants {
+		rows = append(rows, []string{
+			"variant", tilesString(v.Tiles),
+			f(v.Result.GFLOPS), f(v.Result.EnergyJ), f(v.Result.AvgPowerW),
+			f(v.Result.PPW), d(v.Result.L2Sectors),
+		})
+	}
+	rows = append(rows, []string{
+		"default", "32^d",
+		f(r.Default.Result.GFLOPS), f(r.Default.Result.EnergyJ),
+		f(r.Default.Result.AvgPowerW), f(r.Default.Result.PPW),
+		d(r.Default.Result.L2Sectors),
+	})
+	return writeAll(w, []string{"kind", "tiles", "gflops", "energy_j", "power_w", "ppw", "l2_sectors"}, rows)
+}
+
+// WriteCSV dumps the Fig. 7 per-kernel comparison.
+func (r *Fig7Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Kernel,
+			f(row.MedPPCGGF), f(row.DefPPCGGF), f(row.BestPPCGGF), f(row.EATSSGF),
+			f(row.MedPPCGJ), f(row.DefPPCGJ), f(row.BestPPCGJ), f(row.EATSSJ),
+			f(row.MedPPCGPPW), f(row.DefPPCGPPW), f(row.BestPPW), f(row.EATSSPPW),
+			f(row.PPWRatio), row.EATSSTiles, f(row.EATSSSharedFrac),
+		})
+	}
+	return writeAll(w, []string{
+		"kernel",
+		"med_ppcg_gf", "def_ppcg_gf", "best_ppcg_gf", "eatss_gf",
+		"med_ppcg_j", "def_ppcg_j", "best_ppcg_j", "eatss_j",
+		"med_ppcg_ppw", "def_ppcg_ppw", "best_ppw", "eatss_ppw",
+		"ppw_ratio", "eatss_tiles", "eatss_shared_frac",
+	}, rows)
+}
+
+// WriteCSV dumps the shared-memory split study (Fig. 8).
+func (r *Fig8Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Kernel, f(row.SharedFrac),
+			f(row.Speedup), f(row.EnergyNorm), strconv.FormatBool(row.Feasible),
+		})
+	}
+	return writeAll(w, []string{"kernel", "split", "speedup", "energy_norm", "feasible"}, rows)
+}
+
+// WriteCSV dumps the Fig. 9 correlations.
+func (r *Fig9Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Kernel, d(int64(row.Variants)), f(row.PearsonR)})
+	}
+	return writeAll(w, []string{"kernel", "variants", "pearson_r"}, rows)
+}
+
+// WriteCSV dumps the non-Polybench comparison (Fig. 10).
+func (r *Fig10Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Kernel, f(row.WarpFraction), f(row.SharedFrac), row.Tiles,
+			f(row.DefGF), f(row.EATSSGF), f(row.Speedup), f(row.EnergyNorm),
+		})
+	}
+	return writeAll(w, []string{
+		"kernel", "warp_frac", "shared_frac", "tiles",
+		"def_gf", "eatss_gf", "speedup", "energy_norm",
+	}, rows)
+}
+
+// WriteCSV dumps an input-size sensitivity sweep (Fig. 12 / Fig. 13).
+func (r *Fig12Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Kernel, d(row.N),
+			f(row.EATSSGF), f(row.EATSSW), f(row.EATSSPPW),
+			f(row.DefGF), f(row.DefW), f(row.DefPPW),
+		})
+	}
+	return writeAll(w, []string{
+		"kernel", "n",
+		"eatss_gf", "eatss_w", "eatss_ppw",
+		"def_gf", "def_w", "def_ppw",
+	}, rows)
+}
+
+// WriteCSV dumps Table IV.
+func (r *Table4Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Cols))
+	for _, c := range r.Cols {
+		rows = append(rows, []string{
+			c.Description, c.Platform,
+			f(c.CuXXPPW), f(c.PPCGMedPPW), f(c.OurPPW),
+			f(c.CuXXEnergyJ), f(c.PPCGMedEnergyJ), f(c.OurEnergyJ),
+			f(c.CuXXGF), f(c.PPCGMedGF), f(c.OurGF),
+		})
+	}
+	return writeAll(w, []string{
+		"description", "platform",
+		"cuxx_ppw", "ppcg_med_ppw", "our_ppw",
+		"cuxx_j", "ppcg_med_j", "our_j",
+		"cuxx_gf", "ppcg_med_gf", "our_gf",
+	}, rows)
+}
+
+// WriteCSV dumps the autotuner comparison (Fig. 14).
+func (r *Fig14Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Kernel, f(row.YtoptGF), f(row.EATSSGF),
+			f(row.Speedup), f(row.EnergyNorm),
+			f(row.YtoptTuneSec), f(row.EATSSTuneSec),
+		})
+	}
+	return writeAll(w, []string{
+		"kernel", "ytopt_gf", "eatss_gf", "speedup", "energy_norm",
+		"ytopt_tune_s", "eatss_tune_s",
+	}, rows)
+}
+
+// WriteCSV dumps the solver-overhead study (Sec. V-G).
+func (r *SecVGResult) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			d(int64(row.Depth)), d(int64(row.Kernels)), f(row.AvgCalls),
+			f(row.AvgTime.Seconds()), f(row.MaxTime.Seconds()),
+		})
+	}
+	return writeAll(w, []string{"depth", "kernels", "avg_calls", "avg_time_s", "max_time_s"}, rows)
+}
+
+// WriteCSV dumps the time-tiling extension study.
+func (r *TimeTilingResult) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Kernel, d(row.Fuse),
+			f(row.Speedup), f(row.EnergyNorm), f(row.DRAMNorm),
+			strconv.FormatBool(row.Feasible),
+		})
+	}
+	return writeAll(w, []string{
+		"kernel", "fuse", "speedup", "energy_norm", "dram_norm", "feasible",
+	}, rows)
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	eatss "repro"
+
+	"repro/internal/affine"
+	"repro/internal/arch"
+)
+
+// Fig1Row is one problem size of the gemm power sweep.
+type Fig1Row struct {
+	N int64
+	// ConstStaticW is the size-independent floor (constant + static).
+	ConstStaticW float64
+	// DynamicW is the activity-dependent component.
+	DynamicW float64
+	// TotalW is the observed average power.
+	TotalW float64
+	GFLOPS float64
+}
+
+// Fig1Result reproduces Fig. 1: power consumption of the gemm kernel
+// across increasing problem sizes, decomposed into constant+static and
+// dynamic components. The expected shape: at small sizes the floor
+// dominates; as M, N, K grow the dynamic component takes over and total
+// power saturates toward (but below) TDP.
+type Fig1Result struct {
+	GPU  string
+	Rows []Fig1Row
+}
+
+// Fig1 runs the sweep on g with PPCG default tiles.
+func Fig1(g *arch.GPU, sizes []int64) *Fig1Result {
+	if len(sizes) == 0 {
+		sizes = []int64{1000, 2000, 3000, 4000, 5000, 6000}
+	}
+	k := affine.MustLookup("gemm")
+	out := &Fig1Result{GPU: g.Name}
+	for _, n := range sizes {
+		params := map[string]int64{"NI": n, "NJ": n, "NK": n}
+		res, err := eatss.Run(k, g, eatss.DefaultTiles(k), eatss.RunConfig{
+			Params: params, UseShared: true, Precision: eatss.FP64,
+		})
+		if err != nil {
+			continue
+		}
+		floor := g.ConstantWatts + g.StaticWatts
+		out.Rows = append(out.Rows, Fig1Row{
+			N:            n,
+			ConstStaticW: floor,
+			DynamicW:     res.AvgPowerW - floor,
+			TotalW:       res.AvgPowerW,
+			GFLOPS:       res.GFLOPS,
+		})
+	}
+	return out
+}
+
+// Render prints the figure as a table.
+func (f *Fig1Result) Render() string {
+	t := NewTable("Fig. 1: gemm power vs problem size ("+f.GPU+")",
+		"N=M=K", "const+static (W)", "dynamic (W)", "total (W)", "GFLOP/s")
+	for _, r := range f.Rows {
+		t.AddRow(r.N, r.ConstStaticW, r.DynamicW, r.TotalW, r.GFLOPS)
+	}
+	return t.String()
+}

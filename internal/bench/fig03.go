@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"strings"
+
+	"repro/internal/arch"
+)
+
+// Fig3Result reproduces Fig. 3: the 2mm tile-space performance/energy
+// distribution on both the GA100 and the Xavier, with the default-PPCG
+// point ('P') marked. The paper reads off ~30% performance headroom and
+// ~20% energy headroom relative to the default on these spaces.
+type Fig3Result struct {
+	PerGPU []*Fig2Result
+}
+
+// Fig3 runs the 2mm space on both GPUs.
+func Fig3() *Fig3Result {
+	return &Fig3Result{PerGPU: []*Fig2Result{
+		Fig2("2mm", arch.GA100()),
+		Fig2("2mm", arch.Xavier()),
+	}}
+}
+
+// HeadroomPerf returns the available performance improvement over the
+// default configuration on the given GPU (e.g. 0.3 = 30%).
+func (f *Fig3Result) HeadroomPerf(gpu string) float64 {
+	for _, r := range f.PerGPU {
+		if r.GPU == gpu && r.Default.Result.GFLOPS > 0 {
+			return r.BestPerf.Result.GFLOPS/r.Default.Result.GFLOPS - 1
+		}
+	}
+	return 0
+}
+
+// HeadroomEnergy returns the available energy saving relative to the
+// default configuration.
+func (f *Fig3Result) HeadroomEnergy(gpu string) float64 {
+	for _, r := range f.PerGPU {
+		if r.GPU == gpu && r.Default.Result.EnergyJ > 0 {
+			return 1 - r.BestEnergy.Result.EnergyJ/r.Default.Result.EnergyJ
+		}
+	}
+	return 0
+}
+
+// Render prints both spaces.
+func (f *Fig3Result) Render() string {
+	var b strings.Builder
+	for _, r := range f.PerGPU {
+		b.WriteString(r.Render())
+		t := NewTable("headroom vs default on "+r.GPU, "metric", "value")
+		t.AddRow("perf headroom", f.HeadroomPerf(r.GPU))
+		t.AddRow("energy headroom", f.HeadroomEnergy(r.GPU))
+		b.WriteString(t.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"repro/internal/affine"
+	"repro/internal/arch"
+)
+
+// Fig7Row is one Polybench kernel's comparison on one GPU: the paper's
+// left-hand tables of Fig. 7 (Med PPCG / Def PPCG / Best PPCG vs EATSS)
+// for performance, energy and performance-per-Watt.
+type Fig7Row struct {
+	Kernel string
+
+	MedPPCGGF, DefPPCGGF, BestPPCGGF float64
+	MedPPCGJ, DefPPCGJ, BestPPCGJ    float64 // best = lowest energy
+	MedPPCGPPW, DefPPCGPPW, BestPPW  float64
+
+	EATSSGF, EATSSJ, EATSSPPW float64
+	EATSSSharedFrac           float64
+	EATSSTiles                string
+
+	// Ratios vs the default configuration.
+	PerfRatio, EnergyRatio, PPWRatio float64
+}
+
+// Fig7Result reproduces Fig. 7a (GA100) or Fig. 7b (Xavier): the full
+// Polybench evaluation. The headline statistic is the median PPW
+// improvement over default PPCG (paper: ~1.5x on the GA100, ~1.2x on the
+// Xavier).
+type Fig7Result struct {
+	GPU          string
+	Rows         []Fig7Row
+	MedianPPWX   float64
+	MedianPerfX  float64
+	MedianEnergy float64 // median energy ratio (lower is better)
+}
+
+// Fig7 runs the study for the given kernels (nil = all Polybench).
+func Fig7(g *arch.GPU, kernels []string) *Fig7Result {
+	if kernels == nil {
+		kernels = affine.PolybenchNames()
+	}
+	out := &Fig7Result{GPU: g.Name}
+	var ppwXs, perfXs, enXs []float64
+	for _, name := range kernels {
+		params := ParamsFor(name, g)
+		variants, def := Explore(name, g, params, true, false)
+		if len(variants) == 0 || def.TimeSec == 0 {
+			continue
+		}
+		best, err := RunEATSS(name, g, params)
+		if err != nil {
+			continue
+		}
+		e := best.Chosen.Result
+
+		row := Fig7Row{
+			Kernel:          name,
+			MedPPCGGF:       Median(perfOf(variants)),
+			DefPPCGGF:       def.GFLOPS,
+			BestPPCGGF:      bestBy(variants, func(v Variant) float64 { return v.Result.GFLOPS }, true).Result.GFLOPS,
+			MedPPCGJ:        Median(energyOf(variants)),
+			DefPPCGJ:        def.EnergyJ,
+			BestPPCGJ:       bestBy(variants, func(v Variant) float64 { return v.Result.EnergyJ }, false).Result.EnergyJ,
+			MedPPCGPPW:      Median(ppwOf(variants)),
+			DefPPCGPPW:      def.PPW,
+			BestPPW:         bestBy(variants, func(v Variant) float64 { return v.Result.PPW }, true).Result.PPW,
+			EATSSGF:         e.GFLOPS,
+			EATSSJ:          e.EnergyJ,
+			EATSSPPW:        e.PPW,
+			EATSSSharedFrac: best.Chosen.SharedFrac,
+			EATSSTiles:      tilesString(best.Chosen.Selection.Tiles),
+			PerfRatio:       e.GFLOPS / def.GFLOPS,
+			EnergyRatio:     e.EnergyJ / def.EnergyJ,
+			PPWRatio:        e.PPW / def.PPW,
+		}
+		out.Rows = append(out.Rows, row)
+		ppwXs = append(ppwXs, row.PPWRatio)
+		perfXs = append(perfXs, row.PerfRatio)
+		enXs = append(enXs, row.EnergyRatio)
+	}
+	out.MedianPPWX = Median(ppwXs)
+	out.MedianPerfX = Median(perfXs)
+	out.MedianEnergy = Median(enXs)
+	return out
+}
+
+// Render prints the Fig. 7 tables.
+func (f *Fig7Result) Render() string {
+	t := NewTable("Fig. 7: Polybench on "+f.GPU+" (FP64)",
+		"kernel", "MedPPCG GF", "DefPPCG GF", "BestPPCG GF", "EATSS GF",
+		"DefPPCG J", "EATSS J", "DefPPCG PPW", "EATSS PPW", "PPWx", "tiles", "shmem")
+	for _, r := range f.Rows {
+		t.AddRow(r.Kernel, r.MedPPCGGF, r.DefPPCGGF, r.BestPPCGGF, r.EATSSGF,
+			r.DefPPCGJ, r.EATSSJ, r.DefPPCGPPW, r.EATSSPPW, r.PPWRatio,
+			r.EATSSTiles, r.EATSSSharedFrac)
+	}
+	s := t.String()
+	sum := NewTable("summary", "metric", "median ratio (EATSS / default PPCG)")
+	sum.AddRow("performance", f.MedianPerfX)
+	sum.AddRow("energy (lower better)", f.MedianEnergy)
+	sum.AddRow("performance-per-Watt", f.MedianPPWX)
+	return s + sum.String()
+}

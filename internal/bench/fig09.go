@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"repro/internal/arch"
+)
+
+// Fig9Row is one kernel's correlation measurement.
+type Fig9Row struct {
+	Kernel   string
+	Variants int
+	// PearsonR correlates L2 sectors read with average power across the
+	// tile space.
+	PearsonR float64
+}
+
+// Fig9Result reproduces Fig. 9: the correlation between the number of L2
+// cache lines (sectors) read and the average power across 700+ tiled
+// variants. The paper's finding — strong correlation for BLAS3-class
+// kernels (2mm r=0.85, gemm r=0.75), weak for O(1)-reuse kernels
+// (jacobi-2d, mvt) — is the evidence for using L2 utilization in the
+// objective.
+type Fig9Result struct {
+	GPU  string
+	Rows []Fig9Row
+}
+
+// Fig9 computes the correlations on g.
+func Fig9(g *arch.GPU, kernels []string) *Fig9Result {
+	if kernels == nil {
+		kernels = []string{"2mm", "gemm", "jacobi-2d", "mvt"}
+	}
+	out := &Fig9Result{GPU: g.Name}
+	for _, name := range kernels {
+		params := ParamsFor(name, g)
+		variants, _ := Explore(name, g, params, true, false)
+		var sectors, watts []float64
+		for _, v := range variants {
+			sectors = append(sectors, float64(v.Result.L2Sectors))
+			watts = append(watts, v.Result.AvgPowerW)
+		}
+		out.Rows = append(out.Rows, Fig9Row{
+			Kernel:   name,
+			Variants: len(variants),
+			PearsonR: Pearson(sectors, watts),
+		})
+	}
+	return out
+}
+
+// RowFor returns the row of the named kernel.
+func (f *Fig9Result) RowFor(kernel string) (Fig9Row, bool) {
+	for _, r := range f.Rows {
+		if r.Kernel == kernel {
+			return r, true
+		}
+	}
+	return Fig9Row{}, false
+}
+
+// Render prints the correlation table.
+func (f *Fig9Result) Render() string {
+	t := NewTable("Fig. 9: Pearson r of L2 sectors read vs average power ("+f.GPU+")",
+		"kernel", "variants", "pearson r")
+	for _, r := range f.Rows {
+		t.AddRow(r.Kernel, r.Variants, r.PearsonR)
+	}
+	return t.String()
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestAllRenderersComplete smoke-tests every experiment's Render and
+// WriteCSV on small instances: output must be non-empty, contain the
+// title, and the CSV must have a header plus at least one data row.
+func TestAllRenderersComplete(t *testing.T) {
+	g := arch.GA100()
+
+	type artifact struct {
+		name   string
+		render func() string
+		csv    func(*strings.Builder) error
+	}
+	arts := []artifact{
+		{"fig1", func() string { return Fig1(g, []int64{1000, 2000}).Render() },
+			func(b *strings.Builder) error { return Fig1(g, []int64{1000, 2000}).WriteCSV(b) }},
+		{"fig7", func() string { return Fig7(g, []string{"gemm"}).Render() },
+			func(b *strings.Builder) error { return Fig7(g, []string{"gemm"}).WriteCSV(b) }},
+		{"fig8", func() string { return Fig8(g, []string{"gemm"}, []float64{0, 0.5}).Render() },
+			func(b *strings.Builder) error { return Fig8(g, []string{"gemm"}, []float64{0, 0.5}).WriteCSV(b) }},
+		{"fig9", func() string { return Fig9(g, []string{"mvt"}).Render() },
+			func(b *strings.Builder) error { return Fig9(g, []string{"mvt"}).WriteCSV(b) }},
+		{"fig10", func() string { return Fig10(g).Render() },
+			func(b *strings.Builder) error { return Fig10(g).WriteCSV(b) }},
+		{"fig12", func() string { return Fig12(g, []string{"mvt"}, []int64{1000, 2000}).Render() },
+			func(b *strings.Builder) error { return Fig12(g, []string{"mvt"}, []int64{1000, 2000}).WriteCSV(b) }},
+		{"table4", func() string { return Table4().Render() },
+			func(b *strings.Builder) error { return Table4().WriteCSV(b) }},
+		{"fig14", func() string { return Fig14(g, []string{"gemm"}).Render() },
+			func(b *strings.Builder) error { return Fig14(g, []string{"gemm"}).WriteCSV(b) }},
+		{"secvg", func() string { return SecVG(g).Render() },
+			func(b *strings.Builder) error { return SecVG(g).WriteCSV(b) }},
+		{"timetile", func() string { return TimeTilingStudy(g, []string{"jacobi-2d"}, []int64{2}).Render() },
+			func(b *strings.Builder) error {
+				return TimeTilingStudy(g, []string{"jacobi-2d"}, []int64{2}).WriteCSV(b)
+			}},
+	}
+
+	for _, a := range arts {
+		rendered := a.render()
+		if len(rendered) < 40 {
+			t.Errorf("%s: render too short:\n%s", a.name, rendered)
+		}
+		var b strings.Builder
+		if err := a.csv(&b); err != nil {
+			t.Errorf("%s: csv error: %v", a.name, err)
+			continue
+		}
+		lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+		if len(lines) < 2 {
+			t.Errorf("%s: csv has %d lines, want header + data", a.name, len(lines))
+		}
+		if strings.Contains(lines[0], " ") && !strings.Contains(lines[0], ",") {
+			t.Errorf("%s: csv header malformed: %q", a.name, lines[0])
+		}
+	}
+}
+
+// TestRegTileRender covers the register-tiling study's renderer.
+func TestRegTileRender(t *testing.T) {
+	f := RegTileStudy(arch.GA100(), []string{"gemm"}, []int64{2})
+	s := f.Render()
+	if !strings.Contains(s, "micro-tiles") || !strings.Contains(s, "gemm") {
+		t.Fatalf("render incomplete:\n%s", s)
+	}
+}
+
+// TestFig3AndFig11Renders covers the remaining renderers (heavier runs).
+func TestFig3AndFig11Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	f3 := Fig3()
+	if !strings.Contains(f3.Render(), "headroom") {
+		t.Error("fig3 render incomplete")
+	}
+	if f3.HeadroomPerf("GA100") <= 0 {
+		t.Error("fig3 GA100 perf headroom should be positive")
+	}
+	f11 := Fig11(arch.GA100())
+	if !strings.Contains(f11.Render(), "Fig. 11") {
+		t.Error("fig11 render incomplete")
+	}
+}
+
+// TestAblationRenders covers the four ablations' renderers.
+func TestAblationRenders(t *testing.T) {
+	g := arch.GA100()
+	for _, s := range []string{
+		AblateObjective(g, []string{"gemm"}).Render(),
+		AblateMemorySplit(g, []string{"gemm"}).Render(),
+		AblateFPFactor(g).Render(),
+	} {
+		if !strings.Contains(s, "Ablation") {
+			t.Errorf("ablation render incomplete:\n%s", s)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	eatss "repro"
+
+	"repro/internal/affine"
+	"repro/internal/arch"
+)
+
+// Variant pairs a tile configuration with its simulated outcome.
+type Variant struct {
+	Tiles  map[string]int64
+	Result eatss.Result
+}
+
+// SpaceSizesFor returns candidate tile sizes sized so a kernel of the
+// given maximum loop depth yields an exploration space in the paper's
+// 200–800-variant range (Sec. V-A), except depth 3 with paper15=true,
+// which reproduces the full 15^3 = 3,375 space of Fig. 2.
+func SpaceSizesFor(depth int, paper15 bool) []int64 {
+	switch {
+	case depth <= 1:
+		return []int64{4, 8, 16, 32, 64, 128, 192, 256, 320, 384, 448, 512, 640, 768, 1024}
+	case depth == 2:
+		// 15^2 = 225 variants.
+		return []int64{4, 8, 16, 24, 32, 48, 64, 96, 128, 160, 192, 256, 320, 384, 512}
+	case depth == 3 && paper15:
+		// 15^3 = 3,375 variants (Fig. 2).
+		return []int64{4, 8, 16, 24, 32, 48, 64, 96, 128, 160, 192, 256, 320, 384, 512}
+	case depth == 3:
+		// 8^3 = 512 variants.
+		return []int64{4, 8, 16, 32, 64, 128, 256, 512}
+	default:
+		// 5^4 = 625 variants.
+		return []int64{4, 8, 16, 32, 64}
+	}
+}
+
+// Explore evaluates the kernel's tile space on g and returns the valid
+// variants plus the default-PPCG result.
+func Explore(name string, g *arch.GPU, params map[string]int64, useShared bool, paper15 bool) (variants []Variant, def eatss.Result) {
+	k := affine.MustLookup(name)
+	if params == nil {
+		params = k.Params
+	}
+	cfg := eatss.RunConfig{Params: params, UseShared: useShared, Precision: eatss.FP64}
+	space := eatss.Space(k, SpaceSizesFor(k.MaxDepth(), paper15))
+	for _, pt := range eatss.ExploreSpace(k, g, space, cfg) {
+		variants = append(variants, Variant{Tiles: pt.Tiles, Result: pt.Result})
+	}
+	def, _ = eatss.Run(k, g, eatss.DefaultTiles(k), cfg)
+	return variants, def
+}
+
+// RunDefault evaluates the PPCG default configuration.
+func RunDefault(name string, g *arch.GPU, params map[string]int64, useShared bool) eatss.Result {
+	k := affine.MustLookup(name)
+	res, _ := eatss.Run(k, g, eatss.DefaultTiles(k), eatss.RunConfig{
+		Params: params, UseShared: useShared, Precision: eatss.FP64,
+	})
+	return res
+}
+
+// RunEATSS runs the paper's full EATSS protocol (three shared splits,
+// warp-fraction fallback, pick the best PPW) and returns the chosen
+// configuration's outcome.
+func RunEATSS(name string, g *arch.GPU, params map[string]int64) (*eatss.Best, error) {
+	k := affine.MustLookup(name)
+	if params != nil {
+		k = k.WithParams(params)
+	}
+	return eatss.SelectBest(k, g, eatss.FP64, params)
+}
+
+// ParamsFor returns the dataset for a kernel on a GPU: EXTRALARGE on the
+// GA100, STANDARD on the Xavier (Sec. V-A).
+func ParamsFor(name string, g *arch.GPU) map[string]int64 {
+	if g.Name == "Xavier" {
+		std, err := affine.StandardParams(name)
+		if err == nil {
+			return std
+		}
+	}
+	return affine.MustLookup(name).Params
+}
+
+// perfOf / energyOf extract metric slices from variants.
+func perfOf(vs []Variant) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = v.Result.GFLOPS
+	}
+	return out
+}
+
+func energyOf(vs []Variant) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = v.Result.EnergyJ
+	}
+	return out
+}
+
+func ppwOf(vs []Variant) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = v.Result.PPW
+	}
+	return out
+}
+
+// bestBy returns the variant maximizing (or minimizing) the metric.
+func bestBy(vs []Variant, metric func(Variant) float64, maximize bool) Variant {
+	best := vs[0]
+	for _, v := range vs[1:] {
+		m := metric(v)
+		if (maximize && m > metric(best)) || (!maximize && m < metric(best)) {
+			best = v
+		}
+	}
+	return best
+}
+
+// tilesString renders a tile map compactly and deterministically.
+func tilesString(tiles map[string]int64) string {
+	names := make([]string, 0, len(tiles))
+	for n := range tiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "%s=%d", n, tiles[n])
+	}
+	return b.String()
+}

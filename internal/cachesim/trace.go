@@ -1,0 +1,397 @@
+package cachesim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codegen"
+)
+
+// TraceResult summarizes the replay of one thread block.
+type TraceResult struct {
+	// L1 is the per-block cache's statistics.
+	L1 Stats
+	// L2ReadBytes is the L1 miss traffic (line granularity) — the exact
+	// counterpart of the analytic model's per-block L2 read bytes.
+	L2ReadBytes int64
+	// WritebackBytes is dirty-line traffic toward L2.
+	WritebackBytes int64
+	// StagingBytes is the global->shared cooperative load volume (shared
+	// references bypass the L1 trace).
+	StagingBytes int64
+	// Accesses counts line-granular L1 accesses replayed.
+	Accesses int64
+	// Points is the number of iteration points executed by the block.
+	Points int64
+}
+
+// arrayLayout holds the virtual base address and dimension strides of one
+// array, derived from the extents its references can reach.
+type arrayLayout struct {
+	base    int64
+	dims    []int64 // per-dimension extent
+	strides []int64 // element strides, innermost = 1
+}
+
+// SimulateBlock replays the central thread block of a mapped nest through
+// an L1 cache with the given geometry and returns exact traffic counts.
+// Shared-memory references are accounted as staging volume (they do not
+// transit the L1); register-resident accumulators are replayed like any
+// other reference and stay hot in the cache.
+//
+// Intended for small problem instances: the trace length is
+// points-per-block x references, warp-coalesced.
+func SimulateBlock(m *codegen.MappedNest, l1 Config) (TraceResult, error) {
+	if err := l1.Validate(); err != nil {
+		return TraceResult{}, err
+	}
+	// Central block, no backing L2.
+	blockIdx := int64(-1)
+	return simulateOneBlock(m, blockIdx, l1, nil)
+}
+
+// simulateOneBlock replays one block (by linear index; negative means the
+// central block) through a fresh L1, optionally backed by a shared L2.
+func simulateOneBlock(m *codegen.MappedNest, linearBlock int64, l1 Config, l2 *Cache) (TraceResult, error) {
+	var res TraceResult
+	cache := New(l1, l2)
+
+	layouts, err := layoutArrays(m)
+	if err != nil {
+		return res, err
+	}
+
+	// Geometry of the central block.
+	type mappedDim struct {
+		name    string
+		origin  int64 // first iteration value of this block
+		extent  int64 // loop extent (upper bound on values)
+		block   int64 // threads along this dim
+		coarsen int64
+		tile    int64
+	}
+	dims := make([]mappedDim, len(m.MappedLoops))
+	rem := linearBlock
+	for i, name := range m.MappedLoops {
+		l := m.Nest.Loops[m.Nest.LoopIndex(name)]
+		lower := l.Lower.Eval(nil, m.Params)
+		upper := l.Upper.Eval(nil, m.Params)
+		tile := m.Tiles[name]
+		blockIdx := m.GridDims[i] / 2
+		if linearBlock >= 0 {
+			blockIdx = rem % m.GridDims[i]
+			rem /= m.GridDims[i]
+		}
+		dims[i] = mappedDim{
+			name:    name,
+			origin:  lower + blockIdx*tile,
+			extent:  upper,
+			block:   m.BlockDims[i],
+			coarsen: m.Coarsen[i],
+			tile:    tile,
+		}
+	}
+
+	// Serial loops iterate their full ranges, tiled for staging.
+	type serialDim struct {
+		name   string
+		lo, hi int64
+		tile   int64
+	}
+	serial := make([]serialDim, len(m.SerialLoops))
+	for i, name := range m.SerialLoops {
+		l := m.Nest.Loops[m.Nest.LoopIndex(name)]
+		serial[i] = serialDim{
+			name: name,
+			lo:   l.Lower.Eval(nil, m.Params),
+			hi:   l.Upper.Eval(nil, m.Params),
+			tile: m.Tiles[name],
+		}
+	}
+
+	// Shared staging volume: stage extents per serial tile step.
+	elemB := m.Precision.Bytes()
+	steps := int64(1)
+	for _, s := range serial {
+		n := s.hi - s.lo
+		steps *= (n + s.tile - 1) / s.tile
+	}
+	for _, a := range sharedArrays(m) {
+		res.StagingBytes += m.ArrayStageElems(a) * steps * elemB
+	}
+
+	// Non-shared references, in statement order.
+	type tracedRef struct {
+		ref codegen.MappedRef
+		lay *arrayLayout
+	}
+	var refs []tracedRef
+	for _, mr := range m.Refs {
+		if mr.Shared {
+			continue
+		}
+		refs = append(refs, tracedRef{ref: mr, lay: layouts[mr.Ref.Array]})
+	}
+
+	warp := int64(32)
+	threads := m.ThreadsPerBlock
+
+	// Points executed by this block: in-bounds tile points times the
+	// serial trip count.
+	serialTotal := int64(1)
+	for _, s := range serial {
+		serialTotal *= s.hi - s.lo
+	}
+	tilePoints := int64(1)
+	for _, d := range dims {
+		span := d.tile
+		if d.origin+span > d.extent {
+			span = d.extent - d.origin
+		}
+		if span < 0 {
+			span = 0
+		}
+		tilePoints *= span
+	}
+	res.Points = serialTotal * tilePoints
+
+	// Iterate serial points in lexicographic order (odometer).
+	iter := make(map[string]int64, len(serial)+len(dims))
+	cur := make([]int64, len(serial))
+	for i, s := range serial {
+		cur[i] = s.lo
+	}
+	lineSeen := make(map[int64]bool, 64)
+
+	for {
+		for i, s := range serial {
+			iter[s.name] = cur[i]
+		}
+		// All warps execute this serial point over their coarsen cycles.
+		var coarsenTotal int64 = 1
+		for _, d := range dims {
+			coarsenTotal *= d.coarsen
+		}
+		for cycle := int64(0); cycle < coarsenTotal; cycle++ {
+			// Decompose the coarsen cycle per dimension.
+			cc := cycle
+			cycleOff := make([]int64, len(dims))
+			for i := range dims {
+				cycleOff[i] = cc % dims[i].coarsen
+				cc /= dims[i].coarsen
+			}
+			for w := int64(0); w < threads; w += warp {
+				for _, tr := range refs {
+					// Coalesce the warp's lane addresses into lines.
+					for k := range lineSeen {
+						delete(lineSeen, k)
+					}
+					lanes := warp
+					if w+lanes > threads {
+						lanes = threads - w
+					}
+					inBounds := false
+					for l := int64(0); l < lanes; l++ {
+						t := w + l
+						// thread coords, x fastest
+						tt := t
+						oob := false
+						for i, d := range dims {
+							coord := tt % d.block
+							tt /= d.block
+							v := d.origin + cycleOff[i]*d.block + coord
+							if v >= d.extent || v >= d.origin+d.tile {
+								oob = true
+								break
+							}
+							iter[d.name] = v
+						}
+						if oob {
+							continue
+						}
+						inBounds = true
+						addr := tr.lay.address(tr.ref, iter, elemB)
+						lineSeen[addr/l1.LineBytes] = true
+					}
+					if !inBounds {
+						continue
+					}
+					// Replay distinct lines, sorted for determinism.
+					lines := make([]int64, 0, len(lineSeen))
+					for la := range lineSeen {
+						lines = append(lines, la)
+					}
+					sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+					for _, la := range lines {
+						cache.Access(la*l1.LineBytes, tr.ref.Write)
+						res.Accesses++
+					}
+				}
+			}
+		}
+
+		// Odometer increment.
+		i := len(cur) - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] < serial[i].hi {
+				break
+			}
+			cur[i] = serial[i].lo
+		}
+		if i < 0 {
+			break
+		}
+	}
+
+	cache.Flush()
+	res.L1 = cache.Stats
+	res.L2ReadBytes = cache.Stats.Misses * l1.LineBytes
+	res.WritebackBytes = cache.Stats.Writebacks * l1.LineBytes
+	return res, nil
+}
+
+// address computes the byte address of a reference under iterator values.
+func (lay *arrayLayout) address(mr codegen.MappedRef, iter map[string]int64, elemB int64) int64 {
+	off := int64(0)
+	for p, sub := range mr.Ref.Subscripts {
+		v := sub.Eval(iter, nil)
+		if v < 0 {
+			v = 0
+		}
+		if v >= lay.dims[p] {
+			v = lay.dims[p] - 1
+		}
+		off += v * lay.strides[p]
+	}
+	return lay.base + off*elemB
+}
+
+// layoutArrays assigns base addresses and row-major strides to every array
+// the nest references, inferring dimension extents from the ranges the
+// subscripts can reach.
+func layoutArrays(m *codegen.MappedNest) (map[string]*arrayLayout, error) {
+	extents := map[string][]int64{}
+	for _, mr := range m.Refs {
+		dims := extents[mr.Ref.Array]
+		for p, sub := range mr.Ref.Subscripts {
+			// Maximum reachable value + 1: evaluate with every iterator
+			// at its maximum (affine with non-negative coefficients in
+			// all catalog kernels; negative offsets only shift).
+			maxIter := map[string]int64{}
+			for _, l := range m.Nest.Loops {
+				hi := l.Upper.Eval(nil, m.Params) - 1
+				if hi < 0 {
+					hi = 0
+				}
+				maxIter[l.Name] = hi
+			}
+			v := sub.Eval(maxIter, nil) + 1
+			if v < 1 {
+				v = 1
+			}
+			for len(dims) <= p {
+				dims = append(dims, 1)
+			}
+			if v > dims[p] {
+				dims[p] = v
+			}
+		}
+		extents[mr.Ref.Array] = dims
+	}
+
+	names := make([]string, 0, len(extents))
+	for n := range extents {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	out := make(map[string]*arrayLayout, len(names))
+	base := int64(0)
+	for _, n := range names {
+		dims := extents[n]
+		strides := make([]int64, len(dims))
+		s := int64(1)
+		for i := len(dims) - 1; i >= 0; i-- {
+			strides[i] = s
+			s *= dims[i]
+		}
+		out[n] = &arrayLayout{base: base, dims: dims, strides: strides}
+		elems := s
+		// Separate arrays by a guard gap, aligned to 4 KiB.
+		size := elems * 8
+		base += (size + 4095) / 4096 * 4096
+		if base < 0 {
+			return nil, fmt.Errorf("cachesim: address space overflow for %s", n)
+		}
+	}
+	return out, nil
+}
+
+// sharedArrays lists distinct arrays staged in shared memory.
+func sharedArrays(m *codegen.MappedNest) []string {
+	set := map[string]bool{}
+	for _, mr := range m.Refs {
+		if mr.Shared {
+			set[mr.Ref.Array] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GridResult is the outcome of simulating several concurrent blocks that
+// share an L2 cache.
+type GridResult struct {
+	Blocks int
+	// PerBlock is each block's private-L1 statistics.
+	PerBlock []TraceResult
+	// L2 is the shared cache's statistics; its misses are DRAM traffic.
+	L2 Stats
+	// DRAMBytes is the L2 miss traffic at line granularity.
+	DRAMBytes int64
+}
+
+// SimulateGrid replays `blocks` concurrently-resident thread blocks of m
+// (chosen evenly across the grid), each through its own L1, all sharing
+// one L2 — the cross-validation oracle for the analytic model's
+// working-set-based L2 spill estimate. Blocks are interleaved at serial
+// tile-step granularity, approximating how co-resident blocks share the
+// L2 in time.
+func SimulateGrid(m *codegen.MappedNest, blocks int, l1, l2 Config) (GridResult, error) {
+	var out GridResult
+	if err := l1.Validate(); err != nil {
+		return out, err
+	}
+	if err := l2.Validate(); err != nil {
+		return out, err
+	}
+	if blocks < 1 {
+		blocks = 1
+	}
+	if int64(blocks) > m.TotalBlocks {
+		blocks = int(m.TotalBlocks)
+	}
+	out.Blocks = blocks
+
+	shared := New(l2, nil)
+	// Run each block's full trace against a private L1 backed by the
+	// shared L2. (True cycle-interleaving would require a scheduler; the
+	// block-serial order gives a lower bound on sharing and an upper
+	// bound on capacity pressure per block, adequate for validating the
+	// analytic spill term.)
+	for b := 0; b < blocks; b++ {
+		res, err := simulateOneBlock(m, int64(b)*m.TotalBlocks/int64(blocks), l1, shared)
+		if err != nil {
+			return out, err
+		}
+		out.PerBlock = append(out.PerBlock, res)
+	}
+	out.L2 = shared.Stats
+	out.DRAMBytes = shared.Stats.Misses * l2.LineBytes
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/affine"
+)
+
+// CUDASource renders a human-readable CUDA kernel for the mapped nest,
+// in the style of PPCG's generated code: block indices cover tile origins,
+// thread indices cover points within a tile, shared-memory arrays are
+// staged cooperatively, and serial loops run per thread.
+//
+// The output documents the schedule; it is presentation code for
+// inspection and examples, not input to a CUDA compiler.
+func (m *MappedNest) CUDASource() string {
+	var b strings.Builder
+	prec := "float"
+	if m.Precision == affine.FP64 {
+		prec = "double"
+	}
+
+	// Signature: one pointer per distinct array.
+	arrays := m.distinctArrays()
+	params := make([]string, 0, len(arrays))
+	for _, a := range arrays {
+		params = append(params, fmt.Sprintf("%s *%s", prec, a))
+	}
+	fmt.Fprintf(&b, "// nest %s: grid=(%s) block=(%s) launches=%d\n",
+		m.Nest.Name, dimList(m.GridDims), dimList(m.BlockDims), m.Launches)
+	fmt.Fprintf(&b, "__global__ void kernel_%s(%s) {\n", m.Nest.Name, strings.Join(params, ", "))
+
+	// Shared staging declarations.
+	for _, a := range m.sharedArrays() {
+		fmt.Fprintf(&b, "  __shared__ %s shared_%s[%d];\n", prec, a, m.ArrayStageElems(a))
+	}
+
+	// Mapped loop index reconstruction.
+	axes := []string{"x", "y", "z"}
+	for i, name := range m.MappedLoops {
+		fmt.Fprintf(&b, "  int %s = blockIdx.%s * %d + threadIdx.%s; // tile %d\n",
+			name, axes[i], m.Tiles[name], axes[i], m.Tiles[name])
+	}
+	// Bounds guards.
+	var guards []string
+	for _, name := range m.MappedLoops {
+		l := m.Nest.Loops[m.Nest.LoopIndex(name)]
+		guards = append(guards, fmt.Sprintf("%s < %s", name, l.Upper.EvalParams(m.Params).String()))
+	}
+	if len(guards) > 0 {
+		fmt.Fprintf(&b, "  if (!(%s)) return;\n", strings.Join(guards, " && "))
+	}
+
+	// Serial tile loops with staging.
+	indent := "  "
+	for _, name := range m.SerialLoops {
+		l := m.Nest.Loops[m.Nest.LoopIndex(name)]
+		up := l.Upper.EvalParams(m.Params).String()
+		fmt.Fprintf(&b, "%sfor (int %s_t = %s; %s_t < %s; %s_t += %d) {\n",
+			indent, name, l.Lower.EvalParams(m.Params).String(), name, up, name, m.Tiles[name])
+		indent += "  "
+	}
+	if arrays := m.sharedArrays(); len(arrays) > 0 {
+		fmt.Fprintf(&b, "%s// cooperative, coalesced staging of shared tiles\n", indent)
+		for _, a := range arrays {
+			fmt.Fprintf(&b, "%sstage_tile(shared_%s, %s, /*elems=*/%d);\n", indent, a, a, m.ArrayStageElems(a))
+		}
+		fmt.Fprintf(&b, "%s__syncthreads();\n", indent)
+	}
+	for _, name := range m.SerialLoops {
+		up := fmt.Sprintf("min(%s, %s_t + %d)",
+			m.Nest.Loops[m.Nest.LoopIndex(name)].Upper.EvalParams(m.Params).String(), name, m.Tiles[name])
+		fmt.Fprintf(&b, "%sfor (int %s = %s_t; %s < %s; %s++) {\n", indent, name, name, name, up, name)
+		indent += "  "
+	}
+
+	// Body statements.
+	for _, st := range m.Nest.Body {
+		fmt.Fprintf(&b, "%s%s;\n", indent, m.renderStatement(st))
+	}
+
+	for range m.SerialLoops {
+		indent = indent[:len(indent)-2]
+		fmt.Fprintf(&b, "%s}\n", indent)
+	}
+	if len(m.sharedArrays()) > 0 {
+		fmt.Fprintf(&b, "%s__syncthreads();\n", indent)
+	}
+	for range m.SerialLoops {
+		indent = indent[:len(indent)-2]
+		fmt.Fprintf(&b, "%s}\n", indent)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// renderStatement prints "writes = f(reads)" with shared references
+// rewritten to their staging buffers.
+func (m *MappedNest) renderStatement(st affine.Statement) string {
+	sharedSet := make(map[string]bool)
+	for _, mr := range m.Refs {
+		if mr.Shared {
+			sharedSet[mr.Ref.Array] = true
+		}
+	}
+	render := func(r affine.Ref) string {
+		name := r.Array
+		if sharedSet[name] && !r.Write {
+			name = "shared_" + name
+		}
+		var sb strings.Builder
+		sb.WriteString(name)
+		for _, s := range r.Subscripts {
+			fmt.Fprintf(&sb, "[%s]", s.String())
+		}
+		return sb.String()
+	}
+	var writes, reads []string
+	for _, r := range st.Refs {
+		if r.Write {
+			writes = append(writes, render(r))
+		} else {
+			reads = append(reads, render(r))
+		}
+	}
+	op := "="
+	if st.Reduction {
+		op = "+="
+	}
+	return fmt.Sprintf("%s %s f(%s)", strings.Join(writes, ", "), op, strings.Join(reads, ", "))
+}
+
+// distinctArrays lists every array the nest references, sorted.
+func (m *MappedNest) distinctArrays() []string {
+	set := make(map[string]bool)
+	for _, mr := range m.Refs {
+		set[mr.Ref.Array] = true
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func dimList(dims []int64) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	return strings.Join(parts, ",")
+}
+
+// CUDASource renders all nests of a mapped kernel.
+func (mk *MappedKernel) CUDASource() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// kernel %s (%s)\n", mk.Kernel.Name, mk.Nests[0].Precision)
+	for _, mn := range mk.Nests {
+		b.WriteString(mn.CUDASource())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,392 @@
+// Package codegen maps tiled affine loop nests onto the GPU execution model
+// the way PPCG does: tile loops become the block grid, point loops become
+// threads, non-parallel loops stay sequential inside each thread, and
+// shared-memory-classified references are staged cooperatively per tile.
+// It produces both the MappedNest descriptor consumed by the simulator and
+// human-readable CUDA-like source (cuda.go).
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/affine"
+	"repro/internal/arch"
+	"repro/internal/deps"
+)
+
+// Options configures the mapping, mirroring PPCG's relevant flags.
+type Options struct {
+	// UseShared enables staging of non-coalescable references in shared
+	// memory (PPCG --use-shared-memory).
+	UseShared bool
+	// SharedQuota is the shared-memory budget per block in bytes
+	// (PPCG --max-shared-memory). Zero means the architecture limit.
+	SharedQuota int64
+	// Precision selects FP32 or FP64 data.
+	Precision affine.Precision
+}
+
+// MappedRef describes how one array reference is serviced.
+type MappedRef struct {
+	Ref affine.Ref
+	// Shared marks references staged in software-managed shared memory.
+	Shared bool
+	// Coalesced marks references whose global accesses (or shared-memory
+	// staging loads) are warp-coalesced along the thread-x loop.
+	Coalesced bool
+	// Write mirrors Ref.Write.
+	Write bool
+}
+
+// MappedNest is one GPU kernel: a tiled nest with its launch geometry.
+type MappedNest struct {
+	Nest  *affine.Nest
+	Reuse *deps.NestReuse
+
+	// Tiles maps loop name -> tile size (clamped to the loop extent).
+	Tiles map[string]int64
+	// MappedLoops are the parallel loops mapped to the grid/threads,
+	// ordered x, y, z (x carries the CMA loop when it is parallel).
+	MappedLoops []string
+	// BlockDims[i] is the thread-block extent of MappedLoops[i]. When a
+	// tile holds more points than the thread-block limit allows, block
+	// extents are capped and each thread iterates Coarsen[i] points
+	// (PPCG-style thread coarsening).
+	BlockDims []int64
+	// Coarsen[i] is the per-thread serial trip count along MappedLoops[i].
+	Coarsen []int64
+	// GridDims[i] is the number of blocks along MappedLoops[i].
+	GridDims []int64
+	// SerialLoops are the remaining loops, executed inside each thread
+	// (tiled by their tile size for shared-memory staging).
+	SerialLoops []string
+
+	Refs []MappedRef
+
+	// ThreadsPerBlock is the product of BlockDims.
+	ThreadsPerBlock int64
+	// TotalBlocks is the product of GridDims.
+	TotalBlocks int64
+	// SharedBytesPerBlock is the staging buffer footprint.
+	SharedBytesPerBlock int64
+	// RegsPerThread is the estimated register usage.
+	RegsPerThread int64
+	// Launches is how many times the kernel is launched (host time loop).
+	Launches int64
+	// TimeTiling, when non-nil, fuses several time steps per launch
+	// (overlapped tiling — see timetile.go). nil means the PPCG behavior
+	// the paper evaluates: one launch per time step.
+	TimeTiling *TimeTiling
+	// RegTiling, when non-nil, gives each thread an r x r register
+	// micro-tile (see regtile.go). nil means PPCG's one-point-per-thread
+	// code, as in the paper's evaluation.
+	RegTiling *RegTiling
+
+	// Params are the problem-size bindings the mapping was built for.
+	Params map[string]int64
+	// Precision of all data.
+	Precision affine.Precision
+}
+
+// MapNest maps one nest with the given tile sizes. Tile sizes are looked
+// up by loop name; missing entries default to 32. It returns an error when
+// the configuration violates a hard execution-model limit (threads per
+// block, shared memory per block, registers).
+func MapNest(n *affine.Nest, params map[string]int64, tiles map[string]int64, g *arch.GPU, opts Options) (*MappedNest, error) {
+	reuse := deps.AnalyzeReuse(n)
+	info := reuse.Info
+
+	m := &MappedNest{
+		Nest:      n,
+		Reuse:     reuse,
+		Tiles:     make(map[string]int64, n.Depth()),
+		Params:    params,
+		Precision: opts.Precision,
+		Launches:  n.RepeatCount(params),
+	}
+
+	// Clamp tile sizes to loop extents.
+	for _, l := range n.Loops {
+		t := tiles[l.Name]
+		if t <= 0 {
+			t = 32
+		}
+		if ext := l.Extent(params); t > ext && ext > 0 {
+			t = ext
+		}
+		m.Tiles[l.Name] = t
+	}
+
+	// Choose mapped (parallel) loops: thread-x is the CMA loop when
+	// parallel, otherwise the innermost parallel loop; y and z follow
+	// outside-in. At most 3 dimensions (Sec. IV-F).
+	var parallel []int
+	for d := range n.Loops {
+		if info.Parallel[d] {
+			parallel = append(parallel, d)
+		}
+	}
+	if len(parallel) == 0 {
+		return nil, fmt.Errorf("codegen: nest %q has no parallel loop to map", n.Name)
+	}
+	xIdx := -1
+	if nCMA := n.LoopIndex(reuse.CMALoop); nCMA >= 0 && info.Parallel[nCMA] {
+		xIdx = nCMA
+	} else {
+		xIdx = parallel[len(parallel)-1] // innermost parallel loop
+	}
+	m.MappedLoops = append(m.MappedLoops, n.Loops[xIdx].Name)
+	for i := len(parallel) - 1; i >= 0 && len(m.MappedLoops) < 3; i-- {
+		d := parallel[i]
+		if d == xIdx {
+			continue
+		}
+		m.MappedLoops = append(m.MappedLoops, n.Loops[d].Name)
+	}
+
+	mapped := make(map[string]bool, len(m.MappedLoops))
+	for _, name := range m.MappedLoops {
+		mapped[name] = true
+	}
+	for _, l := range n.Loops {
+		if !mapped[l.Name] {
+			m.SerialLoops = append(m.SerialLoops, l.Name)
+		}
+	}
+
+	// PPCG quirk the paper documents in Sec. V-D (the overlined tile
+	// sizes of Fig. 10): for nests deeper than 3, the code generator
+	// ignores the tiling of the innermost loop — it runs untiled at its
+	// full extent, which is what makes the default configuration of
+	// high-dimensional kernels so costly.
+	if n.Depth() > 3 {
+		inner := n.Loops[n.Depth()-1]
+		if !mapped[inner.Name] {
+			if ext := inner.Extent(params); ext > 0 {
+				m.Tiles[inner.Name] = ext
+			}
+		}
+	}
+
+	// Geometry.
+	m.ThreadsPerBlock = 1
+	m.TotalBlocks = 1
+	for _, name := range m.MappedLoops {
+		t := m.Tiles[name]
+		ext := n.Loops[n.LoopIndex(name)].Extent(params)
+		blocks := (ext + t - 1) / t
+		if blocks < 1 {
+			blocks = 1
+		}
+		m.BlockDims = append(m.BlockDims, t)
+		m.Coarsen = append(m.Coarsen, 1)
+		m.GridDims = append(m.GridDims, blocks)
+		m.ThreadsPerBlock *= t
+		m.TotalBlocks *= blocks
+	}
+	// Tiles with more points than the block limit are thread-coarsened
+	// the way PPCG's point-loop strip-mining does: cap the block extent
+	// and let each thread walk several points. Outer mapped dimensions
+	// (z, then y) are shrunk first so thread-x keeps coalescing width.
+	for m.ThreadsPerBlock > g.ThreadsPerBlock {
+		idx := -1
+		for i := len(m.BlockDims) - 1; i >= 0; i-- {
+			if m.BlockDims[i] > 1 {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("codegen: cannot fit block of %d threads under limit %d",
+				m.ThreadsPerBlock, g.ThreadsPerBlock)
+		}
+		m.BlockDims[idx] = (m.BlockDims[idx] + 1) / 2
+		m.ThreadsPerBlock = 1
+		for _, b := range m.BlockDims {
+			m.ThreadsPerBlock *= b
+		}
+	}
+	for i, name := range m.MappedLoops {
+		t := m.Tiles[name]
+		m.Coarsen[i] = (t + m.BlockDims[i] - 1) / m.BlockDims[i]
+	}
+
+	// Reference servicing. An access is warp-efficient when thread-x
+	// walks its fastest dimension (coalesced) or when it does not use
+	// thread-x at all (a broadcast: every lane reads the same address,
+	// one transaction).
+	xName := m.MappedLoops[0]
+	for _, rr := range reuse.Refs {
+		mr := MappedRef{
+			Ref:       rr.Ref,
+			Write:     rr.Ref.Write,
+			Coalesced: rr.Ref.HasStride1(xName) || !rr.Ref.UsesIter(xName),
+			Shared:    opts.UseShared && rr.Class == deps.MemShared,
+		}
+		m.Refs = append(m.Refs, mr)
+	}
+
+	// Shared-memory footprint: one staging buffer per distinct array in
+	// shared memory, sized tile-extent (+halo) per dimension.
+	quota := opts.SharedQuota
+	if quota <= 0 || quota > g.SharedPerBlock {
+		quota = g.SharedPerBlock
+	}
+	m.SharedBytesPerBlock = m.sharedFootprint(opts.Precision)
+	// PPCG falls back to global memory when the staging buffers exceed
+	// the budget: demote the largest arrays until the rest fit.
+	for m.SharedBytesPerBlock > quota {
+		if !m.demoteLargestShared(opts.Precision) {
+			break
+		}
+		m.SharedBytesPerBlock = m.sharedFootprint(opts.Precision)
+	}
+	if m.SharedBytesPerBlock > quota {
+		return nil, fmt.Errorf("codegen: shared staging %dB exceeds quota %dB",
+			m.SharedBytesPerBlock, quota)
+	}
+
+	// Register estimate: base context + accumulators and address
+	// arithmetic per distinct reference, doubled for FP64 operands.
+	// Like a real compiler under -maxrregcount pressure, usage is
+	// clamped (spilled) to what the per-thread and per-block register
+	// files allow rather than rejecting the block.
+	uniq := deps.UniqueArrayRefs(reuse.Refs)
+	m.RegsPerThread = 14 + int64(len(uniq))*3*opts.Precision.Factor() + int64(len(m.SerialLoops))*2
+	if m.RegsPerThread > g.RegsPerThread {
+		m.RegsPerThread = g.RegsPerThread
+	}
+	if byBlock := g.RegsPerBlock / m.ThreadsPerBlock; m.RegsPerThread > byBlock {
+		m.RegsPerThread = byBlock
+	}
+	if m.RegsPerThread < 1 {
+		m.RegsPerThread = 1
+	}
+
+	return m, nil
+}
+
+// arrayTileExtent returns the per-dimension staging extents (tile + halo)
+// of an array across all its shared-memory references.
+func (m *MappedNest) ArrayStageElems(array string) int64 {
+	// Gather min/max constant offset per subscript position across the
+	// array's shared references, then extent = tile(iter) + spread.
+	type span struct {
+		iter       string
+		minC, maxC int64
+		set        bool
+	}
+	var spans []span
+	for _, mr := range m.Refs {
+		if !mr.Shared || mr.Ref.Array != array {
+			continue
+		}
+		for p, s := range mr.Ref.Subscripts {
+			for len(spans) <= p {
+				spans = append(spans, span{})
+			}
+			iters := s.IterNames()
+			it := ""
+			if len(iters) > 0 {
+				it = iters[0]
+			}
+			sp := &spans[p]
+			if !sp.set {
+				sp.iter, sp.minC, sp.maxC, sp.set = it, s.Const, s.Const, true
+				continue
+			}
+			if s.Const < sp.minC {
+				sp.minC = s.Const
+			}
+			if s.Const > sp.maxC {
+				sp.maxC = s.Const
+			}
+		}
+	}
+	elems := int64(1)
+	for _, sp := range spans {
+		if !sp.set {
+			continue
+		}
+		ext := int64(1)
+		if sp.iter != "" {
+			if t, ok := m.Tiles[sp.iter]; ok {
+				ext = t
+			}
+		}
+		elems *= ext + (sp.maxC - sp.minC)
+	}
+	return elems
+}
+
+// sharedArrays returns the distinct arrays currently staged in shared
+// memory, sorted by name for determinism.
+func (m *MappedNest) sharedArrays() []string {
+	set := make(map[string]bool)
+	for _, mr := range m.Refs {
+		if mr.Shared {
+			set[mr.Ref.Array] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (m *MappedNest) sharedFootprint(prec affine.Precision) int64 {
+	total := int64(0)
+	for _, a := range m.sharedArrays() {
+		total += m.ArrayStageElems(a) * prec.Bytes()
+	}
+	return total
+}
+
+// demoteLargestShared moves the largest shared-staged array back to global
+// memory. It returns false when nothing is staged.
+func (m *MappedNest) demoteLargestShared(prec affine.Precision) bool {
+	arrays := m.sharedArrays()
+	if len(arrays) == 0 {
+		return false
+	}
+	worst, worstSize := "", int64(-1)
+	for _, a := range arrays {
+		if s := m.ArrayStageElems(a) * prec.Bytes(); s > worstSize {
+			worst, worstSize = a, s
+		}
+	}
+	for i := range m.Refs {
+		if m.Refs[i].Ref.Array == worst {
+			m.Refs[i].Shared = false
+		}
+	}
+	return true
+}
+
+// MappedKernel is the full compilation result: one MappedNest per nest.
+type MappedKernel struct {
+	Kernel *affine.Kernel
+	Params map[string]int64
+	Nests  []*MappedNest
+}
+
+// MapKernel maps every nest of the kernel with a single tile configuration
+// (tile sizes are shared across nests by loop name, the way the paper
+// applies one EATSS configuration per kernel).
+func MapKernel(k *affine.Kernel, params map[string]int64, tiles map[string]int64, g *arch.GPU, opts Options) (*MappedKernel, error) {
+	if params == nil {
+		params = k.Params
+	}
+	mk := &MappedKernel{Kernel: k, Params: params}
+	for i := range k.Nests {
+		mn, err := MapNest(&k.Nests[i], params, tiles, g, opts)
+		if err != nil {
+			return nil, fmt.Errorf("kernel %s: %w", k.Name, err)
+		}
+		mk.Nests = append(mk.Nests, mn)
+	}
+	return mk, nil
+}

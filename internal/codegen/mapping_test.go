@@ -1,0 +1,216 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/arch"
+)
+
+func mapGemm(t *testing.T, tiles map[string]int64, opts Options) *MappedNest {
+	t.Helper()
+	k := affine.MustLookup("gemm")
+	m, err := MapNest(&k.Nests[0], k.Params, tiles, arch.GA100(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGemmMappingGeometry(t *testing.T) {
+	m := mapGemm(t, map[string]int64{"i": 16, "j": 32, "k": 16},
+		Options{UseShared: true, Precision: affine.FP64})
+
+	// Thread-x must be the CMA loop j; y is i; k is serial.
+	if m.MappedLoops[0] != "j" || m.MappedLoops[1] != "i" {
+		t.Fatalf("MappedLoops = %v, want [j i]", m.MappedLoops)
+	}
+	if len(m.SerialLoops) != 1 || m.SerialLoops[0] != "k" {
+		t.Fatalf("SerialLoops = %v, want [k]", m.SerialLoops)
+	}
+	if m.ThreadsPerBlock != 16*32 {
+		t.Fatalf("ThreadsPerBlock = %d, want 512", m.ThreadsPerBlock)
+	}
+	// Grid: NI/16 x NJ/32 blocks.
+	wantBlocks := (4000/32 + 0) * (4000/16 + 0)
+	if m.TotalBlocks != int64(wantBlocks) {
+		t.Fatalf("TotalBlocks = %d, want %d", m.TotalBlocks, wantBlocks)
+	}
+	if m.Launches != 1 {
+		t.Fatalf("Launches = %d, want 1", m.Launches)
+	}
+}
+
+func TestGemmSharedStaging(t *testing.T) {
+	m := mapGemm(t, map[string]int64{"i": 16, "j": 32, "k": 16},
+		Options{UseShared: true, Precision: affine.FP64})
+	// A[i][k] is the non-CMA reference: staged in shared, 16x16 doubles.
+	var aShared bool
+	for _, mr := range m.Refs {
+		if mr.Ref.Array == "A" && mr.Shared {
+			aShared = true
+		}
+		if mr.Ref.Array == "B" && mr.Shared {
+			t.Error("B should not be staged (CMA-capable)")
+		}
+	}
+	if !aShared {
+		t.Fatal("A should be staged in shared memory")
+	}
+	if want := int64(16 * 16 * 8); m.SharedBytesPerBlock != want {
+		t.Fatalf("SharedBytesPerBlock = %d, want %d", m.SharedBytesPerBlock, want)
+	}
+}
+
+func TestNoSharedOption(t *testing.T) {
+	m := mapGemm(t, map[string]int64{"i": 16, "j": 32, "k": 16},
+		Options{UseShared: false, Precision: affine.FP64})
+	if m.SharedBytesPerBlock != 0 {
+		t.Fatalf("shared bytes = %d with UseShared=false", m.SharedBytesPerBlock)
+	}
+	for _, mr := range m.Refs {
+		if mr.Shared {
+			t.Fatalf("ref %v staged despite UseShared=false", mr.Ref)
+		}
+	}
+}
+
+func TestOversizedBlockCoarsened(t *testing.T) {
+	// 64x64 points per tile = 4096 threads: the mapper must coarsen
+	// (PPCG strip-mines point loops) down to <= 1024 threads, keeping
+	// thread-x (the coalescing dimension) at full width.
+	k := affine.MustLookup("gemm")
+	m, err := MapNest(&k.Nests[0], k.Params, map[string]int64{"i": 64, "j": 64, "k": 16},
+		arch.GA100(), Options{Precision: affine.FP64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ThreadsPerBlock > 1024 {
+		t.Fatalf("ThreadsPerBlock = %d, want <= 1024", m.ThreadsPerBlock)
+	}
+	if m.BlockDims[0] != 64 {
+		t.Fatalf("thread-x width = %d, want 64 (coalescing preserved)", m.BlockDims[0])
+	}
+	// Total points per tile must be preserved by coarsening.
+	points := int64(1)
+	for i := range m.BlockDims {
+		points *= m.BlockDims[i] * m.Coarsen[i]
+	}
+	if points < 64*64 {
+		t.Fatalf("coarsened points %d < tile points %d", points, 64*64)
+	}
+}
+
+func TestSharedOverflowDemotes(t *testing.T) {
+	// Huge serial tile => staging exceeds 48KB; the mapper must demote
+	// the array to global rather than fail (PPCG fallback).
+	k := affine.MustLookup("gemm")
+	m, err := MapNest(&k.Nests[0], k.Params, map[string]int64{"i": 8, "j": 32, "k": 4000},
+		arch.GA100(), Options{UseShared: true, Precision: affine.FP64})
+	if err != nil {
+		t.Fatalf("mapping should demote, not fail: %v", err)
+	}
+	for _, mr := range m.Refs {
+		if mr.Shared {
+			t.Fatalf("ref %v still shared after demotion", mr.Ref)
+		}
+	}
+}
+
+func TestTileClampedToExtent(t *testing.T) {
+	k := affine.MustLookup("gemm")
+	small := k.WithParams(map[string]int64{"NI": 8, "NJ": 8, "NK": 8})
+	m, err := MapNest(&small.Nests[0], small.Params, map[string]int64{"i": 32, "j": 32, "k": 32},
+		arch.GA100(), Options{Precision: affine.FP64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tiles["i"] != 8 || m.Tiles["j"] != 8 {
+		t.Fatalf("tiles not clamped: %v", m.Tiles)
+	}
+}
+
+func TestStencilHaloStaging(t *testing.T) {
+	// jacobi-2d staged tile must include the +-1 halo.
+	k := affine.MustLookup("jacobi-2d")
+	m, err := MapNest(&k.Nests[0], k.Params, map[string]int64{"i": 8, "j": 32},
+		arch.GA100(), Options{UseShared: true, Precision: affine.FP64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In jacobi-2d's update nest, A is read at i+-1/j+-1: if staged, the
+	// buffer is (8+2)x(32+2). A is also CMA-capable along j... its class
+	// depends on the reuse analysis; accept either staged-with-halo or
+	// not staged.
+	for _, a := range m.sharedArrays() {
+		elems := m.ArrayStageElems(a)
+		if elems < 8*32 {
+			t.Fatalf("staged %s tile %d elems, smaller than the tile", a, elems)
+		}
+	}
+}
+
+func TestMvtUncoalescedWithoutSharedStaging(t *testing.T) {
+	// mv1: A[i][j] with thread-x = i (the only parallel loop) is not
+	// coalesced.
+	k := affine.MustLookup("mvt")
+	m, err := MapNest(&k.Nests[0], k.Params, map[string]int64{"i": 64, "j": 16},
+		arch.GA100(), Options{Precision: affine.FP64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MappedLoops[0] != "i" {
+		t.Fatalf("thread-x = %s, want i", m.MappedLoops[0])
+	}
+	for _, mr := range m.Refs {
+		if mr.Ref.Array == "A" && mr.Coalesced {
+			t.Error("A[i][j] should be uncoalesced when thread-x is i")
+		}
+	}
+}
+
+func TestMapKernelAllCatalog(t *testing.T) {
+	// Default 32^d tiles must map (possibly with demotion) on both GPUs
+	// for every catalog kernel.
+	for _, gname := range []string{"ga100", "xavier"} {
+		g, _ := arch.ByName(gname)
+		for _, name := range affine.Catalog() {
+			k := affine.MustLookup(name)
+			tiles := map[string]int64{}
+			for _, n := range k.Nests {
+				for _, l := range n.Loops {
+					tiles[l.Name] = 32
+				}
+			}
+			if _, err := MapKernel(k, nil, tiles, g, Options{UseShared: true, Precision: affine.FP64}); err != nil {
+				t.Errorf("%s on %s: %v", name, gname, err)
+			}
+		}
+	}
+}
+
+func TestCUDASourceRendering(t *testing.T) {
+	m := mapGemm(t, map[string]int64{"i": 16, "j": 32, "k": 16},
+		Options{UseShared: true, Precision: affine.FP64})
+	src := m.CUDASource()
+	for _, want := range []string{
+		"__global__", "blockIdx.x", "threadIdx.x", "__shared__ double shared_A",
+		"__syncthreads()", "for (int k_t", "C[i][j] += f(",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("CUDA source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestRegisterEstimateScalesWithPrecision(t *testing.T) {
+	m32 := mapGemm(t, map[string]int64{"i": 16, "j": 32, "k": 16},
+		Options{Precision: affine.FP32})
+	m64 := mapGemm(t, map[string]int64{"i": 16, "j": 32, "k": 16},
+		Options{Precision: affine.FP64})
+	if m64.RegsPerThread <= m32.RegsPerThread {
+		t.Fatalf("FP64 regs (%d) should exceed FP32 regs (%d)",
+			m64.RegsPerThread, m32.RegsPerThread)
+	}
+}

@@ -1,0 +1,365 @@
+// Package core implements EATSS — the Energy-Aware Tile Size Selection
+// scheme that is the paper's contribution. From an affine kernel, a GPU
+// description, and the model options (shared-memory split factor, warp
+// fraction, precision), it derives the non-linear integer formulation of
+// Sec. IV:
+//
+//   - tile variables bounded by [WAF, min(T_P_B, N)] in warp-aligned steps
+//     (IV-B),
+//   - per-reference data-tile volumes (IV-C),
+//   - the CMA loop l_s1 (IV-D) and the L1/shared reference split (IV-E),
+//   - the thread-block size estimate B_size (IV-F),
+//   - the register-per-SM bound REG_SM = B_size x refs x FP_factor
+//     (IV-G, IV-I),
+//   - L1/shared/L2 capacity limits under the split factor (IV-H, IV-J),
+//   - the objective OBJ = prod(parallel T_i) + sum(H_i x T_i) (IV-K),
+//
+// and solves it with the iterative improvement loop of IV-L
+// (OBJ_{n+1} > OBJ_n until UNSAT) on the finite-domain solver.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/affine"
+	"repro/internal/arch"
+	"repro/internal/deps"
+	"repro/internal/smt"
+)
+
+// Options configures one EATSS model generation.
+type Options struct {
+	// SplitFactor divides the combined L1+shared pool (Sec. IV-J):
+	// 0 gives everything to L1, 1.0 everything to shared memory.
+	// Typical values: 0, 0.25, 0.5, 0.67, 0.75, 1.0.
+	SplitFactor float64
+	// WarpFraction scales the warp-alignment factor (Sec. IV-B):
+	// tile sizes must be multiples of WarpFraction x T_P_W.
+	// 1.0 aligns to full warps (32); 0.5 to 16; 0.125 to 4 — needed for
+	// high-dimensional kernels (Sec. V-D).
+	WarpFraction float64
+	// Precision selects FP32/FP64 (Sec. IV-I).
+	Precision affine.Precision
+	// ProblemSizeAware tightens tile upper bounds to min(T_P_B, N)
+	// using the kernel's parameter bindings (Sec. IV-B). On by default
+	// in SelectTiles.
+	ProblemSizeAware bool
+	// EnforceThreadBlockLimit adds B_size <= T_P_B. The paper states
+	// this bound (Sec. IV-A) but its worked matmul solution
+	// (Ti=16, Tj=384) exceeds it, relying on the register constraint
+	// instead and on PPCG's point-loop strip-mining; we therefore leave
+	// it off by default, matching the published artifact's behaviour.
+	EnforceThreadBlockLimit bool
+}
+
+// DefaultOptions mirrors the paper's GA100 matmul walkthrough: 50% split,
+// half-warp alignment, double precision.
+func DefaultOptions() Options {
+	return Options{SplitFactor: 0.5, WarpFraction: 0.5, Precision: affine.FP64, ProblemSizeAware: true}
+}
+
+// WarpAlignmentFactor returns the tile-size step (Sec. IV-B).
+func (o Options) WarpAlignmentFactor(g *arch.GPU) int64 {
+	waf := int64(o.WarpFraction * float64(g.ThreadsPerWarp))
+	if waf < 1 {
+		waf = 1
+	}
+	return waf
+}
+
+// NestModel records how one nest contributed to the formulation.
+type NestModel struct {
+	Nest     string
+	CMALoop  string
+	Parallel []string
+	// L1Arrays / SharedArrays is the Sec. IV-E reference split.
+	L1Arrays     []string
+	SharedArrays []string
+	// H holds the final objective weights per loop (Sec. IV-K).
+	H map[string]int64
+	// Refs is the distinct-cache-line reference count (Sec. IV-G).
+	Refs int64
+}
+
+// Selection is the result of one EATSS solve.
+type Selection struct {
+	Kernel string
+	GPU    string
+	Opts   Options
+
+	// Tiles maps loop name -> selected tile size.
+	Tiles map[string]int64
+	// Objective is the achieved objective value.
+	Objective int64
+	// Nests documents the per-nest model structure.
+	Nests []NestModel
+	// SolverCalls and SolveTime reproduce the Sec. V-G measurements.
+	SolverCalls int
+	SolveTime   time.Duration
+	// Model is the generated formulation in readable form.
+	Model string
+}
+
+// SelectTiles builds and solves the EATSS formulation for a kernel.
+// It returns an error when the formulation is unsatisfiable (e.g. the warp
+// fraction is too coarse for the kernel's resource envelope — Sec. V-D).
+func SelectTiles(k *affine.Kernel, g *arch.GPU, opts Options) (*Selection, error) {
+	start := time.Now()
+	if opts.WarpFraction == 0 {
+		opts.WarpFraction = 1.0
+	}
+	waf := opts.WarpAlignmentFactor(g)
+	elemB := opts.Precision.Bytes()
+
+	p := smt.NewProblem()
+	vars := make(map[string]smt.Var)
+	sel := &Selection{
+		Kernel: k.Name,
+		GPU:    g.Name,
+		Opts:   opts,
+		Tiles:  make(map[string]int64),
+	}
+
+	// --- IV-B: tile variables with warp-aligned bounded domains ---
+	// Bounds intersect across nests sharing a loop name (kernel-wide
+	// tiles, Sec. IV-M ii).
+	upper := make(map[string]int64)
+	var names []string
+	for _, n := range k.Nests {
+		for _, l := range n.Loops {
+			hi := g.ThreadsPerBlock
+			if opts.ProblemSizeAware {
+				if ext := l.Extent(k.Params); ext < hi {
+					hi = ext
+				}
+			}
+			if prev, ok := upper[l.Name]; !ok || hi < prev {
+				if !ok {
+					names = append(names, l.Name)
+				}
+				upper[l.Name] = hi
+			}
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		vars[name] = p.RangeVar("T_"+name, 1, upper[name], waf)
+	}
+
+	// --- per-nest constraints and objective terms ---
+	var objTerms []smt.Expr
+	var objParts []string
+	seenParallelProd := make(map[string]bool)
+	for ni := range k.Nests {
+		nest := &k.Nests[ni]
+		reuse := deps.AnalyzeReuse(nest)
+		info := reuse.Info
+
+		nm := NestModel{
+			Nest:    nest.Name,
+			CMALoop: reuse.CMALoop,
+			H:       make(map[string]int64),
+		}
+
+		// IV-F: up to the first three parallel loops define B_size.
+		var parallel []string
+		for d, l := range nest.Loops {
+			if info.Parallel[d] && len(parallel) < 3 {
+				parallel = append(parallel, l.Name)
+			}
+		}
+		nm.Parallel = parallel
+		if len(parallel) == 0 {
+			return nil, fmt.Errorf("core: nest %q has no parallel loops", nest.Name)
+		}
+		var bsizeFactors []smt.Expr
+		for _, name := range parallel {
+			bsizeFactors = append(bsizeFactors, smt.V(vars[name]))
+		}
+		bsize := smt.Mul(bsizeFactors...)
+		if opts.EnforceThreadBlockLimit {
+			p.RequireLE(bsize, smt.C(g.ThreadsPerBlock))
+		}
+
+		// IV-G / IV-I: REG_SM = B_size x no.references x FP_factor.
+		nm.Refs = reuse.DistinctLineRefs
+		regSM := smt.Mul(bsize, smt.C(nm.Refs*opts.Precision.Factor()))
+		p.RequireLE(regSM, smt.C(g.RegsPerSM))
+
+		// IV-C volumes + IV-E split into L1/shared capacity sums.
+		// One data-tile volume per array (references to the same array —
+		// e.g. a stencil's offset neighbors — share one tile, matching
+		// the paper's matmul walkthrough M_L1 = TiTj + TkTj). Capacities
+		// are in loop-iteration units: bytes / element size (Sec. IV-J
+		// "scaled down based on the byte width").
+		type arrVol struct {
+			iters map[string]bool
+			l1    bool
+		}
+		arrVols := make(map[string]*arrVol)
+		var arrOrder []string
+		for _, rr := range reuse.Refs {
+			av, ok := arrVols[rr.Ref.Array]
+			if !ok {
+				av = &arrVol{iters: make(map[string]bool)}
+				arrVols[rr.Ref.Array] = av
+				arrOrder = append(arrOrder, rr.Ref.Array)
+			}
+			for _, l := range nest.Loops {
+				if rr.Ref.UsesIter(l.Name) {
+					av.iters[l.Name] = true
+				}
+			}
+			if rr.Class == deps.MemL1 || opts.SplitFactor == 0 {
+				// A zero split gives the whole pool to the L1 cache
+				// (Sec. IV-J): every reference is cache-mapped.
+				av.l1 = true
+			}
+		}
+		var l1Vols, shVols []smt.Expr
+		for _, array := range arrOrder {
+			av := arrVols[array]
+			var factors []smt.Expr
+			for _, l := range nest.Loops {
+				if av.iters[l.Name] {
+					factors = append(factors, smt.V(vars[l.Name]))
+				}
+			}
+			if len(factors) == 0 {
+				continue // scalar: negligible volume
+			}
+			vol := smt.Mul(factors...)
+			if av.l1 {
+				l1Vols = append(l1Vols, vol)
+				nm.L1Arrays = append(nm.L1Arrays, array)
+			} else {
+				shVols = append(shVols, vol)
+				nm.SharedArrays = append(nm.SharedArrays, array)
+			}
+		}
+		pool := g.L1SharedBytes / elemB
+		shCap := int64(opts.SplitFactor * float64(pool))
+		l1Cap := pool - shCap
+		if len(shVols) > 0 {
+			p.RequireLE(smt.Sum(shVols...), smt.C(shCap))
+		}
+		if len(l1Vols) > 0 {
+			if opts.SplitFactor >= 1.0 {
+				// IV-H: with the whole pool given to shared memory the
+				// L1 constraint is dropped and the per-SM L2 share
+				// bounds the cache-mapped volumes instead.
+				l2Cap := g.L2Bytes / g.SMCount / elemB
+				p.RequireLE(smt.Sum(l1Vols...), smt.C(l2Cap))
+			} else {
+				p.RequireLE(smt.Sum(l1Vols...), smt.C(l1Cap))
+			}
+		}
+
+		// IV-K: objective weights.
+		depth := nest.Depth()
+		parallelSet := map[string]bool{}
+		for _, name := range parallel {
+			parallelSet[name] = true
+		}
+		for d, l := range nest.Loops {
+			h := reuse.HRaw[l.Name]
+			if h == 0 {
+				continue
+			}
+			switch {
+			case depth >= 3 && !info.Parallel[d]:
+				h = 0 // favor CMA over serial spatial reuse
+			case depth == 2 && info.NumParallel() == 1 && parallelSet[l.Name]:
+				// 2D nests with a single parallel loop (mvt, atax, ...):
+				// the parallel loop is already mapped; prefer growing
+				// the non-parallel one (Sec. IV-K, third sub-case).
+				h = 0
+			}
+			if h > 0 && l.Name == reuse.CMALoop {
+				h *= waf
+			}
+			nm.H[l.Name] = h
+			if h > 0 {
+				objTerms = append(objTerms, smt.Scale(h, smt.V(vars[l.Name])))
+				objParts = append(objParts, fmt.Sprintf("%d*T_%s", h, l.Name))
+			}
+		}
+
+		// Parallelism term, once per distinct parallel-loop set.
+		key := strings.Join(parallel, ",")
+		if !seenParallelProd[key] {
+			seenParallelProd[key] = true
+			objTerms = append(objTerms, bsize)
+			prod := make([]string, len(parallel))
+			for i, p := range parallel {
+				prod[i] = "T_" + p
+			}
+			objParts = append(objParts, strings.Join(prod, "*"))
+		}
+
+		sel.Nests = append(sel.Nests, nm)
+	}
+
+	obj := smt.Sum(objTerms...)
+	sel.Model = p.String() + "(maximize " + strings.Join(objParts, " + ") + ")\n"
+
+	// --- IV-L: iterative maximization ---
+	solver := smt.NewSolver(p)
+	model, best, ok := solver.Maximize(obj)
+	if !ok {
+		return nil, fmt.Errorf("core: formulation for %s on %s is unsatisfiable (warp fraction %.3f too coarse?)",
+			k.Name, g.Name, opts.WarpFraction)
+	}
+	sel.Objective = best
+
+	// Secondary pass (Sec. IV-G's preference): among objective-optimal
+	// solutions, shrink the tiles that do not appear in the objective —
+	// serial loops carrying only temporal reuse — to cut liveness.
+	inObj := map[smt.Var]bool{}
+	objVars := map[smt.Var]bool{}
+	obj.CollectVars(objVars)
+	for v := range objVars {
+		inObj[v] = true
+	}
+	var shrink []smt.Expr
+	for _, name := range names {
+		if !inObj[vars[name]] {
+			shrink = append(shrink, smt.Scale(-1, smt.V(vars[name])))
+		}
+	}
+	if len(shrink) > 0 {
+		p.RequireEQ(obj, smt.C(best))
+		solver2 := smt.NewSolver(p)
+		if m2, _, ok2 := solver2.Maximize(smt.Sum(shrink...)); ok2 {
+			model = m2
+		}
+		solver.Stats.SolverCalls += solver2.Stats.SolverCalls
+	}
+
+	for _, name := range names {
+		sel.Tiles[name] = model.Value(vars[name])
+	}
+	sel.SolverCalls = solver.Stats.SolverCalls
+	sel.SolveTime = time.Since(start)
+	return sel, nil
+}
+
+// String summarizes a selection.
+func (s *Selection) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EATSS %s on %s (split=%.2f, warpfrac=%.3f, %s): obj=%d, %d solver calls, %s\n",
+		s.Kernel, s.GPU, s.Opts.SplitFactor, s.Opts.WarpFraction, s.Opts.Precision,
+		s.Objective, s.SolverCalls, s.SolveTime.Round(time.Microsecond))
+	var names []string
+	for name := range s.Tiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  T_%s = %d\n", name, s.Tiles[name])
+	}
+	return b.String()
+}

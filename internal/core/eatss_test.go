@@ -1,0 +1,297 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/arch"
+)
+
+// TestPaperGemmExample reproduces the worked matmul example of Sec. IV-A:
+// on the GA100 with a 50% L1/shared split, FP64, and warp-alignment factor
+// 16 (= 0.5 x 32), the objective Ti*Tj + 2*16*Tj under
+//
+//	Bsize*3*2 <= 64K,  Ti*Tj + Tk*Tj <= M_L1,  Ti*Tk <= M_SH
+//
+// has the solution Ti=16, Tj=384, Tk=16 — exactly what the paper reports.
+func TestPaperGemmExample(t *testing.T) {
+	sel, err := SelectTiles(affine.MustLookup("gemm"), arch.GA100(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"i": 16, "j": 384, "k": 16}
+	for name, w := range want {
+		if sel.Tiles[name] != w {
+			t.Errorf("T_%s = %d, want %d (paper Sec. IV-A)", name, sel.Tiles[name], w)
+		}
+	}
+	if sel.Objective != 16*384+2*16*384 {
+		t.Errorf("objective = %d, want %d", sel.Objective, 16*384+2*16*384)
+	}
+}
+
+func TestGemmModelStructure(t *testing.T) {
+	sel, err := SelectTiles(affine.MustLookup("gemm"), arch.GA100(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Nests) != 1 {
+		t.Fatalf("gemm nests = %d", len(sel.Nests))
+	}
+	nm := sel.Nests[0]
+	if nm.CMALoop != "j" {
+		t.Errorf("CMA loop = %q, want j", nm.CMALoop)
+	}
+	if nm.Refs != 3 {
+		t.Errorf("distinct-line refs = %d, want 3 (Sec. IV-G)", nm.Refs)
+	}
+	// Table II: C, B in L1; A in shared.
+	has := func(list []string, s string) bool {
+		for _, x := range list {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(nm.L1Arrays, "C") || !has(nm.L1Arrays, "B") {
+		t.Errorf("L1 arrays = %v, want C and B", nm.L1Arrays)
+	}
+	if !has(nm.SharedArrays, "A") {
+		t.Errorf("shared arrays = %v, want A", nm.SharedArrays)
+	}
+	// H weights: only j carries weight in a 3D nest, scaled by WAF.
+	if nm.H["j"] != 2*16 {
+		t.Errorf("H_j = %d, want 32", nm.H["j"])
+	}
+	if nm.H["k"] != 0 || nm.H["i"] != 0 {
+		t.Errorf("H_i/H_k = %d/%d, want 0/0", nm.H["i"], nm.H["k"])
+	}
+}
+
+func TestFP32RelaxesCapacity(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Precision = affine.FP32
+	sel32, err := SelectTiles(affine.MustLookup("gemm"), arch.GA100(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel64, err := SelectTiles(affine.MustLookup("gemm"), arch.GA100(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FP32 halves the element size (doubling the capacity in iterations)
+	// and halves the register factor: the CMA tile must grow.
+	if sel32.Tiles["j"] <= sel64.Tiles["j"] {
+		t.Errorf("FP32 T_j = %d should exceed FP64 T_j = %d",
+			sel32.Tiles["j"], sel64.Tiles["j"])
+	}
+}
+
+func TestWarpFractionUnsatThenSat(t *testing.T) {
+	// conv-2d's 9x9 window cannot host multiple-of-16 tiles: Sec. V-D
+	// reports exactly this (configurations missing because "all tile
+	// sizes would need to be multiples of 16").
+	k := affine.MustLookup("conv-2d")
+	opts := DefaultOptions() // warp fraction 0.5 => step 16
+	if _, err := SelectTiles(k, arch.GA100(), opts); err == nil {
+		t.Fatal("conv-2d should be UNSAT at warp fraction 0.5")
+	}
+	opts.WarpFraction = 0.125 // step 4
+	sel, err := SelectTiles(k, arch.GA100(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []string{"p", "q"} {
+		if sel.Tiles[l]%4 != 0 || sel.Tiles[l] > 9 {
+			t.Errorf("T_%s = %d: want multiple of 4 within the window", l, sel.Tiles[l])
+		}
+	}
+}
+
+func TestSplitFactorOneUsesL2Bound(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SplitFactor = 1.0
+	// All of L1+shared goes to shared memory; the cache-mapped volumes
+	// are bounded by the per-SM L2 share instead (Sec. IV-H). On the
+	// Xavier (512KB L2 / 8 SMs) this is a tight bound.
+	sel, err := SelectTiles(affine.MustLookup("gemm"), arch.Xavier(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2Elems := arch.Xavier().L2Bytes / 8 / 8 // per SM, FP64
+	vol := sel.Tiles["i"]*sel.Tiles["j"] + sel.Tiles["k"]*sel.Tiles["j"]
+	if vol > l2Elems {
+		t.Errorf("L1-set volume %d exceeds L2 share %d", vol, l2Elems)
+	}
+}
+
+func TestEnforceThreadBlockLimit(t *testing.T) {
+	opts := DefaultOptions()
+	opts.EnforceThreadBlockLimit = true
+	sel, err := SelectTiles(affine.MustLookup("gemm"), arch.GA100(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod := sel.Tiles["i"] * sel.Tiles["j"]; prod > 1024 {
+		t.Errorf("B_size = %d exceeds T_P_B with the limit enforced", prod)
+	}
+}
+
+func TestSecondaryShrinkMinimizesSerialTiles(t *testing.T) {
+	// The serial tile T_k does not appear in the objective; the secondary
+	// pass must shrink it to the domain minimum (16 at warp fraction
+	// 0.5) to cut intra-thread liveness (Sec. IV-G).
+	sel, err := SelectTiles(affine.MustLookup("gemm"), arch.GA100(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Tiles["k"] != 16 {
+		t.Errorf("T_k = %d, want 16 (minimal)", sel.Tiles["k"])
+	}
+}
+
+func TestMultiNestSharedTiles(t *testing.T) {
+	sel, err := SelectTiles(affine.MustLookup("2mm"), arch.GA100(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Nests) != 2 {
+		t.Fatalf("2mm should contribute 2 nest models, got %d", len(sel.Nests))
+	}
+	// One tile per loop name, shared across nests.
+	if len(sel.Tiles) != 3 {
+		t.Fatalf("2mm tiles = %v, want 3 entries (i, j, k)", sel.Tiles)
+	}
+}
+
+func TestSingleParallel2DPrefersSerialLoop(t *testing.T) {
+	// mvt: one parallel loop (i); the objective must favor growing the
+	// serial CMA loop j (Sec. IV-K third sub-case).
+	sel, err := SelectTiles(affine.MustLookup("mvt"), arch.GA100(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Tiles["j"] <= sel.Tiles["i"] {
+		t.Errorf("mvt tiles %v: T_j should dominate T_i", sel.Tiles)
+	}
+}
+
+func TestAllCatalogSolvableWithFallback(t *testing.T) {
+	fractions := []float64{0.5, 0.25, 0.125}
+	for _, gname := range []string{"ga100", "xavier"} {
+		g, _ := arch.ByName(gname)
+		for _, name := range affine.Catalog() {
+			k := affine.MustLookup(name)
+			solved := false
+			for _, wf := range fractions {
+				opts := DefaultOptions()
+				opts.WarpFraction = wf
+				if sel, err := SelectTiles(k, g, opts); err == nil {
+					solved = true
+					if sel.SolverCalls < 2 {
+						t.Errorf("%s/%s: %d solver calls, want >= 2 (iterative scheme)",
+							gname, name, sel.SolverCalls)
+					}
+					if sel.SolveTime <= 0 {
+						t.Errorf("%s/%s: no solve time recorded", gname, name)
+					}
+					break
+				}
+			}
+			if !solved {
+				t.Errorf("%s on %s: unsolvable at every warp fraction", name, gname)
+			}
+		}
+	}
+}
+
+func TestSelectionString(t *testing.T) {
+	sel, err := SelectTiles(affine.MustLookup("gemm"), arch.GA100(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sel.String()
+	for _, want := range []string{"gemm", "GA100", "T_i = 16", "T_j = 384", "solver calls"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(sel.Model, "assert") {
+		t.Error("Model dump missing assertions")
+	}
+}
+
+func TestTilesAreWarpAligned(t *testing.T) {
+	for _, wf := range []float64{1.0, 0.5, 0.25, 0.125} {
+		opts := DefaultOptions()
+		opts.WarpFraction = wf
+		step := opts.WarpAlignmentFactor(arch.GA100())
+		sel, err := SelectTiles(affine.MustLookup("gemm"), arch.GA100(), opts)
+		if err != nil {
+			t.Fatalf("wf=%.3f: %v", wf, err)
+		}
+		for name, tile := range sel.Tiles {
+			if tile%step != 0 {
+				t.Errorf("wf=%.3f: T_%s = %d not a multiple of %d", wf, name, tile, step)
+			}
+		}
+	}
+}
+
+func TestExplainGemmBindingConstraint(t *testing.T) {
+	k := affine.MustLookup("gemm")
+	g := arch.GA100()
+	sel, err := SelectTiles(k, g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slacks, rendered := Explain(k, g, sel)
+	if len(slacks) == 0 {
+		t.Fatal("no constraints explained")
+	}
+	// The paper's walkthrough: L1 capacity binds exactly —
+	// (16+16)*384 = 12288 = M_L1.
+	var l1 *ConstraintSlack
+	for i := range slacks {
+		if slacks[i].Resource == "L1 capacity" {
+			l1 = &slacks[i]
+		}
+	}
+	if l1 == nil {
+		t.Fatalf("no L1 constraint in %+v", slacks)
+	}
+	if l1.Used != 12288 || l1.Limit != 12288 || l1.Slack() != 0 || !l1.Binding {
+		t.Fatalf("L1 constraint = %+v, want exactly binding at 12288", *l1)
+	}
+	// Registers must have slack (they are not binding in the example).
+	for _, s := range slacks {
+		if s.Resource == "registers/SM" && s.Slack() <= 0 {
+			t.Fatalf("registers unexpectedly binding: %+v", s)
+		}
+	}
+	if !strings.Contains(rendered, "L1 capacity") || !strings.Contains(rendered, "*") {
+		t.Fatalf("rendering incomplete:\n%s", rendered)
+	}
+}
+
+func TestExplainCoversAllNests(t *testing.T) {
+	k := affine.MustLookup("2mm")
+	g := arch.GA100()
+	sel, err := SelectTiles(k, g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slacks, _ := Explain(k, g, sel)
+	nests := map[string]bool{}
+	for _, s := range slacks {
+		nests[s.Nest] = true
+		if s.Used > s.Limit {
+			t.Errorf("constraint violated by the selection itself: %+v", s)
+		}
+	}
+	if len(nests) != 2 {
+		t.Fatalf("explained nests = %v, want both", nests)
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/affine"
+	"repro/internal/arch"
+	"repro/internal/deps"
+)
+
+// ConstraintSlack reports how much headroom one resource constraint has
+// under the selected tiles. Slack 0 means the constraint is binding — it
+// is what stopped the objective from growing further (in the paper's
+// walkthrough, the L1 capacity binds exactly: (Ti+Tk)*Tj = M_L1).
+type ConstraintSlack struct {
+	Nest     string
+	Resource string // "registers/SM", "L1 capacity", "shared capacity", "L2 share"
+	Used     int64
+	Limit    int64
+	// Binding is true when no warp-aligned increase of any tile fits.
+	Binding bool
+}
+
+// Slack returns Limit - Used.
+func (c ConstraintSlack) Slack() int64 { return c.Limit - c.Used }
+
+// Explain evaluates every resource constraint of the selection's
+// formulation under its chosen tiles and reports per-constraint usage,
+// flagging the binding ones. The second return value renders it.
+func Explain(k *affine.Kernel, g *arch.GPU, sel *Selection) ([]ConstraintSlack, string) {
+	opts := sel.Opts
+	elemB := opts.Precision.Bytes()
+	waf := opts.WarpAlignmentFactor(g)
+	pool := g.L1SharedBytes / elemB
+	shCap := int64(opts.SplitFactor * float64(pool))
+	l1Cap := pool - shCap
+	l2Cap := g.L2Bytes / g.SMCount / elemB
+
+	var out []ConstraintSlack
+	for ni := range k.Nests {
+		nest := &k.Nests[ni]
+		reuse := deps.AnalyzeReuse(nest)
+		info := reuse.Info
+
+		// B_size and registers.
+		bsize := int64(1)
+		nPar := 0
+		for d, l := range nest.Loops {
+			if info.Parallel[d] && nPar < 3 {
+				bsize *= sel.Tiles[l.Name]
+				nPar++
+			}
+		}
+		regs := bsize * reuse.DistinctLineRefs * opts.Precision.Factor()
+		out = append(out, ConstraintSlack{
+			Nest: nest.Name, Resource: "registers/SM",
+			Used: regs, Limit: g.RegsPerSM,
+			// The smallest possible growth multiplies one parallel tile
+			// by at least (T+waf)/T; approximate bindingness as "another
+			// waf-step on the smallest parallel tile would not fit".
+			Binding: regs+waf*regs/maxI64(bsize, 1) > g.RegsPerSM,
+		})
+
+		// Volumes per array, split by class (mirrors SelectTiles).
+		vol := func(iters map[string]bool) int64 {
+			v := int64(1)
+			for _, l := range nest.Loops {
+				if iters[l.Name] {
+					v *= sel.Tiles[l.Name]
+				}
+			}
+			return v
+		}
+		arrIters := map[string]map[string]bool{}
+		arrL1 := map[string]bool{}
+		var order []string
+		for _, rr := range reuse.Refs {
+			m, ok := arrIters[rr.Ref.Array]
+			if !ok {
+				m = map[string]bool{}
+				arrIters[rr.Ref.Array] = m
+				order = append(order, rr.Ref.Array)
+			}
+			for _, l := range nest.Loops {
+				if rr.Ref.UsesIter(l.Name) {
+					m[l.Name] = true
+				}
+			}
+			if rr.Class == deps.MemL1 || opts.SplitFactor == 0 {
+				arrL1[rr.Ref.Array] = true
+			}
+		}
+		var l1Sum, shSum int64
+		for _, a := range order {
+			if len(arrIters[a]) == 0 {
+				continue
+			}
+			if arrL1[a] {
+				l1Sum += vol(arrIters[a])
+			} else {
+				shSum += vol(arrIters[a])
+			}
+		}
+		if shSum > 0 {
+			out = append(out, ConstraintSlack{
+				Nest: nest.Name, Resource: "shared capacity",
+				Used: shSum, Limit: shCap,
+				Binding: shSum+waf > shCap,
+			})
+		}
+		if l1Sum > 0 {
+			res, limit := "L1 capacity", l1Cap
+			if opts.SplitFactor >= 1.0 {
+				res, limit = "L2 share", l2Cap
+			}
+			out = append(out, ConstraintSlack{
+				Nest: nest.Name, Resource: res,
+				Used: l1Sum, Limit: limit,
+				Binding: l1Sum+waf > limit,
+			})
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Nest != out[j].Nest {
+			return out[i].Nest < out[j].Nest
+		}
+		return out[i].Resource < out[j].Resource
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "constraint usage for %s on %s (tiles %v):\n", sel.Kernel, sel.GPU, tilesInline(sel.Tiles))
+	for _, c := range out {
+		mark := " "
+		if c.Binding {
+			mark = "*" // binding
+		}
+		pct := 0.0
+		if c.Limit > 0 {
+			pct = 100 * float64(c.Used) / float64(c.Limit)
+		}
+		fmt.Fprintf(&b, "%s %-10s %-16s %12d / %-12d (%.1f%%)\n",
+			mark, c.Nest, c.Resource, c.Used, c.Limit, pct)
+	}
+	b.WriteString("(* = binding: one more warp-aligned tile step would not fit)\n")
+	return out, b.String()
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func tilesInline(tiles map[string]int64) string {
+	names := make([]string, 0, len(tiles))
+	for n := range tiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%d", n, tiles[n])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,81 @@
+package cuxx
+
+import (
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/arch"
+)
+
+func TestGemmGA100NearTable4(t *testing.T) {
+	// Table IV: cuBLAS DGEMM on the GA100 reaches 18.3 TFLOP/s with
+	// tensor cores. The model must land in that regime (15-20 TFLOP/s).
+	r := Gemm(arch.GA100(), affine.FP64, 4000, 4000, 4000)
+	if r.GFLOPS < 15000 || r.GFLOPS > 20000 {
+		t.Fatalf("cuBLAS GA100 = %.0f GFLOP/s, want ~18300", r.GFLOPS)
+	}
+	if r.AvgPowerW <= 0 || r.AvgPowerW > arch.GA100().TDPWatts {
+		t.Fatalf("power %.1f out of range", r.AvgPowerW)
+	}
+	// Energy for N=4000 should be single-digit joules (Table IV: 2.42 J).
+	if r.EnergyJ < 0.5 || r.EnergyJ > 10 {
+		t.Fatalf("energy = %.2f J, want a few J", r.EnergyJ)
+	}
+}
+
+func TestGemmXavierNearPeak(t *testing.T) {
+	// Table IV: 42.3 GFLOP/s on the Xavier (no tensor cores, ~44 peak).
+	r := Gemm(arch.Xavier(), affine.FP64, 1024, 1024, 1024)
+	if r.GFLOPS < 25 || r.GFLOPS > 50 {
+		t.Fatalf("cuBLAS Xavier = %.1f GFLOP/s, want ~42", r.GFLOPS)
+	}
+}
+
+func TestConv2DGA100(t *testing.T) {
+	// Table IV: cuDNN FP64 conv-2d at ~1.4 TFLOP/s on the GA100.
+	r := Conv2D(arch.GA100(), affine.FP64, 2048, 2048, 9)
+	if r.GFLOPS < 1000 || r.GFLOPS > 8000 {
+		t.Fatalf("cuDNN conv = %.0f GFLOP/s, want TFLOP/s-scale", r.GFLOPS)
+	}
+	if r.Kernel != "cudnn-conv2d" {
+		t.Fatalf("kernel name %q", r.Kernel)
+	}
+}
+
+func TestTensorCoreOnlyOnGA100(t *testing.T) {
+	ga := Gemm(arch.GA100(), affine.FP64, 2048, 2048, 2048)
+	xv := Gemm(arch.Xavier(), affine.FP64, 2048, 2048, 2048)
+	gaPeak := arch.GA100().PeakFlops(arch.GA100().MaxClockMHz, 2)
+	xvPeak := arch.Xavier().PeakFlops(arch.Xavier().MaxClockMHz, 2)
+	// GA100 cuBLAS exceeds the non-tensor peak (tensor cores); Xavier
+	// stays below its peak.
+	if ga.GFLOPS*1e9 <= gaPeak {
+		t.Error("GA100 cuBLAS should exceed the non-tensor FP64 peak")
+	}
+	if xv.GFLOPS*1e9 >= xvPeak {
+		t.Error("Xavier cuBLAS cannot exceed the hardware peak")
+	}
+}
+
+func TestScalesWithProblemSize(t *testing.T) {
+	small := Gemm(arch.GA100(), affine.FP64, 1000, 1000, 1000)
+	big := Gemm(arch.GA100(), affine.FP64, 4000, 4000, 4000)
+	if big.TimeSec <= small.TimeSec {
+		t.Fatal("bigger problem should take longer")
+	}
+	if big.EnergyJ <= small.EnergyJ {
+		t.Fatal("bigger problem should use more energy")
+	}
+	// Steady-state model: power must not shrink with problem size.
+	if small.AvgPowerW > big.AvgPowerW*1.01 {
+		t.Fatal("power should not shrink with problem size")
+	}
+}
+
+func TestPPWConsistency(t *testing.T) {
+	r := Gemm(arch.GA100(), affine.FP64, 2000, 2000, 2000)
+	want := r.GFLOPS / r.AvgPowerW
+	if diff := r.PPW - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("PPW %.3f != GFLOPS/W %.3f", r.PPW, want)
+	}
+}

@@ -1,0 +1,170 @@
+package deps
+
+import (
+	"testing"
+
+	"repro/internal/affine"
+)
+
+// smallParams shrinks a kernel's problem sizes so the exact systems stay
+// tiny while preserving the dependence structure.
+func smallParams(k *affine.Kernel) map[string]int64 {
+	out := make(map[string]int64, len(k.Params))
+	for name, v := range k.Params {
+		if v > 16 {
+			v = 16
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// TestFastAnalysisSoundOnCatalog is the headline verification: for every
+// kernel in the catalog, every loop the fast distance-vector analysis
+// classifies as parallel is confirmed dependence-free by the exact
+// Fourier–Motzkin oracle.
+func TestFastAnalysisSoundOnCatalog(t *testing.T) {
+	for _, name := range affine.Catalog() {
+		k := affine.MustLookup(name)
+		params := smallParams(k)
+		for ni := range k.Nests {
+			violations, err := VerifyParallelism(&k.Nests[ni], params)
+			if err != nil {
+				t.Fatalf("%s nest %d: %v", name, ni, err)
+			}
+			for _, v := range violations {
+				t.Errorf("%s: UNSOUND parallel classification: %s", name, v)
+			}
+		}
+	}
+}
+
+// TestExactConfirmsKnownCarriers: the exact oracle must find the
+// dependences the fast analysis reports on representative kernels
+// (completeness spot-check).
+func TestExactConfirmsKnownCarriers(t *testing.T) {
+	// gemm: the C accumulation is carried at k (level 2).
+	k := affine.MustLookup("gemm")
+	params := smallParams(k)
+	nest := &k.Nests[0]
+	cw := nest.Body[0].Refs[0] // C write
+	cr := nest.Body[0].Refs[1] // C read
+	carried, err := ExactCarriesLoop(nest, params, cw, cr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !carried {
+		t.Error("gemm: k-loop accumulation dependence not found by exact test")
+	}
+	for _, level := range []int{0, 1} {
+		carried, err := ExactCarriesLoop(nest, params, cw, cr, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if carried {
+			t.Errorf("gemm: C self-dependence wrongly carried at level %d", level)
+		}
+	}
+}
+
+func TestExactOffsetDependence(t *testing.T) {
+	// B[i] written, B[i+1] read: carried at i (either direction).
+	i := affine.NewIter("i")
+	n := &affine.Nest{
+		Name:  "n",
+		Loops: []affine.Loop{{Name: "i", Upper: affine.NewConst(10)}},
+		Body: []affine.Statement{{
+			Name: "S",
+			Refs: []affine.Ref{
+				{Array: "B", Subscripts: []affine.Expr{i}, Write: true},
+				{Array: "B", Subscripts: []affine.Expr{i.AddConst(1)}},
+			},
+		}},
+	}
+	carried, err := ExactCarriesLoop(n, nil, n.Body[0].Refs[0], n.Body[0].Refs[1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !carried {
+		t.Fatal("distance-1 dependence not found")
+	}
+}
+
+func TestExactParityNoDependence(t *testing.T) {
+	// A[2i] vs A[2i+1]: the GCD screen proves independence, so the loop
+	// is parallel even though subscripts overlap syntactically.
+	i2 := affine.NewIter("i").Scale(2)
+	n := &affine.Nest{
+		Name:  "n",
+		Loops: []affine.Loop{{Name: "i", Upper: affine.NewConst(64)}},
+		Body: []affine.Statement{{
+			Name: "S",
+			Refs: []affine.Ref{
+				{Array: "A", Subscripts: []affine.Expr{i2}, Write: true},
+				{Array: "A", Subscripts: []affine.Expr{i2.AddConst(1)}},
+			},
+		}},
+	}
+	carried, err := ExactCarriesLoop(n, nil, n.Body[0].Refs[0], n.Body[0].Refs[1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if carried {
+		t.Fatal("parity-disjoint accesses cannot depend")
+	}
+}
+
+func TestExactSharperThanFast(t *testing.T) {
+	// A[i][j] written, A[j][i] read in one nest: the fast analysis stars
+	// both loops (conservative, sequential); the exact test knows the
+	// i-loop still carries real dependences (e.g. (0,1) vs (1,0)), so
+	// the conservative answer is confirmed, not refuted.
+	i, j := affine.NewIter("i"), affine.NewIter("j")
+	n := &affine.Nest{
+		Name: "transpose-update",
+		Loops: []affine.Loop{
+			{Name: "i", Upper: affine.NewConst(8)},
+			{Name: "j", Upper: affine.NewConst(8)},
+		},
+		Body: []affine.Statement{{
+			Name: "S",
+			Refs: []affine.Ref{
+				{Array: "A", Subscripts: []affine.Expr{i, j}, Write: true},
+				{Array: "A", Subscripts: []affine.Expr{j, i}},
+			},
+		}},
+	}
+	info := AnalyzeNest(n)
+	if info.Parallel[0] {
+		t.Fatal("fast analysis should be conservative here")
+	}
+	carried, err := ExactCarriesLoop(n, nil, n.Body[0].Refs[0], n.Body[0].Refs[1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !carried {
+		t.Fatal("transpose update does carry an i-loop dependence")
+	}
+}
+
+func TestExactEmptyLoop(t *testing.T) {
+	i := affine.NewIter("i")
+	n := &affine.Nest{
+		Name:  "n",
+		Loops: []affine.Loop{{Name: "i", Lower: affine.NewConst(5), Upper: affine.NewConst(5)}},
+		Body: []affine.Statement{{
+			Name: "S",
+			Refs: []affine.Ref{
+				{Array: "A", Subscripts: []affine.Expr{i}, Write: true},
+				{Array: "A", Subscripts: []affine.Expr{i}},
+			},
+		}},
+	}
+	carried, err := ExactCarriesLoop(n, nil, n.Body[0].Refs[0], n.Body[0].Refs[1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if carried {
+		t.Fatal("empty loop cannot carry dependences")
+	}
+}

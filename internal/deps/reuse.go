@@ -1,0 +1,238 @@
+package deps
+
+import (
+	"repro/internal/affine"
+)
+
+// MemClass says which memory a reference should be mapped to (Sec. IV-E).
+type MemClass int
+
+const (
+	// MemL1 marks cache-mappable references: they access memory
+	// contiguously along the CMA loop (or are frequently updated write
+	// targets) and exploit the hardware-managed L1/L2 caches.
+	MemL1 MemClass = iota
+	// MemShared marks references incapable of coalesced access along the
+	// CMA loop; they are staged in software-managed shared memory.
+	MemShared
+)
+
+func (m MemClass) String() string {
+	if m == MemShared {
+		return "shared"
+	}
+	return "L1"
+}
+
+// RefReuse summarizes the reuse structure of one array reference
+// (paper Table II).
+type RefReuse struct {
+	Stmt int
+	Ref  affine.Ref
+	// Stride1Iter is the iterator walking the fastest-varying subscript
+	// with unit stride ("" when the access has no stride-1 loop).
+	Stride1Iter string
+	// TemporalIters lists nest iterators that do not appear in any
+	// subscript: the reference is invariant (O(n) temporal reuse) along
+	// them.
+	TemporalIters []string
+	// Class is the memory-type assignment of Sec. IV-E.
+	Class MemClass
+}
+
+// UsesIter reports whether the underlying reference uses the iterator.
+func (rr RefReuse) UsesIter(name string) bool { return rr.Ref.UsesIter(name) }
+
+// NestReuse is the per-nest reuse analysis EATSS consumes.
+type NestReuse struct {
+	Nest *affine.Nest
+	Info *NestInfo
+	// CMALoop is l_s1 (Sec. IV-D): the loop chosen for coalesced memory
+	// accesses — the stride-1 iterator of the largest number of
+	// references. Empty when no reference has a stride-1 loop.
+	CMALoop string
+	// Refs holds one entry per (statement, reference).
+	Refs []RefReuse
+	// HRaw maps each loop iterator to the number of references whose
+	// fastest-varying (stride-1) dimension it walks. These are the raw
+	// H_i counts of Sec. IV-K before warp-alignment scaling and
+	// parallel/serial adjustments (applied by the model generator, which
+	// knows the warp-alignment factor).
+	HRaw map[string]int64
+	// DistinctLineRefs counts references that touch distinct cache lines
+	// (Sec. IV-G): references to the same array whose subscripts differ
+	// only by a small constant in the fastest-varying dimension share a
+	// line and count once. Used for the register-per-SM estimate.
+	DistinctLineRefs int64
+}
+
+// cacheLineMergeDist is the subscript-constant difference (in elements)
+// under which two references to the same array are assumed to land in the
+// same cache line (Sec. IV-G's fdtd-2d example).
+const cacheLineMergeDist = 8
+
+// AnalyzeReuse runs dependence analysis and reuse classification on a nest.
+func AnalyzeReuse(n *affine.Nest) *NestReuse {
+	info := AnalyzeNest(n)
+	nr := &NestReuse{Nest: n, Info: info, HRaw: make(map[string]int64)}
+
+	// Per-reference structure.
+	for si, st := range n.Body {
+		for _, r := range st.Refs {
+			rr := RefReuse{Stmt: si, Ref: r, Stride1Iter: r.Stride1Iter()}
+			for _, l := range n.Loops {
+				if !r.UsesIter(l.Name) {
+					rr.TemporalIters = append(rr.TemporalIters, l.Name)
+				}
+			}
+			nr.Refs = append(nr.Refs, rr)
+		}
+	}
+
+	// H_i raw counts and CMA loop selection (Sec. IV-D): H_i counts how
+	// often iterator i appears (with unit stride) in a fastest-varying
+	// subscript, over distinct references (an accumulator's read and
+	// write count once — the paper's matmul example has H_j = 2).
+	// Prefer as CMA loop the one with the highest count, breaking ties
+	// in favor of parallel loops, then of inner loops (closer to
+	// thread-id mapping).
+	for _, rr := range UniqueArrayRefs(nr.Refs) {
+		for _, it := range rr.Ref.Stride1Iters() {
+			nr.HRaw[it]++
+		}
+	}
+	best, bestCount := "", int64(0)
+	for d := range n.Loops {
+		name := n.Loops[d].Name
+		c := nr.HRaw[name]
+		if c == 0 {
+			continue
+		}
+		better := c > bestCount
+		if c == bestCount && best != "" {
+			bi := n.LoopIndex(best)
+			// Tie-break: parallel beats serial; inner beats outer.
+			if info.Parallel[d] != info.Parallel[bi] {
+				better = info.Parallel[d]
+			} else {
+				better = d > bi
+			}
+		}
+		if better {
+			best, bestCount = name, c
+		}
+	}
+	nr.CMALoop = best
+
+	// Memory classification (Sec. IV-E): stride-1 along l_s1 => L1;
+	// frequently-updated write targets stay in cache => L1; everything
+	// else is staged in shared memory.
+	for i := range nr.Refs {
+		rr := &nr.Refs[i]
+		switch {
+		case nr.CMALoop != "" && rr.Ref.HasStride1(nr.CMALoop):
+			rr.Class = MemL1
+		case rr.Ref.Write:
+			rr.Class = MemL1
+		default:
+			rr.Class = MemShared
+		}
+	}
+
+	nr.DistinctLineRefs = countDistinctLineRefs(nr.Refs)
+	return nr
+}
+
+// lineKey identifies the cache line group of a reference: array name plus
+// all subscripts with the fastest-varying constant dropped.
+func lineKey(r affine.Ref) string {
+	key := r.Array
+	for i, s := range r.Subscripts {
+		e := s
+		if i == len(r.Subscripts)-1 {
+			e = e.AddConst(-e.Const) // canonicalize fastest constant to 0
+		}
+		key += "|" + e.String()
+	}
+	return key
+}
+
+// countDistinctLineRefs merges references that are guaranteed to share a
+// cache line and counts the groups.
+func countDistinctLineRefs(refs []RefReuse) int64 {
+	type group struct{ minC, maxC int64 }
+	groups := make(map[string]*group)
+	count := int64(0)
+	for _, rr := range refs {
+		k := lineKey(rr.Ref)
+		c := int64(0)
+		if len(rr.Ref.Subscripts) > 0 {
+			c = rr.Ref.FastestVarying().Const
+		}
+		g, ok := groups[k]
+		if !ok {
+			groups[k] = &group{minC: c, maxC: c}
+			count++
+			continue
+		}
+		// Same linear structure: same line if the constant spread stays
+		// within a line.
+		min, max := g.minC, g.maxC
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+		if max-min < cacheLineMergeDist {
+			g.minC, g.maxC = min, max
+		} else {
+			// Too far apart: this reference starts a new line group.
+			count++
+		}
+	}
+	return count
+}
+
+// SharedRefs returns the references assigned to shared memory.
+func (nr *NestReuse) SharedRefs() []RefReuse {
+	var out []RefReuse
+	for _, r := range nr.Refs {
+		if r.Class == MemShared {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// L1Refs returns the references assigned to the L1 cache.
+func (nr *NestReuse) L1Refs() []RefReuse {
+	var out []RefReuse
+	for _, r := range nr.Refs {
+		if r.Class == MemL1 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// UniqueArrayRefs deduplicates references by (array, subscript shape),
+// merging e.g. the read and write of an accumulator. The returned slice
+// preserves first-appearance order; Class/Write are OR-ed across merged
+// references (a write anywhere makes the merged reference a write).
+func UniqueArrayRefs(refs []RefReuse) []RefReuse {
+	seen := make(map[string]int)
+	var out []RefReuse
+	for _, rr := range refs {
+		key := rr.Ref.String()
+		if i, ok := seen[key]; ok {
+			if rr.Ref.Write {
+				out[i].Ref.Write = true
+			}
+			continue
+		}
+		seen[key] = len(out)
+		out = append(out, rr)
+	}
+	return out
+}

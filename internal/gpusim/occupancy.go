@@ -1,0 +1,102 @@
+// Package gpusim is the GPU execution simulator that stands in for the
+// paper's GA100 and Xavier testbeds. It combines an occupancy model (this
+// file), a memory-hierarchy traffic model (traffic.go), and a
+// roofline-with-DVFS timing loop (sim.go) to produce, for each mapped
+// kernel, the quantities the paper measures: execution time, GFLOP/s,
+// L2 sectors read (the Nsight `lts__t_sectors..op_read` counter of
+// Sec. V-C), average power, energy, and performance-per-Watt.
+package gpusim
+
+import (
+	"repro/internal/arch"
+	"repro/internal/codegen"
+)
+
+// Occupancy describes how a mapped nest occupies the GPU.
+type Occupancy struct {
+	// WarpsPerBlock is the warp count of one thread block.
+	WarpsPerBlock int64
+	// BlocksPerSM is how many blocks run concurrently on one SM.
+	BlocksPerSM int64
+	// ActiveWarpsPerSM = BlocksPerSM * WarpsPerBlock (capped).
+	ActiveWarpsPerSM int64
+	// ActiveBlocks is the total number of concurrently resident blocks.
+	ActiveBlocks int64
+	// Waves is how many full rounds of resident blocks the grid needs.
+	Waves int64
+	// GridEff is the average fraction of resident-block slots the grid
+	// keeps busy (covers both small grids and ragged tail waves).
+	GridEff float64
+	// IssueEff is the instruction-issue efficiency from latency hiding:
+	// more active warps hide more latency.
+	IssueEff float64
+	// LaneEff is the fraction of warp lanes doing useful work.
+	LaneEff float64
+	// BoundaryEff accounts for partial tiles at iteration-space edges.
+	BoundaryEff float64
+	// LimitedBy names the resource that bounds BlocksPerSM.
+	LimitedBy string
+}
+
+// issueLatencyWarps controls how quickly issue efficiency approaches one
+// as active warps grow (Little's-law style latency hiding): efficiency is
+// aw / (aw + issueLatencyWarps).
+const issueLatencyWarps = 16.0
+
+// ComputeOccupancy derives the occupancy of a mapped nest on g.
+func ComputeOccupancy(m *codegen.MappedNest, g *arch.GPU) Occupancy {
+	var o Occupancy
+	o.WarpsPerBlock = g.WarpsPerBlock(m.ThreadsPerBlock)
+
+	// Resident blocks per SM, limited by four resources.
+	o.BlocksPerSM, o.LimitedBy = g.MaxBlocksPerSM, "blocks"
+	if byWarps := g.MaxWarpsPerSM / o.WarpsPerBlock; byWarps < o.BlocksPerSM {
+		o.BlocksPerSM, o.LimitedBy = byWarps, "warps"
+	}
+	if regsPerBlock := m.RegsPerThread * m.ThreadsPerBlock; regsPerBlock > 0 {
+		if byRegs := g.RegsPerSM / regsPerBlock; byRegs < o.BlocksPerSM {
+			o.BlocksPerSM, o.LimitedBy = byRegs, "registers"
+		}
+	}
+	if m.SharedBytesPerBlock > 0 {
+		if byShared := g.SharedPerSM / m.SharedBytesPerBlock; byShared < o.BlocksPerSM {
+			o.BlocksPerSM, o.LimitedBy = byShared, "shared"
+		}
+	}
+	if o.BlocksPerSM < 1 {
+		o.BlocksPerSM = 1
+	}
+	o.ActiveWarpsPerSM = o.BlocksPerSM * o.WarpsPerBlock
+	if o.ActiveWarpsPerSM > g.MaxWarpsPerSM {
+		o.ActiveWarpsPerSM = g.MaxWarpsPerSM
+	}
+
+	slots := o.BlocksPerSM * g.SMCount
+	o.ActiveBlocks = m.TotalBlocks
+	if o.ActiveBlocks > slots {
+		o.ActiveBlocks = slots
+	}
+	o.Waves = (m.TotalBlocks + slots - 1) / slots
+	if o.Waves < 1 {
+		o.Waves = 1
+	}
+	o.GridEff = float64(m.TotalBlocks) / float64(o.Waves*slots)
+
+	aw := float64(o.ActiveWarpsPerSM)
+	o.IssueEff = aw / (aw + issueLatencyWarps)
+
+	o.LaneEff = float64(m.ThreadsPerBlock) / float64(o.WarpsPerBlock*g.ThreadsPerWarp)
+
+	// Partial boundary tiles: each mapped dimension wastes the fraction
+	// of the last tile that falls outside the iteration space.
+	o.BoundaryEff = 1.0
+	for i, name := range m.MappedLoops {
+		ext := m.Nest.Loops[m.Nest.LoopIndex(name)].Extent(m.Params)
+		t := m.Tiles[name]
+		covered := m.GridDims[i] * t
+		if covered > 0 {
+			o.BoundaryEff *= float64(ext) / float64(covered)
+		}
+	}
+	return o
+}

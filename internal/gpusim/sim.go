@@ -1,0 +1,206 @@
+package gpusim
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/codegen"
+	"repro/internal/power"
+)
+
+// NestResult is the simulated execution of one nest (all its launches).
+type NestResult struct {
+	Name    string
+	Occ     Occupancy
+	Traffic Traffic
+
+	// ClockMHz is the converged DVFS operating point.
+	ClockMHz float64
+	// Per-launch time components (seconds).
+	ComputeSec, DRAMSec, L2Sec, SharedSec, SyncSec float64
+	// LaunchSec is one launch's duration; TimeSec covers all launches.
+	LaunchSec, TimeSec float64
+	// Power is the converged per-launch power breakdown.
+	Power power.Breakdown
+	// EnergyJ covers all launches.
+	EnergyJ float64
+	// Launches is the host-side repeat count.
+	Launches int64
+}
+
+// Result is the simulated execution of a whole kernel.
+type Result struct {
+	Kernel string
+	GPU    string
+
+	TimeSec   float64
+	Flops     int64
+	GFLOPS    float64
+	AvgPowerW float64
+	EnergyJ   float64
+	// PPW is performance-per-Watt in GFLOP/s per Watt (Sec. V-B).
+	PPW float64
+
+	L2Sectors int64
+	DRAMBytes int64
+
+	// Power is the time-weighted average breakdown across nests, with
+	// the measurement ramp applied to the dynamic components (matching
+	// AvgPowerW = Power.Total()).
+	Power power.Breakdown
+
+	Nests []NestResult
+}
+
+// liveHalfSatBytes is the per-thread private-data liveness at which the
+// liveness power term reaches one half of its maximum.
+const liveHalfSatBytes = 256.0
+
+// syncOverheadSec is the pipeline-drain cost of one __syncthreads() round
+// per wave of blocks.
+const syncOverheadSec = 1e-7
+
+// dvfsIterations bounds the DVFS fixpoint loop.
+const dvfsIterations = 24
+
+// dvfsFloorFrac is the lowest clock fraction the driver picks for purely
+// memory-bound kernels.
+const dvfsFloorFrac = 0.35
+
+// SimulateNest runs the analytic model for one mapped nest.
+func SimulateNest(m *codegen.MappedNest, g *arch.GPU) NestResult {
+	occ := ComputeOccupancy(m, g)
+	tr := ComputeTraffic(m, g, occ)
+
+	res := NestResult{
+		Name:     m.Nest.Name,
+		Occ:      occ,
+		Traffic:  tr,
+		Launches: m.Launches,
+	}
+
+	fp := m.Precision.Factor()
+	usedSMs := m.TotalBlocks
+	if usedSMs > g.SMCount {
+		usedSMs = g.SMCount
+	}
+	gridFrac := float64(usedSMs) / float64(g.SMCount)
+
+	dramSec := float64(tr.DRAMBytes) / g.DRAMBandwidth
+	l2Sec := float64(tr.L2ReadBytes+tr.L2WriteBytes) / g.L2Bandwidth
+	syncSec := float64(tr.SerialSteps*occ.Waves) * syncOverheadSec
+
+	liveFrac := float64(tr.LiveBytesPerThread) / (float64(tr.LiveBytesPerThread) + liveHalfSatBytes)
+
+	// DVFS fixpoint: the driver boosts to the highest clock that (a) the
+	// power budget allows and (b) the kernel's compute-boundness
+	// justifies — memory-bound kernels run at reduced clocks (automatic
+	// power scaling, which EATSS cooperates with).
+	f := g.MaxClockMHz
+	var launchSec, computeSec float64
+	var bd power.Breakdown
+	for iter := 0; iter < dvfsIterations; iter++ {
+		eff := occ.GridEff * occ.IssueEff * occ.LaneEff * occ.BoundaryEff
+		peak := g.PeakFlops(f, fp) * eff
+		computeSec = float64(tr.Flops) / peak
+		// The L1 and shared-memory data paths are the same physical
+		// pipe on NVIDIA SMs; it clocks with the core.
+		smPipeBw := g.SharedBwPerSM * float64(usedSMs) * (f / g.BaseClockMHz) * occ.IssueEff
+		l1Sec := float64(tr.L1Bytes) / smPipeBw
+		shSec := float64(tr.SharedBytes) / smPipeBw
+		memSec := math.Max(math.Max(dramSec, l1Sec+shSec), l2Sec)
+		// Compute/memory overlap is imperfect: the fraction of latency
+		// the active warps cannot hide shows up as exposed time.
+		exposed := (1 - occ.IssueEff) * math.Min(computeSec, memSec)
+		launchSec = math.Max(computeSec, memSec) + exposed + syncSec
+
+		busy := computeSec / launchSec
+		act := power.Activity{
+			ClockMHz:       f,
+			SMBusyFrac:     busy,
+			GridFrac:       gridFrac,
+			L2GBps:         float64(tr.L2ReadBytes+tr.L2WriteBytes) / launchSec / 1e9,
+			DRAMGBps:       float64(tr.DRAMBytes) / launchSec / 1e9,
+			SharedBusyFrac: shSec / launchSec,
+			LiveFrac:       liveFrac,
+		}
+		bd = power.Estimate(g, act)
+
+		target := g.MaxClockMHz * (dvfsFloorFrac + (1-dvfsFloorFrac)*busy)
+		if p := bd.Total(); p > g.TDPWatts {
+			// SM dynamic power scales ~f^3: pull the clock down toward
+			// the budget.
+			target = f * math.Cbrt(g.TDPWatts/p)
+		}
+		if target < g.MinClockMHz {
+			target = g.MinClockMHz
+		}
+		if target > g.MaxClockMHz {
+			target = g.MaxClockMHz
+		}
+		next := 0.5 * (f + target)
+		if math.Abs(next-f) < 0.5 {
+			f = next
+			break
+		}
+		f = next
+	}
+
+	res.ClockMHz = f
+	res.ComputeSec = computeSec
+	res.DRAMSec = dramSec
+	res.L2Sec = l2Sec
+	res.SharedSec = (float64(tr.L1Bytes) + float64(tr.SharedBytes)) /
+		(g.SharedBwPerSM * float64(usedSMs) * (f / g.BaseClockMHz) * occ.IssueEff)
+	res.SyncSec = syncSec
+	res.LaunchSec = launchSec + g.LaunchOverhead
+	res.TimeSec = res.LaunchSec * float64(m.Launches)
+	res.Power = bd
+	res.EnergyJ = bd.Total() * res.TimeSec
+	return res
+}
+
+// Simulate runs every nest of a mapped kernel and aggregates.
+//
+// The reported average power applies the measurement ramp: the paper
+// samples nvidia-smi / tegrastats at 10 ms intervals over repeated runs,
+// so short executions are observed while the device is still ramping
+// clocks/temperature and report less than the steady-state dynamic power
+// (this is the static-dominated regime of Fig. 1).
+func Simulate(mk *codegen.MappedKernel, g *arch.GPU) Result {
+	res := Result{Kernel: mk.Kernel.Name, GPU: g.Name}
+	for _, mn := range mk.Nests {
+		nr := SimulateNest(mn, g)
+		res.Nests = append(res.Nests, nr)
+		res.TimeSec += nr.TimeSec
+		res.Flops += nr.Traffic.Flops * nr.Launches
+		res.L2Sectors += nr.Traffic.L2Sectors * nr.Launches
+		res.DRAMBytes += nr.Traffic.DRAMBytes * nr.Launches
+	}
+	ramp := 1.0
+	if g.PowerRampTauSec > 0 {
+		ramp = res.TimeSec / (res.TimeSec + g.PowerRampTauSec)
+	}
+	for i := range res.Nests {
+		nr := &res.Nests[i]
+		observed := nr.Power.Constant + nr.Power.Static + nr.Power.Dynamic()*ramp
+		nr.EnergyJ = observed * nr.TimeSec
+		res.EnergyJ += nr.EnergyJ
+		if res.TimeSec > 0 {
+			w := nr.TimeSec / res.TimeSec
+			res.Power.Constant += nr.Power.Constant * w
+			res.Power.Static += nr.Power.Static * w
+			res.Power.DynSM += nr.Power.DynSM * ramp * w
+			res.Power.DynL2 += nr.Power.DynL2 * ramp * w
+			res.Power.DynDRAM += nr.Power.DynDRAM * ramp * w
+			res.Power.DynShared += nr.Power.DynShared * ramp * w
+			res.Power.DynLive += nr.Power.DynLive * ramp * w
+		}
+	}
+	if res.TimeSec > 0 {
+		res.GFLOPS = float64(res.Flops) / res.TimeSec / 1e9
+		res.AvgPowerW = res.EnergyJ / res.TimeSec
+	}
+	res.PPW = power.PerfPerWatt(float64(res.Flops), res.TimeSec, res.AvgPowerW)
+	return res
+}

@@ -1,0 +1,348 @@
+package gpusim
+
+import (
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/codegen"
+)
+
+// Traffic summarizes one launch's memory-system activity (bytes are per
+// launch, across the whole grid).
+type Traffic struct {
+	// Flops is the floating-point work of one launch.
+	Flops int64
+	// L2ReadBytes is the read traffic arriving at L2 from the SMs
+	// (L1 misses plus, on architectures without the bypass, shared-memory
+	// staging loads). L2Sectors = L2ReadBytes / sector size: the paper's
+	// Fig. 9 proxy for data liveness.
+	L2ReadBytes int64
+	// L2WriteBytes is store traffic through L2.
+	L2WriteBytes int64
+	// DRAMBytes is the traffic between L2 and device memory.
+	DRAMBytes int64
+	// SharedBytes is shared-memory bank traffic (reads + staging writes).
+	SharedBytes int64
+	// StagingBytes is the global->shared cooperative load volume.
+	StagingBytes int64
+	// L2Sectors is the sector count backing the Fig. 9 correlation.
+	L2Sectors int64
+	// LiveBytesPerThread measures thread-private data kept live across a
+	// thread's serial iterations (the intra-thread liveness EATSS
+	// constrains; feeds the power model's liveness term).
+	LiveBytesPerThread int64
+	// L1CapturedAll reports whether every cache-mapped array's per-step
+	// tile fit in its L1 share (no thrashing).
+	L1CapturedAll bool
+	// L1Bytes is the volume moved through the SM-local L1/LSU pipe:
+	// every cache-mapped access reads through it (hits included), and
+	// uncoalesced warp accesses move a full sector per lane. The L1 and
+	// shared-memory paths share this pipe on NVIDIA SMs, so staging
+	// relieves it only by shortening each access's footprint.
+	L1Bytes int64
+	// SerialSteps is the number of staging steps per block.
+	SerialSteps int64
+}
+
+// arrayGroup aggregates all references to one array with their servicing
+// plan. Footprints are unions over the group's references, computed per
+// subscript position, so stencil offsets do not multiply-count.
+type arrayGroup struct {
+	array string
+	refs  []codegen.MappedRef
+
+	shared      bool
+	write       bool
+	usesSerial  bool
+	regResident bool // written accumulator indexed only by mapped loops
+
+	fpStepBytes int64 // per-serial-step tile footprint (union)
+	distBytes   int64 // distinct bytes touched per block per launch
+	globalBytes int64 // distinct bytes touched by the whole launch
+	serialBytes int64 // per-thread private footprint along serial dims
+	accesses    int64 // dynamic accesses issued per block (all refs)
+}
+
+// unionElems computes the union footprint of a set of references to the
+// same array: per subscript position, the extent is the sum of the sizes of
+// the involved iterators (minus overlaps) plus the constant-offset spread.
+func unionElems(refs []codegen.MappedRef, size func(iter string) int64) int64 {
+	type span struct {
+		iters      map[string]bool
+		minC, maxC int64
+		set        bool
+	}
+	var spans []span
+	for _, mr := range refs {
+		for p, s := range mr.Ref.Subscripts {
+			for len(spans) <= p {
+				spans = append(spans, span{iters: make(map[string]bool)})
+			}
+			sp := &spans[p]
+			for _, it := range s.IterNames() {
+				sp.iters[it] = true
+			}
+			if !sp.set {
+				sp.minC, sp.maxC, sp.set = s.Const, s.Const, true
+			} else {
+				if s.Const < sp.minC {
+					sp.minC = s.Const
+				}
+				if s.Const > sp.maxC {
+					sp.maxC = s.Const
+				}
+			}
+		}
+	}
+	elems := int64(1)
+	for _, sp := range spans {
+		ext := int64(1) + (sp.maxC - sp.minC)
+		for it := range sp.iters {
+			ext += size(it) - 1
+		}
+		if ext < 1 {
+			ext = 1
+		}
+		elems *= ext
+	}
+	return elems
+}
+
+// ComputeTraffic models the memory hierarchy for one launch of m.
+func ComputeTraffic(m *codegen.MappedNest, g *arch.GPU, occ Occupancy) Traffic {
+	var tr Traffic
+	elemB := m.Precision.Bytes()
+
+	mapped := make(map[string]bool, len(m.MappedLoops))
+	for _, n := range m.MappedLoops {
+		mapped[n] = true
+	}
+	extent := func(name string) int64 {
+		return m.Nest.Loops[m.Nest.LoopIndex(name)].Extent(m.Params)
+	}
+
+	// Iterations per block and serial staging steps.
+	iterPerBlock := int64(1)
+	tr.SerialSteps = 1
+	for _, l := range m.Nest.Loops {
+		ext := l.Extent(m.Params)
+		if mapped[l.Name] {
+			iterPerBlock *= m.Tiles[l.Name]
+		} else {
+			iterPerBlock *= ext
+			t := m.Tiles[l.Name]
+			tr.SerialSteps *= (ext + t - 1) / t
+		}
+	}
+	perIterFlops := int64(0)
+	for _, st := range m.Nest.Body {
+		perIterFlops += st.FlopsPerIter
+	}
+	tr.Flops = iterPerBlock * m.TotalBlocks * perIterFlops
+
+	// Overlapped time tiling: one launch executes Fuse fused sweeps with
+	// redundant halo compute, while the memory traffic below (computed
+	// for a single sweep, plus the enlarged halo) is paid once per
+	// launch instead of once per step — the inter-step reuse PPCG lacks.
+	timeFuse := int64(1)
+	if m.TimeTiling != nil {
+		timeFuse = m.TimeTiling.Fuse
+		tr.Flops = int64(float64(tr.Flops*timeFuse) * m.TimeTiling.OverlapFactor)
+	}
+
+	// Group references by array.
+	groups := make(map[string]*arrayGroup)
+	var order []string
+	for _, mr := range m.Refs {
+		gr, ok := groups[mr.Ref.Array]
+		if !ok {
+			gr = &arrayGroup{array: mr.Ref.Array}
+			groups[mr.Ref.Array] = gr
+			order = append(order, mr.Ref.Array)
+		}
+		gr.refs = append(gr.refs, mr)
+		gr.shared = gr.shared || mr.Shared
+		gr.write = gr.write || mr.Write
+	}
+	sort.Strings(order)
+
+	tileSize := func(it string) int64 { return m.Tiles[it] }
+	distSize := func(it string) int64 {
+		if mapped[it] {
+			return m.Tiles[it]
+		}
+		return extent(it)
+	}
+	serialSize := func(it string) int64 {
+		if mapped[it] {
+			return 1
+		}
+		return m.Tiles[it]
+	}
+
+	for _, name := range order {
+		gr := groups[name]
+		for _, mr := range gr.refs {
+			for _, l := range m.Nest.Loops {
+				if !mapped[l.Name] && mr.Ref.UsesIter(l.Name) {
+					gr.usesSerial = true
+				}
+			}
+		}
+		gr.fpStepBytes = unionElems(gr.refs, tileSize) * elemB
+		gr.distBytes = unionElems(gr.refs, distSize) * elemB
+		gr.globalBytes = unionElems(gr.refs, extent) * elemB
+		gr.serialBytes = unionElems(gr.refs, serialSize) * elemB
+		gr.regResident = gr.write && !gr.usesSerial && !gr.shared
+		gr.accesses = iterPerBlock * int64(len(gr.refs))
+	}
+
+	// L1 capture: the L1 budget per block is what the combined L1+shared
+	// pool leaves after the shared carveout, divided among resident
+	// blocks. Arrays whose per-step tiles fit (greedy, smallest first)
+	// hit in L1 and send only compulsory misses to L2.
+	carveout := m.SharedBytesPerBlock * occ.BlocksPerSM
+	l1PerSM := g.L1SharedBytes - carveout
+	if l1PerSM < 0 {
+		l1PerSM = 0
+	}
+	l1PerBlock := l1PerSM / occ.BlocksPerSM
+
+	var l1Names []string
+	for _, name := range order {
+		gr := groups[name]
+		if !gr.shared && !gr.regResident {
+			l1Names = append(l1Names, name)
+		}
+	}
+	sort.Slice(l1Names, func(i, j int) bool {
+		a, b := groups[l1Names[i]], groups[l1Names[j]]
+		if a.fpStepBytes != b.fpStepBytes {
+			return a.fpStepBytes < b.fpStepBytes
+		}
+		return l1Names[i] < l1Names[j]
+	})
+	tr.L1CapturedAll = true
+	budget := l1PerBlock
+	cached := make(map[string]bool, len(l1Names))
+	for _, name := range l1Names {
+		gr := groups[name]
+		if gr.fpStepBytes <= budget {
+			cached[name] = true
+			budget -= gr.fpStepBytes
+		} else {
+			tr.L1CapturedAll = false
+		}
+	}
+
+	// L1-pipe bytes per innermost iteration: cache-mapped accesses move
+	// one element when coalesced (or broadcast), a full sector per lane
+	// otherwise; register micro-tiles amortize a loaded operand over the
+	// micro-tile's other axis. Register-resident accumulators and
+	// shared-memory reads do not use the L1 path (shared traffic is
+	// accounted separately).
+	l1BytesPerIter := float64(0)
+	for _, name := range order {
+		gr := groups[name]
+		for _, mr := range gr.refs {
+			amort := float64(m.MicroReuse(mr))
+			switch {
+			case gr.regResident, mr.Shared:
+				// register accumulator or shared-memory access
+			case mr.Coalesced:
+				l1BytesPerIter += float64(elemB) / amort
+			default:
+				l1BytesPerIter += float64(g.SectorBytes) / amort
+			}
+		}
+	}
+
+	// Per-block traffic.
+	blocks := m.TotalBlocks
+	var l2ReadPerBlock, l2WritePerBlock, stagingPerBlock, sharedPerBlock int64
+	for _, name := range order {
+		gr := groups[name]
+		switch {
+		case gr.shared:
+			// Cooperative staging: tile (+halo) per step, coalesced.
+			// Bank reads amortize over register micro-tiles.
+			staged := gr.fpStepBytes * tr.SerialSteps
+			stagingPerBlock += staged
+			bankReads := int64(0)
+			for _, mr := range gr.refs {
+				bankReads += iterPerBlock * elemB * timeFuse / m.MicroReuse(mr)
+			}
+			sharedPerBlock += bankReads + staged
+		case gr.regResident:
+			l2ReadPerBlock += gr.distBytes
+			l2WritePerBlock += gr.distBytes
+		case cached[name]:
+			l2ReadPerBlock += gr.distBytes
+			if gr.write {
+				l2WritePerBlock += gr.distBytes
+			}
+			if gr.usesSerial {
+				tr.LiveBytesPerThread += gr.serialBytes
+			}
+		default:
+			// L1-spilled array. Re-fetches only happen when the array
+			// is actually reused across serial steps (temporal reuse
+			// whose distance overflowed the cache): streaming and
+			// single-use data is fetched once per line regardless of
+			// tile size. The refetch factor grows with how far the
+			// per-step tile overshoots the L1 share, bounded by the
+			// array's true reuse.
+			refetch := 1.0
+			if gr.usesSerial && l1PerBlock > 0 {
+				refetch = float64(gr.fpStepBytes) / float64(l1PerBlock)
+				if reuse := float64(gr.accesses*elemB) / float64(gr.distBytes); refetch > reuse {
+					refetch = reuse
+				}
+				if refetch < 1 {
+					refetch = 1
+				}
+			}
+			l2ReadPerBlock += int64(float64(gr.distBytes) * refetch)
+			if gr.write {
+				l2WritePerBlock += gr.distBytes
+			}
+			if gr.usesSerial {
+				tr.LiveBytesPerThread += gr.serialBytes
+			}
+		}
+	}
+
+	tr.StagingBytes = stagingPerBlock * blocks
+	tr.SharedBytes = sharedPerBlock * blocks
+	tr.L2ReadBytes = l2ReadPerBlock * blocks
+	tr.L2WriteBytes = l2WritePerBlock * blocks
+
+	// Staging loads transit L2 on architectures without the
+	// global->shared bypass (Sec. IV-H); with the bypass they do not
+	// occupy L2 sectors (and are invisible to the Fig. 9 counter) but
+	// are still served by it on their way to DRAM.
+	if !g.BypassL2ForShared {
+		tr.L2ReadBytes += tr.StagingBytes
+	}
+	tr.L2Sectors = tr.L2ReadBytes / g.SectorBytes
+
+	// L2 -> DRAM: compulsory traffic is each array's distinct touched
+	// bytes; when the concurrent working set spills L2, a fraction of the
+	// L2 request stream re-fetches from DRAM.
+	var compulsory, wsPerBlock int64
+	for _, name := range order {
+		gr := groups[name]
+		compulsory += gr.globalBytes
+		wsPerBlock += gr.distBytes
+	}
+	tr.L1Bytes = int64(l1BytesPerIter * float64(iterPerBlock*blocks*timeFuse))
+
+	ws := wsPerBlock * occ.ActiveBlocks
+	inbound := tr.L2ReadBytes + tr.L2WriteBytes + tr.StagingBytes
+	tr.DRAMBytes = compulsory
+	if ws > g.L2Bytes && inbound > compulsory {
+		missFrac := float64(ws-g.L2Bytes) / float64(ws)
+		tr.DRAMBytes += int64(float64(inbound-compulsory) * missFrac)
+	}
+	return tr
+}

@@ -1,0 +1,42 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/affine"
+)
+
+// FuzzParse asserts the robustness contract of the front end: Parse never
+// panics, and whenever it succeeds the kernel passes validation and
+// round-trips through Write.
+func FuzzParse(f *testing.F) {
+	f.Add(gemmSrc)
+	f.Add("kernel k { param N = 8 array A[N] nest n { for i in 0..N { S: A[i] = A[i] } } }")
+	f.Add("kernel k { param N = 8 array A[N][N] nest n { for i in 0..N for j in 0..N { S: A[i][j] += A[i][j] } } }")
+	f.Add("kernel k {")
+	f.Add("")
+	f.Add("kernel 2mm { param N = 4 }")
+	f.Add("kernel k { param N = 8 array A[2*N+1] nest n { for i in 0..N { S: A[2*i+1] = A[0] } } }")
+	f.Add("# only a comment")
+	f.Add(Write(affine.MustLookup("heat-3d")))
+	f.Add(strings.Repeat("kernel ", 50))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		k, err := Parse(src) // must not panic
+		if err != nil {
+			return
+		}
+		if err := k.Validate(); err != nil {
+			t.Fatalf("Parse returned an invalid kernel: %v", err)
+		}
+		// Successful parses must round-trip.
+		back, err := Parse(Write(k))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, Write(k))
+		}
+		if back.Name != k.Name || len(back.Nests) != len(k.Nests) {
+			t.Fatal("round trip changed kernel structure")
+		}
+	})
+}

@@ -1,0 +1,186 @@
+// Package parser implements a small domain-specific language for defining
+// affine kernels, so the pipeline can run on programs beyond the built-in
+// catalog. The syntax mirrors the pseudo-C the paper uses:
+//
+//	kernel gemm {
+//	  param NI = 4000, NJ = 4000, NK = 4000
+//	  array C[NI][NJ], A[NI][NK], B[NK][NJ]
+//	  nest matmul {
+//	    for i in 0..NI
+//	    for j in 0..NJ
+//	    for k in 0..NK {
+//	      S0: C[i][j] += A[i][k] * B[k][j]
+//	    }
+//	  }
+//	}
+//
+// Loop bounds and subscripts are affine expressions over iterators,
+// parameters and integer literals. `=` statements are pointwise;
+// `+=` statements are reductions. A trailing `@flops(n)` overrides the
+// default per-iteration flop count (the number of arithmetic operators on
+// the right-hand side). A nest may be prefixed `repeat <param>` to model a
+// sequential host-side loop (e.g. a stencil's time loop).
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token types.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol  // one of  { } [ ] ( ) , : ; = + - * / . @ < >
+	tokDotDot  // ..
+	tokPlusEq  // +=
+	tokComment // skipped by the lexer; never emitted
+)
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a parse or lex error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("kernel DSL:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (lx *lexer) errorf(format string, args ...interface{}) error {
+	return &Error{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			goto lexeme
+		}
+	}
+	return token{kind: tokEOF, line: lx.line, col: lx.col}, nil
+
+lexeme:
+	startLine, startCol := lx.line, lx.col
+	c := lx.peekByte()
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		var b strings.Builder
+		for lx.pos < len(lx.src) {
+			c := lx.peekByte()
+			if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+				b.WriteByte(lx.advance())
+				continue
+			}
+			break
+		}
+		return token{kind: tokIdent, text: b.String(), line: startLine, col: startCol}, nil
+
+	case unicode.IsDigit(rune(c)):
+		var b strings.Builder
+		for lx.pos < len(lx.src) && unicode.IsDigit(rune(lx.peekByte())) {
+			b.WriteByte(lx.advance())
+		}
+		return token{kind: tokNumber, text: b.String(), line: startLine, col: startCol}, nil
+
+	case c == '.':
+		lx.advance()
+		if lx.peekByte() == '.' {
+			lx.advance()
+			return token{kind: tokDotDot, text: "..", line: startLine, col: startCol}, nil
+		}
+		return token{}, &Error{Line: startLine, Col: startCol, Msg: "unexpected '.'"}
+
+	case c == '+':
+		lx.advance()
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return token{kind: tokPlusEq, text: "+=", line: startLine, col: startCol}, nil
+		}
+		return token{kind: tokSymbol, text: "+", line: startLine, col: startCol}, nil
+
+	case strings.IndexByte("{}[](),:;=-*/@<>", c) >= 0:
+		lx.advance()
+		return token{kind: tokSymbol, text: string(c), line: startLine, col: startCol}, nil
+	}
+	return token{}, &Error{Line: startLine, Col: startCol, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+// lexAll tokenizes the whole input (used by the parser, which needs
+// lookahead).
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

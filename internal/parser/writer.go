@@ -1,0 +1,113 @@
+package parser
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/affine"
+)
+
+// Write serializes a kernel back into the DSL. Parse(Write(k)) yields a
+// kernel equivalent to k (round-trip property, tested), which makes the
+// DSL a durable interchange format for custom kernels.
+func Write(k *affine.Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s {\n", k.Name)
+
+	// Parameters, sorted for determinism.
+	if len(k.Params) > 0 {
+		names := make([]string, 0, len(k.Params))
+		for n := range k.Params {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, n := range names {
+			parts[i] = fmt.Sprintf("%s = %d", n, k.Params[n])
+		}
+		fmt.Fprintf(&b, "  param %s\n", strings.Join(parts, ", "))
+	}
+
+	if len(k.Arrays) > 0 {
+		parts := make([]string, len(k.Arrays))
+		for i, a := range k.Arrays {
+			var dims strings.Builder
+			for _, d := range a.Dims {
+				fmt.Fprintf(&dims, "[%s]", d.String())
+			}
+			parts[i] = a.Name + dims.String()
+		}
+		fmt.Fprintf(&b, "  array %s\n", strings.Join(parts, ", "))
+	}
+
+	for _, n := range k.Nests {
+		b.WriteString("  ")
+		if n.RepeatCount(map[string]int64{}) != 1 || len(n.Repeat.Params) > 0 {
+			// Repeat is always a single parameter in the IR we build.
+			for p := range n.Repeat.Params {
+				fmt.Fprintf(&b, "repeat %s ", p)
+			}
+		}
+		fmt.Fprintf(&b, "nest %s {\n", n.Name)
+		for _, l := range n.Loops {
+			fmt.Fprintf(&b, "    for %s in %s..%s\n", l.Name, l.Lower.String(), l.Upper.String())
+		}
+		b.WriteString("    {\n")
+		for _, st := range n.Body {
+			b.WriteString("      ")
+			b.WriteString(formatStatement(st))
+			b.WriteString("\n")
+		}
+		b.WriteString("    }\n  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// formatStatement renders one statement in DSL syntax.
+func formatStatement(st affine.Statement) string {
+	var writes, reads []affine.Ref
+	for _, r := range st.Refs {
+		if r.Write {
+			writes = append(writes, r)
+		} else {
+			reads = append(reads, r)
+		}
+	}
+	op := "="
+	if st.Reduction {
+		op = "+="
+		// Drop the implicit accumulator read (re-added by the parser).
+		if len(writes) == 1 {
+			var kept []affine.Ref
+			dropped := false
+			for _, r := range reads {
+				if !dropped && r.String() == refNoWrite(writes[0]).String() {
+					dropped = true
+					continue
+				}
+				kept = append(kept, r)
+			}
+			reads = kept
+		}
+	}
+	var rhs []string
+	for _, r := range reads {
+		rhs = append(rhs, r.String())
+	}
+	if len(rhs) == 0 {
+		rhs = []string{"0"}
+	}
+	lhs := ""
+	if len(writes) > 0 {
+		lhs = writes[0].String()
+	}
+	return fmt.Sprintf("%s: %s %s %s @flops(%d)",
+		st.Name, lhs, op, strings.Join(rhs, " * "), st.FlopsPerIter)
+}
+
+func refNoWrite(r affine.Ref) affine.Ref {
+	r.Write = false
+	return r
+}

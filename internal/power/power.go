@@ -1,0 +1,89 @@
+// Package power implements the GPU power and energy model used in place of
+// nvidia-smi / tegrastats measurements. Following the decomposition the
+// paper observes on the GA100 (Fig. 1), total power is
+//
+//	P = P_constant + P_static + P_dynamic
+//
+// where the dynamic component responds to SM activity (scaled by the DVFS
+// clock and its implied voltage), L2 sector traffic, DRAM traffic,
+// shared-memory bank activity, and the in-cache liveness of thread-private
+// data — the term through which EATSS's shortened data lifetimes save
+// energy (Sec. IV-A, [23]).
+package power
+
+import "repro/internal/arch"
+
+// Activity summarizes one kernel execution's resource usage rates.
+type Activity struct {
+	// ClockMHz is the SM clock chosen by DVFS.
+	ClockMHz float64
+	// SMBusyFrac is the fraction of time SMs execute instructions
+	// (compute-boundness x issue efficiency), in [0,1].
+	SMBusyFrac float64
+	// GridFrac is the fraction of SMs occupied by the grid, in [0,1].
+	GridFrac float64
+	// L2GBps is the L2 sector traffic rate in GB/s.
+	L2GBps float64
+	// DRAMGBps is the DRAM traffic rate in GB/s.
+	DRAMGBps float64
+	// SharedBusyFrac is the shared-memory bank utilization, in [0,1].
+	SharedBusyFrac float64
+	// LiveFrac measures the residency pressure of thread-private
+	// (intra-thread reuse) data in the SM-local cache, in [0,1]:
+	// the liveness term of the paper's energy story.
+	LiveFrac float64
+}
+
+// Breakdown is a per-component power estimate in Watts.
+type Breakdown struct {
+	Constant  float64
+	Static    float64
+	DynSM     float64
+	DynL2     float64
+	DynDRAM   float64
+	DynShared float64
+	DynLive   float64
+}
+
+// Total returns the summed power.
+func (b Breakdown) Total() float64 {
+	return b.Constant + b.Static + b.DynSM + b.DynL2 + b.DynDRAM + b.DynShared + b.DynLive
+}
+
+// Dynamic returns the dynamic component only.
+func (b Breakdown) Dynamic() float64 {
+	return b.DynSM + b.DynL2 + b.DynDRAM + b.DynShared + b.DynLive
+}
+
+// Estimate computes the power breakdown for an activity level on g.
+//
+// The SM dynamic term scales with f*V^2; on NVIDIA parts voltage scales
+// roughly linearly with frequency in the DVFS range, so we model the SM
+// power as (f/f_base)^3 — this is what makes DVFS an effective power knob
+// and what EATSS "cooperates" with.
+func Estimate(g *arch.GPU, a Activity) Breakdown {
+	fScale := a.ClockMHz / g.BaseClockMHz
+	fv2 := fScale * fScale * fScale
+
+	return Breakdown{
+		Constant:  g.ConstantWatts,
+		Static:    g.StaticWatts,
+		DynSM:     g.DynSMWatts * a.SMBusyFrac * a.GridFrac * fv2,
+		DynL2:     g.DynL2WattsPerGBs * a.L2GBps,
+		DynDRAM:   g.DynDRAMWattsPerGBs * a.DRAMGBps,
+		DynShared: g.DynSharedWatts * a.SharedBusyFrac * a.GridFrac,
+		DynLive:   g.DynLiveWatts * a.LiveFrac * a.GridFrac,
+	}
+}
+
+// Energy returns Joules for an average power over a duration in seconds.
+func Energy(avgWatts, seconds float64) float64 { return avgWatts * seconds }
+
+// PerfPerWatt returns the paper's PPW metric (Sec. V-B): floating-point
+// throughput divided by average power, reported as GFLOP/s per Watt.
+func PerfPerWatt(flops float64, seconds, avgWatts float64) float64 {
+	if seconds <= 0 || avgWatts <= 0 {
+		return 0
+	}
+	return flops / seconds / 1e9 / avgWatts
+}

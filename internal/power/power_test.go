@@ -1,0 +1,90 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func baseActivity(g *arch.GPU) Activity {
+	return Activity{
+		ClockMHz:   g.BaseClockMHz,
+		SMBusyFrac: 0.8,
+		GridFrac:   1.0,
+		L2GBps:     500,
+		DRAMGBps:   200,
+		LiveFrac:   0.4,
+	}
+}
+
+func TestBreakdownTotals(t *testing.T) {
+	g := arch.GA100()
+	b := Estimate(g, baseActivity(g))
+	sum := b.Constant + b.Static + b.DynSM + b.DynL2 + b.DynDRAM + b.DynShared + b.DynLive
+	if b.Total() != sum {
+		t.Fatal("Total != sum of components")
+	}
+	if b.Dynamic() != sum-b.Constant-b.Static {
+		t.Fatal("Dynamic != total - idle")
+	}
+}
+
+func TestIdleFloor(t *testing.T) {
+	g := arch.GA100()
+	b := Estimate(g, Activity{ClockMHz: g.MinClockMHz})
+	if b.Total() != g.ConstantWatts+g.StaticWatts {
+		t.Fatalf("idle power = %g, want %g", b.Total(), g.ConstantWatts+g.StaticWatts)
+	}
+}
+
+func TestClockCubedScaling(t *testing.T) {
+	g := arch.GA100()
+	a := baseActivity(g)
+	a.ClockMHz = g.BaseClockMHz
+	p1 := Estimate(g, a).DynSM
+	a.ClockMHz = 2 * g.BaseClockMHz
+	p2 := Estimate(g, a).DynSM
+	if p2 < 7.9*p1 || p2 > 8.1*p1 {
+		t.Fatalf("DynSM at 2x clock = %g, want ~8x %g (f*V^2 ~ f^3)", p2, p1)
+	}
+}
+
+func TestMonotoneInLiveness(t *testing.T) {
+	g := arch.GA100()
+	a := baseActivity(g)
+	a.LiveFrac = 0.2
+	lo := Estimate(g, a).Total()
+	a.LiveFrac = 0.8
+	hi := Estimate(g, a).Total()
+	if hi <= lo {
+		t.Fatal("power must grow with data liveness (the paper's central mechanism)")
+	}
+}
+
+func TestMonotoneInL2Traffic(t *testing.T) {
+	g := arch.GA100()
+	a := baseActivity(g)
+	a.L2GBps = 100
+	lo := Estimate(g, a).Total()
+	a.L2GBps = 2000
+	hi := Estimate(g, a).Total()
+	if hi <= lo {
+		t.Fatal("power must grow with L2 sector rate (Fig. 9)")
+	}
+}
+
+func TestPerfPerWatt(t *testing.T) {
+	// 1 TFLOP in 1 s at 100 W = 10 GFLOP/s/W.
+	if got := PerfPerWatt(1e12, 1, 100); got != 10 {
+		t.Fatalf("PPW = %g, want 10", got)
+	}
+	if PerfPerWatt(1e12, 0, 100) != 0 || PerfPerWatt(1e12, 1, 0) != 0 {
+		t.Fatal("degenerate PPW should be 0")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	if Energy(100, 2.5) != 250 {
+		t.Fatal("energy arithmetic wrong")
+	}
+}

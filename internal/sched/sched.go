@@ -1,0 +1,167 @@
+// Package sched implements the loop-scheduling step that PPCG's isl-based
+// scheduler performs before tiling: it permutes a nest's loops into a
+// GPU-friendly canonical order — parallel loops outermost, the coalescing
+// (CMA) loop as the innermost parallel loop, reduction/serial loops
+// innermost — subject to legality (a permutation is applied only when
+// every dependence remains lexicographically non-negative).
+//
+// The built-in catalog is already written in this order; the scheduler
+// exists so kernels arriving through the DSL in arbitrary loop orders are
+// normalized before EATSS and the mapper see them.
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/affine"
+	"repro/internal/deps"
+)
+
+// Plan records the permutation chosen for one nest.
+type Plan struct {
+	Nest string
+	// Order holds loop names in their new outermost-first order.
+	Order []string
+	// Changed reports whether the permutation differs from the original.
+	Changed bool
+	// Legal is false when the desired permutation was rejected by the
+	// dependence legality check and the original order was kept.
+	Legal bool
+}
+
+// ScheduleNest computes and applies the canonical loop order to a nest
+// in place. It returns the plan describing what happened.
+func ScheduleNest(n *affine.Nest) Plan {
+	reuse := deps.AnalyzeReuse(n)
+	info := reuse.Info
+
+	type loopRank struct {
+		idx  int
+		name string
+		rank int
+	}
+	ranks := make([]loopRank, n.Depth())
+	for d, l := range n.Loops {
+		// Rank classes (ascending = outermore):
+		//   0: parallel, not the CMA loop
+		//   1: parallel CMA loop (innermost of the parallel band,
+		//      closest to thread-x)
+		//   2: serial loops
+		r := 2
+		if info.Parallel[d] {
+			if l.Name == reuse.CMALoop {
+				r = 1
+			} else {
+				r = 0
+			}
+		}
+		ranks[d] = loopRank{idx: d, name: l.Name, rank: r}
+	}
+	sort.SliceStable(ranks, func(i, j int) bool { return ranks[i].rank < ranks[j].rank })
+
+	perm := make([]int, n.Depth())
+	changed := false
+	for newPos, lr := range ranks {
+		perm[newPos] = lr.idx
+		if lr.idx != newPos {
+			changed = true
+		}
+	}
+
+	plan := Plan{Nest: n.Name, Legal: true}
+	for _, lr := range ranks {
+		plan.Order = append(plan.Order, lr.name)
+	}
+	if !changed {
+		return plan
+	}
+	if !permutationLegal(info, perm) {
+		plan.Order = loopNames(n)
+		return plan // Legal stays true: we keep the (legal) original
+	}
+
+	applyPermutation(n, perm)
+	plan.Changed = true
+	return plan
+}
+
+// ScheduleKernel schedules every nest of the kernel in place.
+func ScheduleKernel(k *affine.Kernel) []Plan {
+	plans := make([]Plan, len(k.Nests))
+	for i := range k.Nests {
+		plans[i] = ScheduleNest(&k.Nests[i])
+	}
+	return plans
+}
+
+func loopNames(n *affine.Nest) []string {
+	out := make([]string, n.Depth())
+	for i, l := range n.Loops {
+		out[i] = l.Name
+	}
+	return out
+}
+
+// permutationLegal checks that every dependence keeps a lexicographically
+// positive distance vector under the permutation — except associative
+// reduction self-updates, which commute and may be reordered freely.
+func permutationLegal(info *deps.NestInfo, perm []int) bool {
+	for _, dep := range info.Deps {
+		if dep.ReductionAssoc {
+			continue
+		}
+		if !depLegalUnder(dep, perm) {
+			return false
+		}
+	}
+	return true
+}
+
+// depLegalUnder canonicalizes the dependence's direction (the analysis
+// stores reference pairs in arbitrary order, so the true source-to-sink
+// distance is the stored vector or its negation — whichever is
+// lexicographically positive in the original loop order) and then checks
+// that the permuted vector stays lexicographically non-negative. Star
+// (unknown-distance) components make the sign undecidable and reject the
+// permutation conservatively.
+func depLegalUnder(dep deps.Dependence, perm []int) bool {
+	comps := make([]int64, len(dep.Components))
+	sign := int64(0)
+	for i, c := range dep.Components {
+		if c.Kind == deps.Star {
+			return false // unknown sign: conservative
+		}
+		comps[i] = c.Dist
+		if sign == 0 && c.Dist != 0 {
+			if c.Dist > 0 {
+				sign = 1
+			} else {
+				sign = -1
+			}
+		}
+	}
+	if sign == -1 {
+		for i := range comps {
+			comps[i] = -comps[i]
+		}
+	}
+	// Check lexicographic non-negativity under the new order.
+	for _, src := range perm {
+		switch {
+		case comps[src] > 0:
+			return true
+		case comps[src] < 0:
+			return false
+		}
+	}
+	return true // loop-independent
+}
+
+// applyPermutation reorders the nest's loops.
+func applyPermutation(n *affine.Nest, perm []int) {
+	loops := make([]affine.Loop, len(perm))
+	for newPos, old := range perm {
+		loops[newPos] = n.Loops[old]
+	}
+	n.Loops = loops
+}

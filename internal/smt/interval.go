@@ -1,0 +1,37 @@
+package smt
+
+// Interval is a closed integer interval [Lo, Hi] used for bounds reasoning
+// during search. Products handle sign changes by taking the extrema of the
+// four corner products.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Add returns the interval sum.
+func (a Interval) Add(b Interval) Interval {
+	return Interval{a.Lo + b.Lo, a.Hi + b.Hi}
+}
+
+// Mul returns the interval product.
+func (a Interval) Mul(b Interval) Interval {
+	c1 := a.Lo * b.Lo
+	c2 := a.Lo * b.Hi
+	c3 := a.Hi * b.Lo
+	c4 := a.Hi * b.Hi
+	lo, hi := c1, c1
+	for _, c := range []int64{c2, c3, c4} {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	return Interval{lo, hi}
+}
+
+// Contains reports whether v lies in the interval.
+func (a Interval) Contains(v int64) bool { return a.Lo <= v && v <= a.Hi }
+
+// Empty reports whether the interval is empty.
+func (a Interval) Empty() bool { return a.Lo > a.Hi }

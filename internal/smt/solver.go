@@ -1,0 +1,277 @@
+package smt
+
+import (
+	"sort"
+	"time"
+)
+
+// Stats records solver effort, mirroring the measurements of Sec. V-G
+// (solver calls per EATSS run, time per call).
+type Stats struct {
+	// SolverCalls counts complete satisfiability checks (one per
+	// iteration of the Maximize loop).
+	SolverCalls int
+	// Nodes counts search-tree nodes across all calls.
+	Nodes int64
+	// Elapsed is the total wall-clock time spent solving.
+	Elapsed time.Duration
+}
+
+// Solver decides Problems and maximizes objectives over them.
+type Solver struct {
+	p     *Problem
+	Stats Stats
+	// descend makes the search try larger values first. The first Solve
+	// of a Maximize run uses the problem's natural ascending order (a
+	// Z3-like "any model"), subsequent improvement calls descend, which
+	// mimics Z3's rapid convergence under OBJ > best constraints.
+	descend bool
+	// extra holds objective-improvement constraints added by Maximize.
+	extra []Constraint
+}
+
+// NewSolver returns a solver for p.
+func NewSolver(p *Problem) *Solver { return &Solver{p: p} }
+
+// Solve searches for a model satisfying all constraints. ok is false when
+// the problem is unsatisfiable.
+func (s *Solver) Solve() (Model, bool) {
+	start := time.Now()
+	s.Stats.SolverCalls++
+	defer func() { s.Stats.Elapsed += time.Since(start) }()
+
+	n := s.p.NumVars()
+	for _, d := range s.p.domains {
+		if len(d) == 0 {
+			return nil, false
+		}
+	}
+
+	// Static variable order: most-constrained (smallest domain) first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(s.p.domains[order[a]]) < len(s.p.domains[order[b]])
+	})
+
+	// Group constraints by the highest-ordered variable they mention so
+	// each is checked exactly when it becomes fully assigned.
+	rank := make([]int, n)
+	for pos, v := range order {
+		rank[v] = pos
+	}
+	all := make([]Constraint, 0, len(s.p.cons)+len(s.extra))
+	all = append(all, s.p.cons...)
+	all = append(all, s.extra...)
+	byLast := make([][]Constraint, n)
+	var constOnly []Constraint
+	for _, c := range all {
+		vars := make(map[Var]bool)
+		c.L.CollectVars(vars)
+		c.R.CollectVars(vars)
+		last := -1
+		for v := range vars {
+			if rank[v] > last {
+				last = rank[v]
+			}
+		}
+		if last < 0 {
+			constOnly = append(constOnly, c)
+			continue
+		}
+		byLast[last] = append(byLast[last], c)
+	}
+	for _, c := range constOnly {
+		if !c.Holds(nil) {
+			return nil, false
+		}
+	}
+
+	// Working bounds: assigned variables have lo==hi; unassigned use
+	// domain extremes.
+	lo := make([]int64, n)
+	hi := make([]int64, n)
+	for v, d := range s.p.domains {
+		lo[v], hi[v] = d[0], d[len(d)-1]
+	}
+	model := make(Model, n)
+
+	var dfs func(depth int) bool
+	dfs = func(depth int) bool {
+		s.Stats.Nodes++
+		if depth == n {
+			return true
+		}
+		v := Var(order[depth])
+		dom := s.p.domains[v]
+		for i := range dom {
+			val := dom[i]
+			if s.descend {
+				val = dom[len(dom)-1-i]
+			}
+			model[v] = val
+			saveLo, saveHi := lo[v], hi[v]
+			lo[v], hi[v] = val, val
+
+			ok := true
+			// Check constraints fully assigned at this depth.
+			for _, c := range byLast[depth] {
+				if !c.Holds(model) {
+					ok = false
+					break
+				}
+			}
+			// Interval-prune future constraints.
+			if ok {
+				for d := depth + 1; d < n && ok; d++ {
+					for _, c := range byLast[d] {
+						if !c.feasible(lo, hi) {
+							ok = false
+							break
+						}
+					}
+				}
+			}
+			if ok && dfs(depth+1) {
+				return true
+			}
+			lo[v], hi[v] = saveLo, saveHi
+		}
+		return false
+	}
+
+	if !dfs(0) {
+		return nil, false
+	}
+	out := make(Model, n)
+	copy(out, model)
+	return out, true
+}
+
+// Maximize implements the paper's iterative optimization (Sec. IV-L): find
+// a first model, then repeatedly add OBJ > best and re-solve until the
+// problem becomes unsatisfiable. It returns the best model found and its
+// objective value; ok is false when even the base problem is UNSAT.
+func (s *Solver) Maximize(obj Expr) (best Model, bestVal int64, ok bool) {
+	s.extra = nil
+	s.descend = false
+	m, sat := s.Solve()
+	if !sat {
+		return nil, 0, false
+	}
+	best = m
+	bestVal = obj.Eval(m)
+	// Subsequent improvement rounds descend through domains, which makes
+	// each round jump near the remaining maximum — the small
+	// solver-call counts of Sec. V-G come from this behaviour.
+	s.descend = true
+	for {
+		s.extra = []Constraint{{L: obj, Op: GT, R: C(bestVal)}}
+		m, sat := s.Solve()
+		if !sat {
+			break
+		}
+		best = m
+		bestVal = obj.Eval(m)
+	}
+	s.extra = nil
+	return best, bestVal, true
+}
+
+// Enumerate calls fn for every model of the problem until fn returns false
+// or the space is exhausted. It returns the number of models visited.
+// Intended for tests and small exploration studies.
+func (s *Solver) Enumerate(fn func(Model) bool) int {
+	n := s.p.NumVars()
+	for _, d := range s.p.domains {
+		if len(d) == 0 {
+			return 0
+		}
+	}
+	model := make(Model, n)
+	count := 0
+	stopped := false
+	var dfs func(v int)
+	dfs = func(v int) {
+		if stopped {
+			return
+		}
+		if v == n {
+			for _, c := range s.p.cons {
+				if !c.Holds(model) {
+					return
+				}
+			}
+			count++
+			cp := make(Model, n)
+			copy(cp, model)
+			if !fn(cp) {
+				stopped = true
+			}
+			return
+		}
+		for _, val := range s.p.domains[v] {
+			model[Var(v)] = val
+			dfs(v + 1)
+			if stopped {
+				return
+			}
+		}
+	}
+	dfs(0)
+	return count
+}
+
+// Minimize finds a model minimizing obj, via Maximize on its negation.
+func (s *Solver) Minimize(obj Expr) (best Model, bestVal int64, ok bool) {
+	m, negVal, ok := s.Maximize(Scale(-1, obj))
+	if !ok {
+		return nil, 0, false
+	}
+	return m, -negVal, true
+}
+
+// MaximizeBinary finds the objective maximum by binary search over the
+// objective's interval bounds instead of the paper's linear
+// OBJ_{n+1} > OBJ_n improvement loop. It visits O(log range) solver calls
+// and returns the same optimum as Maximize (cross-checked in tests); use
+// it when the objective range is wide and call count matters more than
+// mirroring the paper's Sec. IV-L procedure.
+func (s *Solver) MaximizeBinary(obj Expr) (best Model, bestVal int64, ok bool) {
+	s.extra = nil
+	s.descend = false
+	m, sat := s.Solve()
+	if !sat {
+		return nil, 0, false
+	}
+	best = m
+	bestVal = obj.Eval(m)
+
+	// Upper bound from interval arithmetic over the variable domains.
+	n := s.p.NumVars()
+	lo := make([]int64, n)
+	hi := make([]int64, n)
+	for v, d := range s.p.domains {
+		lo[v], hi[v] = d[0], d[len(d)-1]
+	}
+	upper := obj.Bounds(lo, hi).Hi
+
+	s.descend = true
+	loVal := bestVal
+	for loVal < upper {
+		mid := loVal + (upper-loVal+1)/2
+		s.extra = []Constraint{{L: obj, Op: GE, R: C(mid)}}
+		m, sat := s.Solve()
+		if !sat {
+			upper = mid - 1
+			continue
+		}
+		best = m
+		bestVal = obj.Eval(m)
+		loVal = bestVal
+	}
+	s.extra = nil
+	return best, bestVal, true
+}

@@ -1,0 +1,325 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveSimpleLinear(t *testing.T) {
+	p := NewProblem()
+	x := p.RangeVar("x", 1, 10, 1)
+	y := p.RangeVar("y", 1, 10, 1)
+	p.RequireEQ(Sum(V(x), V(y)), C(7))
+	p.RequireGT(V(x), V(y))
+	m, ok := NewSolver(p).Solve()
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if m.Value(x)+m.Value(y) != 7 || m.Value(x) <= m.Value(y) {
+		t.Fatalf("bad model x=%d y=%d", m.Value(x), m.Value(y))
+	}
+}
+
+func TestSolveUnsat(t *testing.T) {
+	p := NewProblem()
+	x := p.RangeVar("x", 1, 5, 1)
+	p.RequireGT(V(x), C(100))
+	if _, ok := NewSolver(p).Solve(); ok {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestEmptyDomainUnsat(t *testing.T) {
+	p := NewProblem()
+	p.IntVar("x", nil)
+	if _, ok := NewSolver(p).Solve(); ok {
+		t.Fatal("empty domain should be UNSAT")
+	}
+}
+
+func TestRangeVarStep(t *testing.T) {
+	p := NewProblem()
+	x := p.RangeVar("x", 1, 100, 32)
+	d := p.Domain(x)
+	want := []int64{32, 64, 96}
+	if len(d) != len(want) {
+		t.Fatalf("domain = %v, want %v", d, want)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("domain = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestMaximizeNonLinear(t *testing.T) {
+	// maximize x*y subject to x*y <= 50, x,y in multiples of 2 up to 16.
+	p := NewProblem()
+	x := p.RangeVar("x", 1, 16, 2)
+	y := p.RangeVar("y", 1, 16, 2)
+	p.RequireLE(Mul(V(x), V(y)), C(50))
+	m, val, ok := NewSolver(p).Maximize(Mul(V(x), V(y)))
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if val != 48 {
+		t.Fatalf("max = %d (x=%d, y=%d), want 48", val, m.Value(x), m.Value(y))
+	}
+}
+
+func TestMaximizeMatchesEnumeration(t *testing.T) {
+	// Cross-check branch-and-improve against brute-force enumeration on a
+	// tile-selection-shaped problem.
+	build := func() (*Problem, Var, Var, Var, Expr) {
+		p := NewProblem()
+		ti := p.RangeVar("Ti", 1, 64, 8)
+		tj := p.RangeVar("Tj", 1, 64, 8)
+		tk := p.RangeVar("Tk", 1, 64, 8)
+		// block size cap
+		p.RequireLE(Mul(V(ti), V(tj)), C(1024))
+		// cache capacity
+		p.RequireLE(Sum(Mul(V(ti), V(tj)), Mul(V(tk), V(tj))), C(2048))
+		// shared memory
+		p.RequireLE(Mul(V(ti), V(tk)), C(1024))
+		obj := Sum(Mul(V(ti), V(tj)), Scale(16, V(tj)))
+		return p, ti, tj, tk, obj
+	}
+
+	p1, _, _, _, obj1 := build()
+	_, got, ok := NewSolver(p1).Maximize(obj1)
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+
+	p2, _, _, _, obj2 := build()
+	best := int64(-1 << 62)
+	NewSolver(p2).Enumerate(func(m Model) bool {
+		if v := obj2.Eval(m); v > best {
+			best = v
+		}
+		return true
+	})
+	if got != best {
+		t.Fatalf("Maximize = %d, brute force = %d", got, best)
+	}
+}
+
+func TestMaximizeStatsCounted(t *testing.T) {
+	p := NewProblem()
+	x := p.RangeVar("x", 1, 32, 1)
+	p.RequireLE(V(x), C(20))
+	s := NewSolver(p)
+	_, val, ok := s.Maximize(V(x))
+	if !ok || val != 20 {
+		t.Fatalf("max=%d ok=%v", val, ok)
+	}
+	// At least two calls: first model + the failed improvement round.
+	if s.Stats.SolverCalls < 2 {
+		t.Fatalf("SolverCalls = %d, want >= 2", s.Stats.SolverCalls)
+	}
+	if s.Stats.Elapsed <= 0 {
+		t.Fatal("Elapsed not recorded")
+	}
+}
+
+func TestModUnnecessaryViaDomains(t *testing.T) {
+	// Warp-alignment (T % 16 == 0) is encoded by domain construction.
+	p := NewProblem()
+	x := p.RangeVar("x", 1, 100, 16)
+	for _, v := range p.Domain(x) {
+		if v%16 != 0 {
+			t.Fatalf("domain value %d not multiple of 16", v)
+		}
+	}
+}
+
+func TestIntervalMulSigns(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want Interval
+	}{
+		{Interval{2, 3}, Interval{4, 5}, Interval{8, 15}},
+		{Interval{-2, 3}, Interval{4, 5}, Interval{-10, 15}},
+		{Interval{-2, -1}, Interval{-3, 4}, Interval{-8, 6}},
+	}
+	for _, c := range cases {
+		got := c.a.Mul(c.b)
+		if got != c.want {
+			t.Errorf("%v * %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: every Solve result satisfies all constraints, and when Solve
+// reports UNSAT, exhaustive enumeration agrees.
+func TestSolveSoundAndComplete(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := NewProblem()
+		nv := 2 + r.Intn(3)
+		vars := make([]Var, nv)
+		for i := range vars {
+			step := int64(1 + r.Intn(4))
+			hi := int64(4 + r.Intn(20))
+			vars[i] = p.RangeVar("v", 1, hi, step)
+		}
+		nc := 1 + r.Intn(4)
+		for i := 0; i < nc; i++ {
+			a, b := vars[r.Intn(nv)], vars[r.Intn(nv)]
+			var l Expr
+			if r.Intn(2) == 0 {
+				l = Mul(V(a), V(b))
+			} else {
+				l = Sum(V(a), Scale(int64(1+r.Intn(3)), V(b)))
+			}
+			ops := []Op{LE, LT, GE, GT, EQ, NE}
+			p.Require(l, ops[r.Intn(len(ops))], C(int64(r.Intn(200))))
+		}
+
+		m, ok := NewSolver(p).Solve()
+		// Check soundness: the returned model satisfies every constraint.
+		if ok {
+			for _, c := range p.cons {
+				if !c.Holds(m) {
+					return false
+				}
+			}
+			return true
+		}
+		// Check completeness: enumeration must agree it's UNSAT.
+		found := 0
+		NewSolver(p).Enumerate(func(Model) bool { found++; return false })
+		return found == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Maximize returns the same optimum as brute-force enumeration.
+func TestMaximizeOptimal(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() (*Problem, []Var, Expr) {
+			rr := rand.New(rand.NewSource(seed))
+			p := NewProblem()
+			nv := 2 + rr.Intn(2)
+			vars := make([]Var, nv)
+			for i := range vars {
+				vars[i] = p.RangeVar("v", 1, int64(8+rr.Intn(8)), int64(1+rr.Intn(3)))
+			}
+			p.RequireLE(Mul(V(vars[0]), V(vars[1])), C(int64(20+rr.Intn(100))))
+			obj := Sum(Mul(V(vars[0]), V(vars[1])), Scale(3, V(vars[nv-1])))
+			return p, vars, obj
+		}
+		_ = r
+		p1, _, obj1 := mk()
+		_, got, ok := NewSolver(p1).Maximize(obj1)
+		if !ok {
+			return true // vacuously fine; constraints always satisfiable here though
+		}
+		p2, _, obj2 := mk()
+		best := int64(-1 << 62)
+		NewSolver(p2).Enumerate(func(m Model) bool {
+			if v := obj2.Eval(m); v > best {
+				best = v
+			}
+			return true
+		})
+		return got == best
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProblemString(t *testing.T) {
+	p := NewProblem()
+	x := p.RangeVar("Ti", 16, 64, 16)
+	p.RequireLE(Mul(V(x), C(2)), C(100))
+	s := p.String()
+	if s == "" {
+		t.Fatal("empty problem dump")
+	}
+	for _, want := range []string{"Ti", "assert", "<="} {
+		if !contains(s, want) {
+			t.Errorf("dump missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestMinimize(t *testing.T) {
+	p := NewProblem()
+	x := p.RangeVar("x", 1, 64, 8)
+	y := p.RangeVar("y", 1, 64, 8)
+	p.RequireGE(Sum(V(x), V(y)), C(40))
+	m, val, ok := NewSolver(p).Minimize(Sum(V(x), V(y)))
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if val != 40 {
+		t.Fatalf("min = %d (x=%d y=%d), want 40", val, m.Value(x), m.Value(y))
+	}
+}
+
+// Property: MaximizeBinary agrees with the paper's iterative Maximize.
+func TestMaximizeBinaryMatchesIterative(t *testing.T) {
+	prop := func(seed int64) bool {
+		mk := func() (*Solver, Expr) {
+			rr := rand.New(rand.NewSource(seed))
+			p := NewProblem()
+			a := p.RangeVar("a", 1, int64(8+rr.Intn(24)), int64(1+rr.Intn(4)))
+			b := p.RangeVar("b", 1, int64(8+rr.Intn(24)), int64(1+rr.Intn(4)))
+			p.RequireLE(Mul(V(a), V(b)), C(int64(30+rr.Intn(200))))
+			obj := Sum(Mul(V(a), V(b)), Scale(int64(1+rr.Intn(8)), V(b)))
+			return NewSolver(p), obj
+		}
+		s1, o1 := mk()
+		_, v1, ok1 := s1.Maximize(o1)
+		s2, o2 := mk()
+		_, v2, ok2 := s2.MaximizeBinary(o2)
+		if ok1 != ok2 {
+			return false
+		}
+		return !ok1 || v1 == v2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaximizeBinaryFewerCallsOnWideRange(t *testing.T) {
+	mk := func() (*Solver, Expr) {
+		p := NewProblem()
+		x := p.RangeVar("x", 1, 4096, 1)
+		p.RequireLE(V(x), C(4000))
+		return NewSolver(p), V(x)
+	}
+	s1, o1 := mk()
+	s1.descend = false
+	// Force the worst case for the iterative scheme: ascending value
+	// order on the first call finds x=1, then improvements jump via
+	// descending order, so it is already fast; the binary variant must
+	// never be dramatically worse.
+	_, v1, _ := s1.Maximize(o1)
+	s2, o2 := mk()
+	_, v2, _ := s2.MaximizeBinary(o2)
+	if v1 != 4000 || v2 != 4000 {
+		t.Fatalf("optima differ: %d vs %d", v1, v2)
+	}
+	if s2.Stats.SolverCalls > 20 {
+		t.Fatalf("binary search used %d calls", s2.Stats.SolverCalls)
+	}
+}

@@ -1,0 +1,83 @@
+package eatss_test
+
+// Whole-pipeline robustness: randomly generated (but valid) affine kernels
+// must flow through dependence analysis, scheduling, EATSS, mapping and
+// simulation without panics, and every success must satisfy the physical
+// invariants. This is the widest net in the suite: it exercises kernel
+// shapes no catalog entry has.
+
+import (
+	"math/rand"
+	"testing"
+
+	eatss "repro"
+
+	"repro/internal/affine"
+	"repro/internal/deps"
+	"repro/internal/sched"
+)
+
+func TestRandomKernelsThroughPipeline(t *testing.T) {
+	g := eatss.GA100()
+	solved, mapped := 0, 0
+	for seed := int64(0); seed < 120; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		k := affine.RandomKernel(r)
+		if err := k.Validate(); err != nil {
+			t.Fatalf("seed %d: generator produced invalid kernel: %v", seed, err)
+		}
+
+		// Analysis must be sound on a shrunken instance.
+		small := map[string]int64{}
+		for p := range k.Params {
+			small[p] = 8
+		}
+		for ni := range k.Nests {
+			if v, err := deps.VerifyParallelism(&k.Nests[ni], small); err != nil {
+				t.Fatalf("seed %d nest %d: oracle error: %v", seed, ni, err)
+			} else if len(v) > 0 {
+				t.Fatalf("seed %d nest %d: unsound parallelism: %v", seed, ni, v)
+			}
+		}
+
+		// Scheduling must keep the kernel valid.
+		sched.ScheduleKernel(k)
+		if err := k.Validate(); err != nil {
+			t.Fatalf("seed %d: scheduling broke the kernel: %v", seed, err)
+		}
+
+		// EATSS with warp-fraction fallback; nests without parallel loops
+		// are legitimately rejected.
+		var tiles map[string]int64
+		for _, wf := range eatss.WarpFractions {
+			sel, err := eatss.SelectTiles(k, g, eatss.Options{
+				SplitFactor: 0.5, WarpFraction: wf,
+				Precision: eatss.FP64, ProblemSizeAware: true,
+			})
+			if err == nil {
+				tiles = sel.Tiles
+				break
+			}
+		}
+		if tiles == nil {
+			continue
+		}
+		solved++
+
+		res, err := eatss.Run(k, g, tiles, eatss.RunConfig{UseShared: true, Precision: eatss.FP64})
+		if err != nil {
+			continue
+		}
+		mapped++
+		if res.TimeSec <= 0 || res.EnergyJ <= 0 ||
+			res.AvgPowerW < (g.ConstantWatts+g.StaticWatts)*0.99 ||
+			res.AvgPowerW > g.TDPWatts*1.01 {
+			t.Fatalf("seed %d: unphysical result %+v for kernel:\n%s", seed, res, k)
+		}
+	}
+	// The generator must actually exercise the pipeline, not just get
+	// rejected.
+	if solved < 60 || mapped < 50 {
+		t.Fatalf("only %d/120 kernels solved and %d mapped — generator too narrow", solved, mapped)
+	}
+}
