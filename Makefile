@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all vet build test race check clean
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the gate a change must pass before it lands: static analysis,
+# a full build, and the test suite under the race detector.
+check: vet build race
+
+clean:
+	$(GO) clean ./...
+	rm -f trace.json

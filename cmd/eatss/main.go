@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	eatss "repro"
+
+	"repro/internal/obs"
 )
 
 func main() {
@@ -33,7 +36,41 @@ func main() {
 	showPower := flag.Bool("power", false, "print the average power breakdown")
 	cuda := flag.Bool("cuda", false, "print the generated CUDA-style code")
 	list := flag.Bool("list", false, "list available kernels")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event file of the pipeline (load in chrome://tracing or ui.perfetto.dev)")
+	metrics := flag.Bool("metrics", false, "print the metrics snapshot (solver nodes, prunes, simulated traffic) after the run")
+	summary := flag.Bool("summary", false, "print the span tree summary after the run")
 	flag.Parse()
+
+	ctx := context.Background()
+	var rootSpan *obs.Span
+	if *tracePath != "" || *metrics || *summary {
+		obs.Enable()
+		ctx, rootSpan = obs.Start(ctx, "eatss.pipeline")
+		defer func() {
+			rootSpan.End()
+			if *summary {
+				fmt.Println("\n--- span tree ---")
+				fmt.Print(obs.TreeSummary())
+			}
+			if *metrics {
+				fmt.Println("\n--- metrics ---")
+				fmt.Print(obs.MetricsSummary())
+			}
+			if *tracePath != "" {
+				f, err := os.Create(*tracePath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "eatss:", err)
+					return
+				}
+				defer f.Close()
+				if err := obs.WriteChromeTrace(f); err != nil {
+					fmt.Fprintln(os.Stderr, "eatss:", err)
+					return
+				}
+				fmt.Printf("\nwrote Chrome trace (%d spans) to %s\n", len(obs.Spans()), *tracePath)
+			}
+		}()
+	}
 
 	if *list {
 		for _, n := range eatss.Kernels() {
@@ -90,7 +127,7 @@ func main() {
 	}
 
 	if *best {
-		b, err := eatss.SelectBest(k.WithParams(params), g, prec, params)
+		b, err := eatss.SelectBestCtx(ctx, k.WithParams(params), g, prec, params)
 		if err != nil {
 			fatal(err)
 		}
@@ -105,7 +142,7 @@ func main() {
 				marker, c.SharedFrac, c.Selection.Tiles,
 				c.Result.GFLOPS, c.Result.AvgPowerW, c.Result.EnergyJ, c.Result.PPW)
 		}
-		compareDefault(k, g, params, b.Chosen.Result)
+		compareDefault(ctx, k, g, params, b.Chosen.Result)
 		return
 	}
 
@@ -115,7 +152,7 @@ func main() {
 		Precision:        prec,
 		ProblemSizeAware: true,
 	}
-	sel, err := eatss.SelectTiles(k.WithParams(params), g, opts)
+	sel, err := eatss.SelectTilesCtx(ctx, k.WithParams(params), g, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -132,7 +169,7 @@ func main() {
 
 	cfg := eatss.RunConfig{Params: params, UseShared: *split > 0, Precision: prec}
 	if *cuda {
-		mk, err := eatss.Compile(k, g, sel.Tiles, cfg)
+		mk, err := eatss.CompileCtx(ctx, k, g, sel.Tiles, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -140,7 +177,7 @@ func main() {
 		fmt.Print(mk.CUDASource())
 	}
 
-	res, err := eatss.Run(k, g, sel.Tiles, cfg)
+	res, err := eatss.RunCtx(ctx, k, g, sel.Tiles, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -151,11 +188,11 @@ func main() {
 		fmt.Printf("power breakdown: const %.1fW  static %.1fW  SM %.1fW  L2 %.1fW  DRAM %.1fW  shared %.1fW  liveness %.1fW\n",
 			b.Constant, b.Static, b.DynSM, b.DynL2, b.DynDRAM, b.DynShared, b.DynLive)
 	}
-	compareDefault(k, g, params, res)
+	compareDefault(ctx, k, g, params, res)
 }
 
-func compareDefault(k *eatss.AffineKernel, g *eatss.GPU, params map[string]int64, res eatss.Result) {
-	def, err := eatss.Run(k, g, eatss.DefaultTiles(k), eatss.RunConfig{
+func compareDefault(ctx context.Context, k *eatss.AffineKernel, g *eatss.GPU, params map[string]int64, res eatss.Result) {
+	def, err := eatss.RunCtx(ctx, k, g, eatss.DefaultTiles(k), eatss.RunConfig{
 		Params: params, UseShared: true, Precision: eatss.FP64,
 	})
 	if err != nil {

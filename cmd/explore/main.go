@@ -48,9 +48,10 @@ func main() {
 	} else {
 		space = eatss.Space(k, []int64{4, 8, 16, 32, 64})
 	}
-	pts := eatss.ExploreSpace(k, g, space, cfg)
+	pts, stats := eatss.ExploreSpace(k, g, space, cfg)
 	if len(pts) == 0 {
-		fatal(fmt.Errorf("no valid variants for %s", *kernel))
+		fatal(fmt.Errorf("no valid variants for %s (%d of %d configurations failed to map)",
+			*kernel, stats.Skipped, len(space)))
 	}
 
 	def, err := eatss.Run(k, g, eatss.DefaultTiles(k), cfg)

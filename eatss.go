@@ -21,16 +21,29 @@
 package eatss
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/affine"
 	"repro/internal/arch"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/ppcg"
 	"repro/internal/sched"
+)
+
+// Protocol-level telemetry: how many configurations the end-to-end
+// protocol tried, and how many were silently dropped before this layer
+// surfaced them (infeasible formulations, unmappable tile choices).
+var (
+	mCandidates       = obs.NewCounter("eatss.candidates")
+	mInfeasibleSplits = obs.NewCounter("eatss.infeasible_splits")
+	mFailedMaps       = obs.NewCounter("eatss.failed_maps")
+	mExploreSkipped   = obs.NewCounter("eatss.explore_skipped")
 )
 
 // Re-exported core types. The aliases make the internal packages' types
@@ -146,6 +159,14 @@ func SelectTiles(k *AffineKernel, g *GPU, opts Options) (*Selection, error) {
 	return core.SelectTiles(k, g, opts)
 }
 
+// SelectTilesCtx is SelectTiles with the caller's context threaded
+// through, so spans recorded by the model generator and solver nest
+// under the caller's internal/obs span (see README's Observability
+// section).
+func SelectTilesCtx(ctx context.Context, k *AffineKernel, g *GPU, opts Options) (*Selection, error) {
+	return core.SelectTilesCtx(ctx, k, g, opts)
+}
+
 // DefaultTiles returns PPCG's default 32^d configuration.
 func DefaultTiles(k *AffineKernel) map[string]int64 { return ppcg.DefaultTiles(k) }
 
@@ -175,7 +196,13 @@ type RunConfig struct {
 
 // Compile maps a kernel with the given tiles onto the GPU (the PPCG step).
 func Compile(k *AffineKernel, g *GPU, tiles map[string]int64, cfg RunConfig) (*MappedKernel, error) {
-	mk, err := ppcg.Compile(k, cfg.Params, tiles, g, codegen.Options{
+	return CompileCtx(context.Background(), k, g, tiles, cfg)
+}
+
+// CompileCtx is Compile with the caller's context threaded through for
+// observability.
+func CompileCtx(ctx context.Context, k *AffineKernel, g *GPU, tiles map[string]int64, cfg RunConfig) (*MappedKernel, error) {
+	mk, err := ppcg.CompileCtx(ctx, k, cfg.Params, tiles, g, codegen.Options{
 		UseShared:   cfg.UseShared,
 		SharedQuota: cfg.SharedQuota,
 		Precision:   cfg.Precision,
@@ -200,11 +227,17 @@ func Compile(k *AffineKernel, g *GPU, tiles map[string]int64, cfg RunConfig) (*M
 
 // Run compiles and simulates one tile configuration.
 func Run(k *AffineKernel, g *GPU, tiles map[string]int64, cfg RunConfig) (Result, error) {
-	mk, err := Compile(k, g, tiles, cfg)
+	return RunCtx(context.Background(), k, g, tiles, cfg)
+}
+
+// RunCtx is Run with the caller's context threaded through: one enabled
+// call produces a compile span and a simulate span under the caller's.
+func RunCtx(ctx context.Context, k *AffineKernel, g *GPU, tiles map[string]int64, cfg RunConfig) (Result, error) {
+	mk, err := CompileCtx(ctx, k, g, tiles, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return gpusim.Simulate(mk, g), nil
+	return gpusim.SimulateCtx(ctx, mk, g), nil
 }
 
 // Candidate is one (EATSS configuration, simulated outcome) pair from
@@ -225,6 +258,14 @@ type Best struct {
 	// SolverCalls and SolveTime aggregate across all candidates
 	// (Sec. V-G measures the end-to-end iterative process).
 	SolverCalls int
+	SolveTime   time.Duration
+	// InfeasibleSplits counts shared-memory splits for which no warp
+	// fraction yielded a satisfiable formulation (Sec. V-D's failure
+	// mode); Skipped counts feasible selections whose tile choice then
+	// failed to map/simulate. Together they distinguish "the space was
+	// empty" from "everything failed" when Candidates is short.
+	InfeasibleSplits int
+	Skipped          int
 }
 
 // SharedSplits are the three shared-memory levels the paper generates
@@ -240,8 +281,21 @@ var WarpFractions = []float64{0.5, 0.25, 0.125}
 // fractions when the formulation is unsatisfiable), evaluate each, and
 // keep the best by performance-per-Watt.
 func SelectBest(k *AffineKernel, g *GPU, prec Precision, params map[string]int64) (*Best, error) {
+	return SelectBestCtx(context.Background(), k, g, prec, params)
+}
+
+// SelectBestCtx is SelectBest with the caller's context threaded
+// through: one enabled run records an "eatss.select_best" span with one
+// "eatss.candidate" child per shared-memory split.
+func SelectBestCtx(ctx context.Context, k *AffineKernel, g *GPU, prec Precision, params map[string]int64) (*Best, error) {
+	ctx, root := obs.Start(ctx, "eatss.select_best")
+	defer root.End()
+	root.SetStr("kernel", k.Name)
+	root.SetStr("gpu", g.Name)
 	best := &Best{Kernel: k.Name, GPU: g.Name}
 	for _, split := range SharedSplits {
+		cctx, csp := obs.Start(ctx, "eatss.candidate")
+		csp.SetFloat("split", split)
 		var sel *Selection
 		var err error
 		for _, wf := range WarpFractions {
@@ -251,23 +305,39 @@ func SelectBest(k *AffineKernel, g *GPU, prec Precision, params map[string]int64
 				Precision:        prec,
 				ProblemSizeAware: true,
 			}
-			sel, err = SelectTiles(k, g, opts)
+			sel, err = SelectTilesCtx(cctx, k, g, opts)
 			if err == nil {
 				break
 			}
 		}
 		if err != nil {
-			continue // this split has no feasible configuration
+			// This split has no feasible configuration at any warp
+			// fraction.
+			best.InfeasibleSplits++
+			mInfeasibleSplits.Add(1)
+			csp.SetBool("infeasible", true)
+			csp.End()
+			continue
 		}
 		best.SolverCalls += sel.SolverCalls
-		res, err := Run(k, g, sel.Tiles, RunConfig{
+		best.SolveTime += sel.SolveTime
+		res, err := RunCtx(cctx, k, g, sel.Tiles, RunConfig{
 			Params:    params,
 			UseShared: split > 0,
 			Precision: prec,
 		})
 		if err != nil {
+			// Feasible formulation, but the chosen tiles did not map.
+			best.Skipped++
+			mFailedMaps.Add(1)
+			csp.SetStr("map_error", err.Error())
+			csp.End()
 			continue
 		}
+		mCandidates.Add(1)
+		csp.SetFloat("ppw", res.PPW)
+		csp.SetFloat("gflops", res.GFLOPS)
+		csp.End()
 		best.Candidates = append(best.Candidates, Candidate{
 			Selection:  sel,
 			Result:     res,
@@ -275,7 +345,8 @@ func SelectBest(k *AffineKernel, g *GPU, prec Precision, params map[string]int64
 		})
 	}
 	if len(best.Candidates) == 0 {
-		return nil, fmt.Errorf("eatss: no feasible configuration for %s on %s", k.Name, g.Name)
+		return nil, fmt.Errorf("eatss: no feasible configuration for %s on %s (%d infeasible splits, %d failed to map)",
+			k.Name, g.Name, best.InfeasibleSplits, best.Skipped)
 	}
 	best.Chosen = best.Candidates[0]
 	for _, c := range best.Candidates[1:] {
@@ -283,23 +354,54 @@ func SelectBest(k *AffineKernel, g *GPU, prec Precision, params map[string]int64
 			best.Chosen = c
 		}
 	}
+	root.SetInt("candidates", int64(len(best.Candidates)))
+	root.SetInt("solver_calls", int64(best.SolverCalls))
+	root.SetFloat("chosen_ppw", best.Chosen.Result.PPW)
 	return best, nil
+}
+
+// ExploreStats summarizes an ExploreSpace sweep, so callers can
+// distinguish "the space was empty" from "every configuration failed to
+// map".
+type ExploreStats struct {
+	// Evaluated configurations compiled and simulated successfully.
+	Evaluated int
+	// Skipped configurations failed to map (execution-model limits).
+	Skipped int
 }
 
 // ExploreSpace simulates every tile configuration in the space (the
 // paper's exhaustive exploration studies, Secs. II and V). Configurations
-// that fail to map are skipped. The returned slice is ordered like the
-// input space.
-func ExploreSpace(k *AffineKernel, g *GPU, space []map[string]int64, cfg RunConfig) []SpacePoint {
+// that fail to map are counted in the returned stats' Skipped field. The
+// returned slice is ordered like the input space.
+func ExploreSpace(k *AffineKernel, g *GPU, space []map[string]int64, cfg RunConfig) ([]SpacePoint, ExploreStats) {
+	return ExploreSpaceCtx(context.Background(), k, g, space, cfg)
+}
+
+// ExploreSpaceCtx is ExploreSpace with the caller's context threaded
+// through. Note that with tracing enabled every configuration records
+// compile/simulate spans, so sweeping thousands of points produces a
+// large trace.
+func ExploreSpaceCtx(ctx context.Context, k *AffineKernel, g *GPU, space []map[string]int64, cfg RunConfig) ([]SpacePoint, ExploreStats) {
+	ctx, sp := obs.Start(ctx, "eatss.explore_space")
+	defer sp.End()
+	sp.SetStr("kernel", k.Name)
+	sp.SetInt("space", int64(len(space)))
 	var out []SpacePoint
+	var stats ExploreStats
 	for _, tiles := range space {
-		res, err := Run(k, g, tiles, cfg)
+		res, err := RunCtx(ctx, k, g, tiles, cfg)
 		if err != nil {
+			stats.Skipped++
+			mExploreSkipped.Add(1)
 			continue
 		}
 		out = append(out, SpacePoint{Tiles: tiles, Result: res})
 	}
-	return out
+	stats.Evaluated = len(out)
+	sp.SetInt("evaluated", int64(stats.Evaluated))
+	sp.SetInt("skipped", int64(stats.Skipped))
+	return out, stats
 }
 
 // SpacePoint is one evaluated tile configuration.

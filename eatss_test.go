@@ -91,9 +91,12 @@ func TestExploreSpaceOrderingAndValidity(t *testing.T) {
 	k := eatss.MustKernel("mvt")
 	g := eatss.GA100()
 	space := eatss.Space(k, []int64{16, 32, 64})
-	pts := eatss.ExploreSpace(k, g, space, eatss.RunConfig{UseShared: true, Precision: eatss.FP64})
+	pts, stats := eatss.ExploreSpace(k, g, space, eatss.RunConfig{UseShared: true, Precision: eatss.FP64})
 	if len(pts) != 9 {
 		t.Fatalf("points = %d, want 9", len(pts))
+	}
+	if stats.Evaluated != 9 || stats.Skipped != 0 {
+		t.Fatalf("stats = %+v, want 9 evaluated / 0 skipped", stats)
 	}
 	for _, p := range pts {
 		if p.Result.GFLOPS <= 0 {

@@ -47,7 +47,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := eatss.RunConfig{UseShared: true, Precision: eatss.FP64}
-	pts := eatss.ExploreSpace(k2, g, eatss.PaperSpace(k2), cfg)
+	pts, _ := eatss.ExploreSpace(k2, g, eatss.PaperSpace(k2), cfg)
 	def, err := eatss.Run(k2, g, eatss.DefaultTiles(k2), cfg)
 	if err != nil {
 		log.Fatal(err)

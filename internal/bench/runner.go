@@ -49,7 +49,8 @@ func Explore(name string, g *arch.GPU, params map[string]int64, useShared bool, 
 	}
 	cfg := eatss.RunConfig{Params: params, UseShared: useShared, Precision: eatss.FP64}
 	space := eatss.Space(k, SpaceSizesFor(k.MaxDepth(), paper15))
-	for _, pt := range eatss.ExploreSpace(k, g, space, cfg) {
+	pts, _ := eatss.ExploreSpace(k, g, space, cfg)
+	for _, pt := range pts {
 		variants = append(variants, Variant{Tiles: pt.Tiles, Result: pt.Result})
 	}
 	def, _ = eatss.Run(k, g, eatss.DefaultTiles(k), cfg)

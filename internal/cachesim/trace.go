@@ -5,6 +5,17 @@ import (
 	"sort"
 
 	"repro/internal/codegen"
+	"repro/internal/obs"
+)
+
+// Telemetry: exact hit/miss totals from the trace-driven oracle, so an
+// enabled run reports real (not modeled) L1/L2 hit rates.
+var (
+	mReplays  = obs.NewCounter("cachesim.replays")
+	mL1Hits   = obs.NewCounter("cachesim.l1_hits")
+	mL1Misses = obs.NewCounter("cachesim.l1_misses")
+	mL2Hits   = obs.NewCounter("cachesim.l2_hits")
+	mL2Misses = obs.NewCounter("cachesim.l2_misses")
 )
 
 // TraceResult summarizes the replay of one thread block.
@@ -47,7 +58,13 @@ func SimulateBlock(m *codegen.MappedNest, l1 Config) (TraceResult, error) {
 	}
 	// Central block, no backing L2.
 	blockIdx := int64(-1)
-	return simulateOneBlock(m, blockIdx, l1, nil)
+	res, err := simulateOneBlock(m, blockIdx, l1, nil)
+	if err == nil {
+		mReplays.Add(1)
+		mL1Hits.Add(res.L1.Hits)
+		mL1Misses.Add(res.L1.Misses)
+	}
+	return res, err
 }
 
 // simulateOneBlock replays one block (by linear index; negative means the
@@ -389,9 +406,14 @@ func SimulateGrid(m *codegen.MappedNest, blocks int, l1, l2 Config) (GridResult,
 		if err != nil {
 			return out, err
 		}
+		mReplays.Add(1)
+		mL1Hits.Add(res.L1.Hits)
+		mL1Misses.Add(res.L1.Misses)
 		out.PerBlock = append(out.PerBlock, res)
 	}
 	out.L2 = shared.Stats
 	out.DRAMBytes = shared.Stats.Misses * l2.LineBytes
+	mL2Hits.Add(out.L2.Hits)
+	mL2Misses.Add(out.L2.Misses)
 	return out, nil
 }

@@ -7,12 +7,24 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/affine"
 	"repro/internal/arch"
 	"repro/internal/deps"
+	"repro/internal/obs"
+)
+
+// Telemetry: mapping decisions and shared-memory staging pressure.
+var (
+	mNestsMapped  = obs.NewCounter("codegen.nests_mapped")
+	mMapFailures  = obs.NewCounter("codegen.map_failures")
+	mStagingBytes = obs.NewCounter("codegen.shared_staging_bytes")
+	mDemotions    = obs.NewCounter("codegen.shared_demotions")
+	mCoarsened    = obs.NewCounter("codegen.coarsened_nests")
 )
 
 // Options configures the mapping, mirroring PPCG's relevant flags.
@@ -240,6 +252,7 @@ func MapNest(n *affine.Nest, params map[string]int64, tiles map[string]int64, g 
 		if !m.demoteLargestShared(opts.Precision) {
 			break
 		}
+		mDemotions.Add(1)
 		m.SharedBytesPerBlock = m.sharedFootprint(opts.Precision)
 	}
 	if m.SharedBytesPerBlock > quota {
@@ -377,15 +390,42 @@ type MappedKernel struct {
 // (tile sizes are shared across nests by loop name, the way the paper
 // applies one EATSS configuration per kernel).
 func MapKernel(k *affine.Kernel, params map[string]int64, tiles map[string]int64, g *arch.GPU, opts Options) (*MappedKernel, error) {
+	return MapKernelCtx(context.Background(), k, params, tiles, g, opts)
+}
+
+// MapKernelCtx is MapKernel with the caller's context threaded through:
+// each nest's mapping runs under a "codegen.map_nest" span recording the
+// grid/block decision, thread coarsening, and staging footprint.
+func MapKernelCtx(ctx context.Context, k *affine.Kernel, params map[string]int64, tiles map[string]int64, g *arch.GPU, opts Options) (*MappedKernel, error) {
 	if params == nil {
 		params = k.Params
 	}
 	mk := &MappedKernel{Kernel: k, Params: params}
 	for i := range k.Nests {
+		_, sp := obs.Start(ctx, "codegen.map_nest")
+		sp.SetStr("nest", k.Nests[i].Name)
 		mn, err := MapNest(&k.Nests[i], params, tiles, g, opts)
 		if err != nil {
+			mMapFailures.Add(1)
+			sp.SetStr("error", err.Error())
+			sp.End()
 			return nil, fmt.Errorf("kernel %s: %w", k.Name, err)
 		}
+		mNestsMapped.Add(1)
+		mStagingBytes.Add(mn.SharedBytesPerBlock)
+		sp.SetStr("mapped_loops", strings.Join(mn.MappedLoops, ","))
+		sp.SetInt("threads_per_block", mn.ThreadsPerBlock)
+		sp.SetInt("total_blocks", mn.TotalBlocks)
+		sp.SetInt("shared_bytes_per_block", mn.SharedBytesPerBlock)
+		sp.SetInt("regs_per_thread", mn.RegsPerThread)
+		for _, c := range mn.Coarsen {
+			if c > 1 {
+				mCoarsened.Add(1)
+				sp.SetBool("coarsened", true)
+				break
+			}
+		}
+		sp.End()
 		mk.Nests = append(mk.Nests, mn)
 	}
 	return mk, nil

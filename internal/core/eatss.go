@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -27,7 +28,24 @@ import (
 	"repro/internal/affine"
 	"repro/internal/arch"
 	"repro/internal/deps"
+	"repro/internal/obs"
 	"repro/internal/smt"
+)
+
+// Telemetry instruments: selection outcomes and which constraint kinds
+// the model generator emits (Sec. IV-G..IV-J), so regressions in the
+// formulation are visible without dumping the model.
+var (
+	mSelections           = obs.NewCounter("core.selections")
+	mSelectUnsat          = obs.NewCounter("core.select_unsat")
+	mConsTotal            = obs.NewCounter("core.constraints")
+	mConsRegister         = obs.NewCounter("core.cons.register")
+	mConsShared           = obs.NewCounter("core.cons.capacity_shared")
+	mConsL1               = obs.NewCounter("core.cons.capacity_l1")
+	mConsL2               = obs.NewCounter("core.cons.capacity_l2")
+	mConsBlockLimit       = obs.NewCounter("core.cons.block_limit")
+	mShrinkPasses         = obs.NewCounter("core.shrink_passes")
+	mSolverCallsPerSelect = obs.NewHistogram("core.solver_calls_per_select", 2, 4, 8, 16, 32)
 )
 
 // Options configures one EATSS model generation.
@@ -107,10 +125,24 @@ type Selection struct {
 // It returns an error when the formulation is unsatisfiable (e.g. the warp
 // fraction is too coarse for the kernel's resource envelope — Sec. V-D).
 func SelectTiles(k *affine.Kernel, g *arch.GPU, opts Options) (*Selection, error) {
+	return SelectTilesCtx(context.Background(), k, g, opts)
+}
+
+// SelectTilesCtx is SelectTiles with the caller's context threaded
+// through, so the model-generation and solver-round spans nest under the
+// caller's obs span.
+func SelectTilesCtx(ctx context.Context, k *affine.Kernel, g *arch.GPU, opts Options) (*Selection, error) {
 	start := time.Now()
 	if opts.WarpFraction == 0 {
 		opts.WarpFraction = 1.0
 	}
+	ctx, root := obs.Start(ctx, "core.select_tiles")
+	defer root.End()
+	root.SetStr("kernel", k.Name)
+	root.SetStr("gpu", g.Name)
+	root.SetFloat("split", opts.SplitFactor)
+	root.SetFloat("warpfrac", opts.WarpFraction)
+	_, gen := obs.Start(ctx, "core.model_gen")
 	waf := opts.WarpAlignmentFactor(g)
 	elemB := opts.Precision.Bytes()
 
@@ -173,6 +205,8 @@ func SelectTiles(k *affine.Kernel, g *arch.GPU, opts Options) (*Selection, error
 		}
 		nm.Parallel = parallel
 		if len(parallel) == 0 {
+			gen.End()
+			root.SetStr("error", "no parallel loops")
 			return nil, fmt.Errorf("core: nest %q has no parallel loops", nest.Name)
 		}
 		var bsizeFactors []smt.Expr
@@ -182,12 +216,14 @@ func SelectTiles(k *affine.Kernel, g *arch.GPU, opts Options) (*Selection, error
 		bsize := smt.Mul(bsizeFactors...)
 		if opts.EnforceThreadBlockLimit {
 			p.RequireLE(bsize, smt.C(g.ThreadsPerBlock))
+			mConsBlockLimit.Add(1)
 		}
 
 		// IV-G / IV-I: REG_SM = B_size x no.references x FP_factor.
 		nm.Refs = reuse.DistinctLineRefs
 		regSM := smt.Mul(bsize, smt.C(nm.Refs*opts.Precision.Factor()))
 		p.RequireLE(regSM, smt.C(g.RegsPerSM))
+		mConsRegister.Add(1)
 
 		// IV-C volumes + IV-E split into L1/shared capacity sums.
 		// One data-tile volume per array (references to the same array —
@@ -245,6 +281,7 @@ func SelectTiles(k *affine.Kernel, g *arch.GPU, opts Options) (*Selection, error
 		l1Cap := pool - shCap
 		if len(shVols) > 0 {
 			p.RequireLE(smt.Sum(shVols...), smt.C(shCap))
+			mConsShared.Add(1)
 		}
 		if len(l1Vols) > 0 {
 			if opts.SplitFactor >= 1.0 {
@@ -253,8 +290,10 @@ func SelectTiles(k *affine.Kernel, g *arch.GPU, opts Options) (*Selection, error
 				// bounds the cache-mapped volumes instead.
 				l2Cap := g.L2Bytes / g.SMCount / elemB
 				p.RequireLE(smt.Sum(l1Vols...), smt.C(l2Cap))
+				mConsL2.Add(1)
 			} else {
 				p.RequireLE(smt.Sum(l1Vols...), smt.C(l1Cap))
+				mConsL1.Add(1)
 			}
 		}
 
@@ -305,14 +344,28 @@ func SelectTiles(k *affine.Kernel, g *arch.GPU, opts Options) (*Selection, error
 
 	obj := smt.Sum(objTerms...)
 	sel.Model = p.String() + "(maximize " + strings.Join(objParts, " + ") + ")\n"
+	gen.SetInt("vars", int64(p.NumVars()))
+	gen.SetInt("constraints", int64(p.Constraints()))
+	gen.End()
+	mConsTotal.Add(int64(p.Constraints()))
 
 	// --- IV-L: iterative maximization ---
+	sctx, solve := obs.Start(ctx, "core.solve")
 	solver := smt.NewSolver(p)
+	solver.SetContext(sctx)
 	model, best, ok := solver.Maximize(obj)
 	if !ok {
+		solve.SetBool("sat", false)
+		solve.End()
+		root.SetBool("unsat", true)
+		mSelectUnsat.Add(1)
 		return nil, fmt.Errorf("core: formulation for %s on %s is unsatisfiable (warp fraction %.3f too coarse?)",
 			k.Name, g.Name, opts.WarpFraction)
 	}
+	solve.SetInt("objective", best)
+	solve.SetInt("solver_calls", int64(solver.Stats.SolverCalls))
+	solve.SetInt("nodes", solver.Stats.Nodes)
+	solve.End()
 	sel.Objective = best
 
 	// Secondary pass (Sec. IV-G's preference): among objective-optimal
@@ -331,12 +384,17 @@ func SelectTiles(k *affine.Kernel, g *arch.GPU, opts Options) (*Selection, error
 		}
 	}
 	if len(shrink) > 0 {
+		shctx, shr := obs.Start(ctx, "core.shrink")
+		mShrinkPasses.Add(1)
 		p.RequireEQ(obj, smt.C(best))
 		solver2 := smt.NewSolver(p)
+		solver2.SetContext(shctx)
 		if m2, _, ok2 := solver2.Maximize(smt.Sum(shrink...)); ok2 {
 			model = m2
 		}
 		solver.Stats.SolverCalls += solver2.Stats.SolverCalls
+		shr.SetInt("solver_calls", int64(solver2.Stats.SolverCalls))
+		shr.End()
 	}
 
 	for _, name := range names {
@@ -344,6 +402,10 @@ func SelectTiles(k *affine.Kernel, g *arch.GPU, opts Options) (*Selection, error
 	}
 	sel.SolverCalls = solver.Stats.SolverCalls
 	sel.SolveTime = time.Since(start)
+	mSelections.Add(1)
+	mSolverCallsPerSelect.Observe(float64(sel.SolverCalls))
+	root.SetInt("objective", sel.Objective)
+	root.SetInt("solver_calls", int64(sel.SolverCalls))
 	return sel, nil
 }
 

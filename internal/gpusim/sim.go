@@ -1,11 +1,23 @@
 package gpusim
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/arch"
 	"repro/internal/codegen"
+	"repro/internal/obs"
 	"repro/internal/power"
+)
+
+// Telemetry: simulated memory-system totals and occupancy shape. The
+// L2-sector counter mirrors the Nsight counter the paper correlates with
+// power (Fig. 9).
+var (
+	mSimulations   = obs.NewCounter("gpusim.simulations")
+	mL2Sectors     = obs.NewCounter("gpusim.l2_sectors")
+	mDRAMBytes     = obs.NewCounter("gpusim.dram_bytes")
+	mOccupancyWarp = obs.NewHistogram("gpusim.active_warps_per_sm", 8, 16, 24, 32, 48, 64)
 )
 
 // NestResult is the simulated execution of one nest (all its launches).
@@ -168,9 +180,38 @@ func SimulateNest(m *codegen.MappedNest, g *arch.GPU) NestResult {
 // clocks/temperature and report less than the steady-state dynamic power
 // (this is the static-dominated regime of Fig. 1).
 func Simulate(mk *codegen.MappedKernel, g *arch.GPU) Result {
+	return SimulateCtx(context.Background(), mk, g)
+}
+
+// SimulateCtx is Simulate with the caller's context threaded through:
+// the whole simulation runs under a "gpusim.simulate" span with one
+// "gpusim.nest" child per nest carrying occupancy, the converged DVFS
+// clock, and the per-nest time/energy breakdown.
+func SimulateCtx(ctx context.Context, mk *codegen.MappedKernel, g *arch.GPU) Result {
+	ctx, sp := obs.Start(ctx, "gpusim.simulate")
+	defer sp.End()
+	sp.SetStr("kernel", mk.Kernel.Name)
+	sp.SetStr("gpu", g.Name)
+	mSimulations.Add(1)
 	res := Result{Kernel: mk.Kernel.Name, GPU: g.Name}
 	for _, mn := range mk.Nests {
+		_, nsp := obs.Start(ctx, "gpusim.nest")
 		nr := SimulateNest(mn, g)
+		nsp.SetStr("nest", nr.Name)
+		nsp.SetInt("active_warps_per_sm", nr.Occ.ActiveWarpsPerSM)
+		nsp.SetStr("occ_limited_by", nr.Occ.LimitedBy)
+		nsp.SetFloat("clock_mhz", nr.ClockMHz)
+		nsp.SetFloat("time_sec", nr.TimeSec)
+		nsp.SetFloat("energy_j", nr.EnergyJ)
+		nsp.SetFloat("power_sm_w", nr.Power.DynSM)
+		nsp.SetFloat("power_l2_w", nr.Power.DynL2)
+		nsp.SetFloat("power_dram_w", nr.Power.DynDRAM)
+		nsp.SetFloat("power_shared_w", nr.Power.DynShared)
+		nsp.SetFloat("power_live_w", nr.Power.DynLive)
+		nsp.SetInt("l2_sectors", nr.Traffic.L2Sectors*nr.Launches)
+		nsp.SetInt("dram_bytes", nr.Traffic.DRAMBytes*nr.Launches)
+		nsp.End()
+		mOccupancyWarp.Observe(float64(nr.Occ.ActiveWarpsPerSM))
 		res.Nests = append(res.Nests, nr)
 		res.TimeSec += nr.TimeSec
 		res.Flops += nr.Traffic.Flops * nr.Launches
@@ -202,5 +243,11 @@ func Simulate(mk *codegen.MappedKernel, g *arch.GPU) Result {
 		res.AvgPowerW = res.EnergyJ / res.TimeSec
 	}
 	res.PPW = power.PerfPerWatt(float64(res.Flops), res.TimeSec, res.AvgPowerW)
+	mL2Sectors.Add(res.L2Sectors)
+	mDRAMBytes.Add(res.DRAMBytes)
+	sp.SetFloat("time_sec", res.TimeSec)
+	sp.SetFloat("gflops", res.GFLOPS)
+	sp.SetFloat("energy_j", res.EnergyJ)
+	sp.SetFloat("ppw", res.PPW)
 	return res
 }

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withEnabled runs fn with a clean, enabled layer and restores the
+// disabled default afterwards.
+func withEnabled(t *testing.T, fn func()) {
+	t.Helper()
+	Reset()
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	fn()
+}
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	withEnabled(t, func() {
+		ctx, root := Start(context.Background(), "root")
+		cctx, child := Start(ctx, "child")
+		_, grand := Start(cctx, "grandchild")
+		grand.End()
+		child.End()
+		_, sib := Start(ctx, "sibling")
+		sib.End()
+		root.End()
+
+		spans := Spans()
+		if len(spans) != 4 {
+			t.Fatalf("spans = %d, want 4", len(spans))
+		}
+		names := []string{"root", "child", "grandchild", "sibling"}
+		for i, want := range names {
+			if spans[i].Name != want {
+				t.Fatalf("span[%d] = %q, want %q (start order)", i, spans[i].Name, want)
+			}
+		}
+		if child.Parent != root.ID {
+			t.Errorf("child.Parent = %d, want root %d", child.Parent, root.ID)
+		}
+		if grand.Parent != child.ID {
+			t.Errorf("grandchild.Parent = %d, want child %d", grand.Parent, child.ID)
+		}
+		if sib.Parent != root.ID {
+			t.Errorf("sibling.Parent = %d, want root %d", sib.Parent, root.ID)
+		}
+		if root.Parent != 0 {
+			t.Errorf("root.Parent = %d, want 0", root.Parent)
+		}
+		for _, sp := range spans {
+			if sp.EndAt.Before(sp.StartAt) {
+				t.Errorf("span %s ends before it starts", sp.Name)
+			}
+		}
+	})
+}
+
+func TestSpanAttrs(t *testing.T) {
+	withEnabled(t, func() {
+		_, sp := Start(context.Background(), "x")
+		sp.SetInt("i", 7)
+		sp.SetFloat("f", 2.5)
+		sp.SetStr("s", "hello")
+		sp.SetBool("b", true)
+		sp.SetInt("i", 9) // later value wins in Attr()
+		sp.End()
+		if a, ok := sp.Attr("i"); !ok || a.IntV != 9 {
+			t.Errorf("Attr(i) = %+v, %v", a, ok)
+		}
+		if a, ok := sp.Attr("f"); !ok || a.FloatV != 2.5 {
+			t.Errorf("Attr(f) = %+v, %v", a, ok)
+		}
+		if a, ok := sp.Attr("s"); !ok || a.StrV != "hello" {
+			t.Errorf("Attr(s) = %+v, %v", a, ok)
+		}
+		if a, ok := sp.Attr("b"); !ok || a.Value() != true {
+			t.Errorf("Attr(b) = %+v, %v", a, ok)
+		}
+		if _, ok := sp.Attr("missing"); ok {
+			t.Error("Attr(missing) found")
+		}
+	})
+}
+
+func TestDisabledFastPath(t *testing.T) {
+	Disable()
+	Reset()
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "never")
+	if sp != nil {
+		t.Fatal("Start returned a span while disabled")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start derived a new context while disabled")
+	}
+	// Every method must be a safe no-op on the nil span.
+	sp.SetInt("k", 1)
+	sp.SetFloat("k", 1)
+	sp.SetStr("k", "v")
+	sp.SetBool("k", true)
+	sp.Set(Int("k", 1))
+	sp.End()
+	if d := sp.Duration(); d != 0 {
+		t.Fatalf("nil span duration = %v", d)
+	}
+	if n := len(Spans()); n != 0 {
+		t.Fatalf("recorded %d spans while disabled", n)
+	}
+	c := NewCounter("test.disabled_counter")
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("counter advanced while disabled")
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	withEnabled(t, func() {
+		c := NewCounter("test.concurrent")
+		h := NewHistogram("test.concurrent_hist", 1, 10, 100)
+		g := NewGauge("test.concurrent_gauge")
+		const workers, perWorker = 8, 1000
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					c.Add(1)
+					h.Observe(float64(i % 150))
+					g.Set(float64(w))
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got := c.Value(); got != workers*perWorker {
+			t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+		}
+		s := Snapshot()
+		if s.Counters["test.concurrent"] != workers*perWorker {
+			t.Fatalf("snapshot counter = %d", s.Counters["test.concurrent"])
+		}
+		hs := s.Histograms["test.concurrent_hist"]
+		if hs.Count != workers*perWorker {
+			t.Fatalf("histogram count = %d", hs.Count)
+		}
+		var total int64
+		for _, n := range hs.Counts {
+			total += n
+		}
+		if total != hs.Count {
+			t.Fatalf("bucket total %d != count %d", total, hs.Count)
+		}
+	})
+}
+
+func TestCounterIdentity(t *testing.T) {
+	a := NewCounter("test.identity")
+	b := NewCounter("test.identity")
+	if a != b {
+		t.Fatal("NewCounter returned distinct instruments for one name")
+	}
+}
+
+func TestResetClearsData(t *testing.T) {
+	withEnabled(t, func() {
+		_, sp := Start(context.Background(), "x")
+		sp.End()
+		c := NewCounter("test.reset")
+		c.Add(3)
+		Reset()
+		if len(Spans()) != 0 {
+			t.Fatal("spans survived Reset")
+		}
+		if c.Value() != 0 {
+			t.Fatal("counter survived Reset")
+		}
+		// The handle must remain usable.
+		c.Add(2)
+		if c.Value() != 2 {
+			t.Fatal("counter handle broken after Reset")
+		}
+	})
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	withEnabled(t, func() {
+		h := NewHistogram("test.buckets", 10, 20)
+		for _, v := range []float64{5, 10, 15, 25} {
+			h.Observe(v)
+		}
+		hs := Snapshot().Histograms["test.buckets"]
+		want := []int64{2, 1, 1} // <=10: {5,10}; <=20: {15}; overflow: {25}
+		for i, n := range want {
+			if hs.Counts[i] != n {
+				t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, hs.Counts[i], n, hs.Counts)
+			}
+		}
+		if hs.Sum != 55 || hs.Mean() != 13.75 {
+			t.Fatalf("sum=%v mean=%v", hs.Sum, hs.Mean())
+		}
+	})
+}
+
+// TestObsOverhead is the benchmark guard the instrumented hot paths rely
+// on: with the layer disabled, a full span start/annotate/end cycle plus
+// a counter update must not allocate.
+func TestObsOverhead(t *testing.T) {
+	Disable()
+	ctx := context.Background()
+	c := NewCounter("test.overhead")
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctx2, sp := Start(ctx, "hot")
+		sp.SetInt("k", 1)
+		sp.SetFloat("f", 1.5)
+		sp.SetStr("s", "v")
+		c.Add(1)
+		sp.End()
+		_ = ctx2
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation allocates %.1f per span call, want 0", allocs)
+	}
+}
+
+func TestSetClock(t *testing.T) {
+	withEnabled(t, func() {
+		base := time.Unix(1000, 0)
+		tick := 0
+		SetClock(func() time.Time {
+			tick++
+			return base.Add(time.Duration(tick) * time.Millisecond)
+		})
+		defer SetClock(nil)
+		_, sp := Start(context.Background(), "timed")
+		sp.End()
+		if sp.Duration() != time.Millisecond {
+			t.Fatalf("duration = %v, want 1ms", sp.Duration())
+		}
+	})
+}

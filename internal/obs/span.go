@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AttrKind discriminates the value held by an Attr.
+type AttrKind uint8
+
+// Attribute kinds.
+const (
+	KindInt AttrKind = iota + 1
+	KindFloat
+	KindStr
+	KindBool
+)
+
+// Attr is one typed key/value annotation on a span.
+type Attr struct {
+	Key    string
+	Kind   AttrKind
+	IntV   int64
+	FloatV float64
+	StrV   string
+}
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Kind: KindInt, IntV: v} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, Kind: KindFloat, FloatV: v} }
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Kind: KindStr, StrV: v} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr {
+	a := Attr{Key: key, Kind: KindBool}
+	if v {
+		a.IntV = 1
+	}
+	return a
+}
+
+// Value returns the attribute's value as an interface (for exporters).
+func (a Attr) Value() any {
+	switch a.Kind {
+	case KindInt:
+		return a.IntV
+	case KindFloat:
+		return a.FloatV
+	case KindStr:
+		return a.StrV
+	case KindBool:
+		return a.IntV != 0
+	}
+	return nil
+}
+
+// Span is one recorded pipeline phase. The zero ID is "no parent".
+// A span is owned by the goroutine that started it; attribute setters
+// are not synchronized.
+type Span struct {
+	ID      uint64
+	Parent  uint64
+	Name    string
+	StartAt time.Time
+	EndAt   time.Time
+	Attrs   []Attr
+}
+
+type ctxKey struct{}
+
+// tracer is the process-wide span sink.
+var tr struct {
+	mu    sync.Mutex
+	spans []*Span
+	next  atomic.Uint64
+}
+
+// Start opens a span named name as a child of the span carried by ctx
+// (if any) and returns a derived context carrying the new span. When the
+// layer is disabled it returns ctx unchanged and a nil span — the
+// zero-cost fast path; all Span methods accept a nil receiver.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if !enabled.Load() {
+		return ctx, nil
+	}
+	var parent uint64
+	if p, ok := ctx.Value(ctxKey{}).(*Span); ok && p != nil {
+		parent = p.ID
+	}
+	sp := &Span{
+		ID:      tr.next.Add(1),
+		Parent:  parent,
+		Name:    name,
+		StartAt: now(),
+	}
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if p, ok := ctx.Value(ctxKey{}).(*Span); ok {
+		return p
+	}
+	return nil
+}
+
+// End stamps the span's end time. Ending a nil or already-ended span is
+// a no-op.
+func (s *Span) End() {
+	if s == nil || !s.EndAt.IsZero() {
+		return
+	}
+	s.EndAt = now()
+}
+
+// Duration is EndAt-StartAt, or 0 for an unfinished span.
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.EndAt.IsZero() {
+		return 0
+	}
+	return s.EndAt.Sub(s.StartAt)
+}
+
+// Set appends attributes. Prefer the typed setters on hot paths: a
+// variadic call allocates its argument slice even for a nil span.
+func (s *Span) Set(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, attrs...)
+}
+
+// SetInt records an integer attribute without allocating on nil spans.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Int(key, v))
+}
+
+// SetFloat records a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Float(key, v))
+}
+
+// SetStr records a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Str(key, v))
+}
+
+// SetBool records a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Bool(key, v))
+}
+
+// Attr returns the last attribute recorded under key.
+func (s *Span) Attr(key string) (Attr, bool) {
+	if s == nil {
+		return Attr{}, false
+	}
+	for i := len(s.Attrs) - 1; i >= 0; i-- {
+		if s.Attrs[i].Key == key {
+			return s.Attrs[i], true
+		}
+	}
+	return Attr{}, false
+}
+
+// Spans returns the recorded spans in start order. The returned slice is
+// a copy; the spans themselves are shared, so callers should read them
+// only after the traced work has finished.
+func Spans() []*Span {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]*Span(nil), tr.spans...)
+}
+
+// SpansNamed returns the recorded spans with the given name, in start
+// order.
+func SpansNamed(name string) []*Span {
+	var out []*Span
+	for _, sp := range Spans() {
+		if sp.Name == name {
+			out = append(out, sp)
+		}
+	}
+	return out
+}

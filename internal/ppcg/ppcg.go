@@ -7,12 +7,19 @@
 package ppcg
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/affine"
 	"repro/internal/arch"
 	"repro/internal/codegen"
+	"repro/internal/obs"
+)
+
+var (
+	mCompiles        = obs.NewCounter("ppcg.compiles")
+	mCompileFailures = obs.NewCounter("ppcg.compile_failures")
 )
 
 // DefaultTileSize is PPCG's out-of-the-box tile size per loop dimension.
@@ -34,11 +41,25 @@ func DefaultTiles(k *affine.Kernel) map[string]int64 {
 // PPCG to produce CUDA code" step of the paper. A nil tiles map compiles
 // the default configuration. A nil params map uses the kernel defaults.
 func Compile(k *affine.Kernel, params, tiles map[string]int64, g *arch.GPU, opts codegen.Options) (*codegen.MappedKernel, error) {
+	return CompileCtx(context.Background(), k, params, tiles, g, opts)
+}
+
+// CompileCtx is Compile with the caller's context threaded through for
+// observability: the compile span and per-nest mapping spans nest under
+// the caller's span.
+func CompileCtx(ctx context.Context, k *affine.Kernel, params, tiles map[string]int64, g *arch.GPU, opts codegen.Options) (*codegen.MappedKernel, error) {
+	ctx, sp := obs.Start(ctx, "ppcg.compile")
+	defer sp.End()
+	sp.SetStr("kernel", k.Name)
+	sp.SetBool("use_shared", opts.UseShared)
 	if tiles == nil {
 		tiles = DefaultTiles(k)
 	}
-	mk, err := codegen.MapKernel(k, params, tiles, g, opts)
+	mCompiles.Add(1)
+	mk, err := codegen.MapKernelCtx(ctx, k, params, tiles, g, opts)
 	if err != nil {
+		mCompileFailures.Add(1)
+		sp.SetStr("error", err.Error())
 		return nil, fmt.Errorf("ppcg: %w", err)
 	}
 	return mk, nil

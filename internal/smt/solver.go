@@ -1,8 +1,23 @@
 package smt
 
 import (
+	"context"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Package-level telemetry instruments. Updates are batched per Solve
+// call (never per search node) and cost nothing while obs is disabled.
+var (
+	mSolveCalls    = obs.NewCounter("smt.solve_calls")
+	mNodes         = obs.NewCounter("smt.nodes")
+	mPruneViolated = obs.NewCounter("smt.prune.violated")
+	mPruneInterval = obs.NewCounter("smt.prune.interval")
+	mTightenings   = obs.NewCounter("smt.propagation.tightenings")
+	mRounds        = obs.NewCounter("smt.rounds")
+	mUnsat         = obs.NewCounter("smt.unsat")
 )
 
 // Stats records solver effort, mirroring the measurements of Sec. V-G
@@ -13,6 +28,18 @@ type Stats struct {
 	SolverCalls int
 	// Nodes counts search-tree nodes across all calls.
 	Nodes int64
+	// PruneViolated counts nodes rejected because a fully-assigned
+	// constraint did not hold.
+	PruneViolated int64
+	// PruneInterval counts nodes cut by interval-arithmetic lookahead on
+	// constraints that were not yet fully assigned.
+	PruneInterval int64
+	// Tightenings counts domain values removed by the pre-search
+	// node-consistency propagation pass.
+	Tightenings int64
+	// Rounds counts objective-improvement rounds across Maximize /
+	// MaximizeBinary runs (the OBJ_{n+1} > OBJ_n iterations of IV-L).
+	Rounds int
 	// Elapsed is the total wall-clock time spent solving.
 	Elapsed time.Duration
 }
@@ -21,6 +48,11 @@ type Stats struct {
 type Solver struct {
 	p     *Problem
 	Stats Stats
+	// ctx carries the parent obs span for round telemetry.
+	ctx context.Context
+	// domains are the solver's propagated copies of the problem domains
+	// (built lazily on the first Solve; nil entries alias the problem's).
+	domains [][]int64
 	// descend makes the search try larger values first. The first Solve
 	// of a Maximize run uses the problem's natural ascending order (a
 	// Z3-like "any model"), subsequent improvement calls descend, which
@@ -31,23 +63,105 @@ type Solver struct {
 }
 
 // NewSolver returns a solver for p.
-func NewSolver(p *Problem) *Solver { return &Solver{p: p} }
+func NewSolver(p *Problem) *Solver { return &Solver{p: p, ctx: context.Background()} }
+
+// SetContext attaches ctx so the solver's telemetry spans nest under the
+// caller's span. A nil ctx restores the background context.
+func (s *Solver) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.ctx = ctx
+}
+
+// propagate builds the solver's working domains by enforcing node
+// consistency against the base constraints: a value is dropped when
+// fixing its variable to it (others at their domain extremes) makes some
+// constraint interval-infeasible. Dropped values cannot appear in any
+// model, so the search result is unchanged; the search just skips them.
+// Runs to a fixpoint, since shrinking one domain's extremes can expose
+// removals in another.
+func (s *Solver) propagate() {
+	n := s.p.NumVars()
+	s.domains = make([][]int64, n)
+	for v, d := range s.p.domains {
+		s.domains[v] = d
+	}
+	lo := make([]int64, n)
+	hi := make([]int64, n)
+	refresh := func() bool {
+		for v, d := range s.domains {
+			if len(d) == 0 {
+				return false
+			}
+			lo[v], hi[v] = d[0], d[len(d)-1]
+		}
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		if !refresh() {
+			return
+		}
+		for v := 0; v < n; v++ {
+			d := s.domains[v]
+			kept := d[:0:0]
+			saveLo, saveHi := lo[v], hi[v]
+			for _, val := range d {
+				lo[v], hi[v] = val, val
+				ok := true
+				for _, c := range s.p.cons {
+					if !c.feasible(lo, hi) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					kept = append(kept, val)
+				} else {
+					s.Stats.Tightenings++
+					changed = true
+				}
+			}
+			lo[v], hi[v] = saveLo, saveHi
+			s.domains[v] = kept
+			if len(kept) == 0 {
+				return
+			}
+		}
+	}
+}
 
 // Solve searches for a model satisfying all constraints. ok is false when
 // the problem is unsatisfiable.
 func (s *Solver) Solve() (Model, bool) {
 	start := time.Now()
 	s.Stats.SolverCalls++
-	defer func() { s.Stats.Elapsed += time.Since(start) }()
+	mSolveCalls.Add(1)
+	nodes0, viol0, intv0 := s.Stats.Nodes, s.Stats.PruneViolated, s.Stats.PruneInterval
+	defer func() {
+		s.Stats.Elapsed += time.Since(start)
+		mNodes.Add(s.Stats.Nodes - nodes0)
+		mPruneViolated.Add(s.Stats.PruneViolated - viol0)
+		mPruneInterval.Add(s.Stats.PruneInterval - intv0)
+	}()
 
 	n := s.p.NumVars()
-	for _, d := range s.p.domains {
+	if s.domains == nil {
+		t0 := s.Stats.Tightenings
+		s.propagate()
+		mTightenings.Add(s.Stats.Tightenings - t0)
+	}
+	for _, d := range s.domains {
 		if len(d) == 0 {
 			return nil, false
 		}
 	}
 
-	// Static variable order: most-constrained (smallest domain) first.
+	// Static variable order: most-constrained (smallest declared domain)
+	// first. Uses the declared domains, not the propagated ones, so the
+	// visit order — and therefore tie-breaking among optimal models — is
+	// independent of propagation.
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -93,7 +207,7 @@ func (s *Solver) Solve() (Model, bool) {
 	// domain extremes.
 	lo := make([]int64, n)
 	hi := make([]int64, n)
-	for v, d := range s.p.domains {
+	for v, d := range s.domains {
 		lo[v], hi[v] = d[0], d[len(d)-1]
 	}
 	model := make(Model, n)
@@ -105,7 +219,7 @@ func (s *Solver) Solve() (Model, bool) {
 			return true
 		}
 		v := Var(order[depth])
-		dom := s.p.domains[v]
+		dom := s.domains[v]
 		for i := range dom {
 			val := dom[i]
 			if s.descend {
@@ -120,6 +234,7 @@ func (s *Solver) Solve() (Model, bool) {
 			for _, c := range byLast[depth] {
 				if !c.Holds(model) {
 					ok = false
+					s.Stats.PruneViolated++
 					break
 				}
 			}
@@ -129,6 +244,7 @@ func (s *Solver) Solve() (Model, bool) {
 					for _, c := range byLast[d] {
 						if !c.feasible(lo, hi) {
 							ok = false
+							s.Stats.PruneInterval++
 							break
 						}
 					}
@@ -150,6 +266,27 @@ func (s *Solver) Solve() (Model, bool) {
 	return out, true
 }
 
+// solveRound runs one Solve under an "smt.round" span carrying the round
+// index and, when satisfiable, the achieved objective value — the
+// per-round telemetry backing the Sec. V-G measurements.
+func (s *Solver) solveRound(obj Expr, round int) (Model, int64, bool) {
+	_, sp := obs.Start(s.ctx, "smt.round")
+	sp.SetInt("round", int64(round))
+	m, sat := s.Solve()
+	sp.SetBool("sat", sat)
+	var val int64
+	if sat {
+		val = obj.Eval(m)
+		sp.SetInt("objective", val)
+	} else {
+		mUnsat.Add(1)
+	}
+	sp.End()
+	s.Stats.Rounds++
+	mRounds.Add(1)
+	return m, val, sat
+}
+
 // Maximize implements the paper's iterative optimization (Sec. IV-L): find
 // a first model, then repeatedly add OBJ > best and re-solve until the
 // problem becomes unsatisfiable. It returns the best model found and its
@@ -157,24 +294,24 @@ func (s *Solver) Solve() (Model, bool) {
 func (s *Solver) Maximize(obj Expr) (best Model, bestVal int64, ok bool) {
 	s.extra = nil
 	s.descend = false
-	m, sat := s.Solve()
+	round := 0
+	m, val, sat := s.solveRound(obj, round)
 	if !sat {
 		return nil, 0, false
 	}
-	best = m
-	bestVal = obj.Eval(m)
+	best, bestVal = m, val
 	// Subsequent improvement rounds descend through domains, which makes
 	// each round jump near the remaining maximum — the small
 	// solver-call counts of Sec. V-G come from this behaviour.
 	s.descend = true
 	for {
+		round++
 		s.extra = []Constraint{{L: obj, Op: GT, R: C(bestVal)}}
-		m, sat := s.Solve()
+		m, val, sat := s.solveRound(obj, round)
 		if !sat {
 			break
 		}
-		best = m
-		bestVal = obj.Eval(m)
+		best, bestVal = m, val
 	}
 	s.extra = nil
 	return best, bestVal, true
@@ -242,12 +379,12 @@ func (s *Solver) Minimize(obj Expr) (best Model, bestVal int64, ok bool) {
 func (s *Solver) MaximizeBinary(obj Expr) (best Model, bestVal int64, ok bool) {
 	s.extra = nil
 	s.descend = false
-	m, sat := s.Solve()
+	round := 0
+	m, val, sat := s.solveRound(obj, round)
 	if !sat {
 		return nil, 0, false
 	}
-	best = m
-	bestVal = obj.Eval(m)
+	best, bestVal = m, val
 
 	// Upper bound from interval arithmetic over the variable domains.
 	n := s.p.NumVars()
@@ -261,15 +398,15 @@ func (s *Solver) MaximizeBinary(obj Expr) (best Model, bestVal int64, ok bool) {
 	s.descend = true
 	loVal := bestVal
 	for loVal < upper {
+		round++
 		mid := loVal + (upper-loVal+1)/2
 		s.extra = []Constraint{{L: obj, Op: GE, R: C(mid)}}
-		m, sat := s.Solve()
+		m, val, sat := s.solveRound(obj, round)
 		if !sat {
 			upper = mid - 1
 			continue
 		}
-		best = m
-		bestVal = obj.Eval(m)
+		best, bestVal = m, val
 		loVal = bestVal
 	}
 	s.extra = nil
