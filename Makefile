@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check clean
+.PHONY: all vet build test race sweep-race sweep-bench check clean
 
 all: check
 
@@ -16,9 +16,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# sweep-race exercises the parallel sweep engine's concurrency surface
+# under the race detector: the worker pool, the shared evaluation cache,
+# concurrent obs producers, and the solver's cancellation polling. It is
+# a focused (fast) subset of `race` so the gate names the sweep paths
+# explicitly even when the full suite is skipped locally.
+sweep-race:
+	$(GO) test -race -count=1 -run 'Sweep|Explore|Concurrent|SolveCtx|Cancel' . ./internal/sweep ./internal/smt ./internal/obs
+
+# sweep-bench records before/after sweep throughput (sequential j=1 vs
+# the worker pool) into BENCH_sweep.json via the bench runner's space.
+sweep-bench:
+	$(GO) run ./cmd/sweepbench -points 512 -out BENCH_sweep.json
+
 # check is the gate a change must pass before it lands: static analysis,
-# a full build, and the test suite under the race detector.
-check: vet build race
+# a full build, the sweep-engine race gate, and the full test suite
+# under the race detector.
+check: vet build sweep-race race
 
 clean:
 	$(GO) clean ./...

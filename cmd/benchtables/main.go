@@ -88,7 +88,9 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	gpuName := flag.String("gpu", "ga100", "GPU for single-GPU experiments (ga100|xavier)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	j := flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+	bench.Workers = *j
 
 	exps := experiments()
 	if *list {

@@ -8,9 +8,11 @@
 //	explore -kernel 2mm                  # the paper's 3,375-variant space
 //	explore -kernel mvt -gpu xavier
 //	explore -kernel heat-3d -top 20
+//	explore -kernel 2mm -j 8             # sweep with 8 parallel workers
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +26,7 @@ func main() {
 	gpuName := flag.String("gpu", "ga100", "GPU: ga100 | xavier")
 	top := flag.Int("top", 10, "how many top variants to print")
 	paper15 := flag.Bool("paper15", false, "force the 15-sizes-per-dim space for 3D kernels")
+	j := flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	k, err := eatss.Kernel(*kernel)
@@ -48,7 +51,8 @@ func main() {
 	} else {
 		space = eatss.Space(k, []int64{4, 8, 16, 32, 64})
 	}
-	pts, stats := eatss.ExploreSpace(k, g, space, cfg)
+	pts, stats := eatss.ExploreSpaceOpt(context.Background(), k, g, space, cfg,
+		eatss.SweepOptions{Workers: *j})
 	if len(pts) == 0 {
 		fatal(fmt.Errorf("no valid variants for %s (%d of %d configurations failed to map)",
 			*kernel, stats.Skipped, len(space)))

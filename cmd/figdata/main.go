@@ -88,7 +88,9 @@ func main() {
 	out := flag.String("out", "figdata", "output directory")
 	gpuName := flag.String("gpu", "ga100", "GPU (ga100|xavier|v100)")
 	only := flag.String("only", "", "comma-separated experiment ids (default all)")
+	j := flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+	bench.Workers = *j
 
 	g, ok := arch.ByName(*gpuName)
 	if !ok {

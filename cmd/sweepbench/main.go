@@ -1,0 +1,110 @@
+// Command sweepbench records the sweep engine's throughput: it runs the
+// same tile-space sweep sequentially (j=1, the engine's behaviour before
+// parallelization) and on the worker pool (j=N), and writes the
+// before/after numbers to a JSON file. The Makefile's `sweep-bench`
+// target uses it to keep BENCH_sweep.json current.
+//
+//	sweepbench                       # gemm 15^3 space, j=GOMAXPROCS
+//	sweepbench -points 512 -j 8 -out BENCH_sweep.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	eatss "repro"
+)
+
+// report is the JSON schema of BENCH_sweep.json.
+type report struct {
+	Kernel        string  `json:"kernel"`
+	GPU           string  `json:"gpu"`
+	Points        int     `json:"points"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Workers       int     `json:"workers"`
+	SeqSec        float64 `json:"seq_sec"`
+	ParSec        float64 `json:"par_sec"`
+	Speedup       float64 `json:"speedup"`
+	SeqPointsPerS float64 `json:"seq_points_per_sec"`
+	ParPointsPerS float64 `json:"par_points_per_sec"`
+	Identical     bool    `json:"results_identical"`
+	GeneratedAt   string  `json:"generated_at"`
+}
+
+func main() {
+	kernel := flag.String("kernel", "gemm", "kernel to sweep")
+	gpuName := flag.String("gpu", "ga100", "GPU: ga100 | xavier | v100")
+	points := flag.Int("points", 0, "limit the space to the first N points (0 = full 15^d space)")
+	j := flag.Int("j", 0, "parallel workers for the 'after' run (0 = GOMAXPROCS)")
+	outPath := flag.String("out", "BENCH_sweep.json", "output JSON path")
+	flag.Parse()
+
+	k, err := eatss.Kernel(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := eatss.GPUByName(*gpuName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := eatss.RunConfig{UseShared: true, Precision: eatss.FP64}
+	space := eatss.PaperSpace(k)
+	if *points > 0 && *points < len(space) {
+		space = space[:*points]
+	}
+	workers := *j
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Fresh per-run caches so neither run is served memoized results —
+	// this measures evaluation throughput, not cache hits.
+	ctx := context.Background()
+	t0 := time.Now()
+	seqPts, seqStats := eatss.ExploreSpaceOpt(ctx, k, g, space, cfg,
+		eatss.SweepOptions{Workers: 1, Cache: eatss.NewEvalCache()})
+	seqSec := time.Since(t0).Seconds()
+
+	t1 := time.Now()
+	parPts, parStats := eatss.ExploreSpaceOpt(ctx, k, g, space, cfg,
+		eatss.SweepOptions{Workers: workers, Cache: eatss.NewEvalCache()})
+	parSec := time.Since(t1).Seconds()
+
+	identical := seqStats == parStats && reflect.DeepEqual(seqPts, parPts)
+
+	r := report{
+		Kernel:        k.Name,
+		GPU:           g.Name,
+		Points:        len(space),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workers:       workers,
+		SeqSec:        seqSec,
+		ParSec:        parSec,
+		Speedup:       seqSec / parSec,
+		SeqPointsPerS: float64(len(space)) / seqSec,
+		ParPointsPerS: float64(len(space)) / parSec,
+		Identical:     identical,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sweepbench: %s on %s, %d points: j=1 %.2fs (%.0f pts/s) -> j=%d %.2fs (%.0f pts/s), %.2fx, identical=%t\n",
+		r.Kernel, r.GPU, r.Points, r.SeqSec, r.SeqPointsPerS, r.Workers, r.ParSec, r.ParPointsPerS, r.Speedup, r.Identical)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweepbench:", err)
+	os.Exit(1)
+}

@@ -362,49 +362,46 @@ func SelectBestCtx(ctx context.Context, k *AffineKernel, g *GPU, prec Precision,
 
 // ExploreStats summarizes an ExploreSpace sweep, so callers can
 // distinguish "the space was empty" from "every configuration failed to
-// map".
+// map" (and, since the sweep engine became concurrent, "the sweep was
+// cancelled part-way").
 type ExploreStats struct {
 	// Evaluated configurations compiled and simulated successfully.
 	Evaluated int
 	// Skipped configurations failed to map (execution-model limits).
 	Skipped int
+	// CacheHits counts configurations served from the memoizing
+	// evaluation cache instead of being compiled and simulated.
+	CacheHits int
+	// Aborted reports that the context was cancelled before the sweep
+	// finished: the returned points cover only the configurations
+	// dispatched before cancellation.
+	Aborted bool
 }
 
 // ExploreSpace simulates every tile configuration in the space (the
 // paper's exhaustive exploration studies, Secs. II and V). Configurations
 // that fail to map are counted in the returned stats' Skipped field. The
 // returned slice is ordered like the input space.
+//
+// Evaluations run on a bounded worker pool (GOMAXPROCS workers) and are
+// memoized in DefaultEvalCache; use ExploreSpaceOpt to control either.
+// The parallel sweep returns byte-identical results to a sequential one.
 func ExploreSpace(k *AffineKernel, g *GPU, space []map[string]int64, cfg RunConfig) ([]SpacePoint, ExploreStats) {
 	return ExploreSpaceCtx(context.Background(), k, g, space, cfg)
 }
 
 // ExploreSpaceCtx is ExploreSpace with the caller's context threaded
-// through. Note that with tracing enabled every configuration records
-// compile/simulate spans, so sweeping thousands of points produces a
-// large trace.
+// through, for observability and cancellation: a cancelled ctx stops the
+// sweep between evaluations and returns the points completed so far with
+// stats.Aborted set. Note that with tracing enabled every configuration
+// records compile/simulate spans (nested under per-worker "sweep.worker"
+// spans), so sweeping thousands of points produces a large trace.
 func ExploreSpaceCtx(ctx context.Context, k *AffineKernel, g *GPU, space []map[string]int64, cfg RunConfig) ([]SpacePoint, ExploreStats) {
-	ctx, sp := obs.Start(ctx, "eatss.explore_space")
-	defer sp.End()
-	sp.SetStr("kernel", k.Name)
-	sp.SetInt("space", int64(len(space)))
-	var out []SpacePoint
-	var stats ExploreStats
-	for _, tiles := range space {
-		res, err := RunCtx(ctx, k, g, tiles, cfg)
-		if err != nil {
-			stats.Skipped++
-			mExploreSkipped.Add(1)
-			continue
-		}
-		out = append(out, SpacePoint{Tiles: tiles, Result: res})
-	}
-	stats.Evaluated = len(out)
-	sp.SetInt("evaluated", int64(stats.Evaluated))
-	sp.SetInt("skipped", int64(stats.Skipped))
-	return out, stats
+	return ExploreSpaceOpt(ctx, k, g, space, cfg, SweepOptions{})
 }
 
-// SpacePoint is one evaluated tile configuration.
+// SpacePoint is one evaluated tile configuration. Tiles is a defensive
+// copy owned by the point — it never aliases the input space's maps.
 type SpacePoint struct {
 	Tiles  map[string]int64
 	Result Result

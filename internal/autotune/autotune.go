@@ -17,6 +17,7 @@
 package autotune
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/affine"
 	"repro/internal/gpusim"
 	"repro/internal/ppcg"
+	"repro/internal/sweep"
 
 	"repro/internal/codegen"
 )
@@ -52,6 +54,13 @@ type Config struct {
 	// UseShared / Precision configure the evaluated kernels.
 	UseShared bool
 	Precision affine.Precision
+	// Workers bounds the concurrency of the bootstrap phase's
+	// evaluations (0 = GOMAXPROCS). Evaluation is rng-free, and results
+	// are folded back in dispatch order, so the tuner's decision
+	// sequence — and therefore its outcome — is identical for any
+	// worker count. The surrogate rounds stay sequential: each choice
+	// depends on all prior observations.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's ytopt setup.
@@ -122,10 +131,34 @@ func Tune(k *affine.Kernel, g *arch.GPU, space []map[string]int64, cfg Config) O
 		}
 	}
 
-	// Bootstrap: random samples.
+	// Bootstrap: random samples, evaluated in parallel. The rng decides
+	// the sample set up front (perm) and evaluation never touches it, so
+	// fanning the evaluations out and folding them back in input order
+	// reproduces the sequential tuner exactly.
 	perm := rng.Perm(len(space))
-	for i := 0; i < cfg.Bootstrap && i < len(perm); i++ {
-		pick(perm[i])
+	boot := perm
+	if cfg.Bootstrap < len(boot) {
+		boot = boot[:cfg.Bootstrap]
+	}
+	type bootObs struct {
+		obs Observation
+		ok  bool
+	}
+	bootOut, bootDone, _ := sweep.Map(context.Background(), cfg.Workers, boot,
+		func(_ context.Context, _ int, i int) bootObs {
+			o, ok := evaluate(space[i])
+			return bootObs{obs: o, ok: ok}
+		})
+	for j, i := range boot {
+		tried[i] = true
+		out.TuningTimeSec += EvalCostSec
+		if !bootDone[j] || !bootOut[j].ok {
+			continue
+		}
+		out.History = append(out.History, bootOut[j].obs)
+		if bootOut[j].obs.Objective > out.Best.Objective {
+			out.Best = bootOut[j].obs
+		}
 	}
 
 	// Surrogate rounds.

@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/gpusim"
+	"repro/internal/sweep"
 )
 
 // HybridTune implements the integration the paper proposes in
@@ -25,50 +27,77 @@ func HybridTune(k *affine.Kernel, g *arch.GPU, space []map[string]int64, cfg Con
 	}
 
 	// EATSS seeds: one configuration per shared split, with warp-fraction
-	// fallback for high-dimensional kernels.
+	// fallback for high-dimensional kernels. The three splits' solves
+	// are independent, so they run on the worker pool; folding in split
+	// order keeps the seed list deterministic.
+	splits := []float64{0.0, 0.5, 0.67}
+	seedOut, seedDone, _ := sweep.Map(context.Background(), cfg.Workers, splits,
+		func(_ context.Context, _ int, split float64) map[string]int64 {
+			for _, wf := range []float64{0.5, 0.25, 0.125} {
+				opts := core.Options{
+					SplitFactor:      split,
+					WarpFraction:     wf,
+					Precision:        cfg.Precision,
+					ProblemSizeAware: true,
+				}
+				sel, err := core.SelectTiles(k, g, opts)
+				if err != nil {
+					continue
+				}
+				return sel.Tiles
+			}
+			return nil
+		})
 	var seeds []map[string]int64
-	for _, split := range []float64{0.0, 0.5, 0.67} {
-		for _, wf := range []float64{0.5, 0.25, 0.125} {
-			opts := core.Options{
-				SplitFactor:      split,
-				WarpFraction:     wf,
-				Precision:        cfg.Precision,
-				ProblemSizeAware: true,
-			}
-			sel, err := core.SelectTiles(k, g, opts)
-			if err != nil {
-				continue
-			}
-			seeds = append(seeds, sel.Tiles)
-			break
+	for i, tiles := range seedOut {
+		if seedDone[i] && tiles != nil {
+			seeds = append(seeds, tiles)
 		}
 	}
 
 	var out Outcome
-	evaluate := func(tiles map[string]int64) {
+	evaluateOne := func(tiles map[string]int64) (Observation, bool) {
 		mk, err := codegen.MapKernel(k, nil, tiles, g, codegen.Options{
 			UseShared: cfg.UseShared,
 			Precision: cfg.Precision,
 		})
 		if err != nil {
-			return
+			return Observation{}, false
 		}
 		res := gpusim.Simulate(mk, g)
 		res.GFLOPS *= OpenMPPenalty
 		res.TimeSec /= OpenMPPenalty
 		res.EnergyJ = res.AvgPowerW * res.TimeSec
 		res.PPW = res.GFLOPS / res.AvgPowerW
-		obs := Observation{Tiles: tiles, Result: res, Objective: res.GFLOPS}
+		return Observation{Tiles: tiles, Result: res, Objective: res.GFLOPS}, true
+	}
+	record := func(obs Observation, ok bool) {
+		if !ok {
+			return
+		}
 		out.History = append(out.History, obs)
 		if obs.Objective > out.Best.Objective {
 			out.Best = obs
 		}
 	}
+	evaluate := func(tiles map[string]int64) { record(evaluateOne(tiles)) }
 
 	// Seed evaluations cost solver milliseconds, not compile-run cycles;
 	// charge them at the EATSS rate (negligible next to EvalCostSec).
-	for _, s := range seeds {
-		evaluate(s)
+	// Like Tune's bootstrap, they fan out and fold back in order.
+	type seedObs struct {
+		obs Observation
+		ok  bool
+	}
+	evalOut, evalDone, _ := sweep.Map(context.Background(), cfg.Workers, seeds,
+		func(_ context.Context, _ int, tiles map[string]int64) seedObs {
+			o, ok := evaluateOne(tiles)
+			return seedObs{obs: o, ok: ok}
+		})
+	for i := range evalOut {
+		if evalDone[i] {
+			record(evalOut[i].obs, evalOut[i].ok)
+		}
 	}
 
 	// Refine: local perturbations of the best seed within the space.

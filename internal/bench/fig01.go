@@ -1,10 +1,13 @@
 package bench
 
 import (
+	"context"
+
 	eatss "repro"
 
 	"repro/internal/affine"
 	"repro/internal/arch"
+	"repro/internal/sweep"
 )
 
 // Fig1Row is one problem size of the gemm power sweep.
@@ -29,28 +32,38 @@ type Fig1Result struct {
 	Rows []Fig1Row
 }
 
-// Fig1 runs the sweep on g with PPCG default tiles.
+// Fig1 runs the sweep on g with PPCG default tiles. The per-size
+// evaluations are independent and run on the shared worker pool; rows
+// keep the input sizes' order.
 func Fig1(g *arch.GPU, sizes []int64) *Fig1Result {
 	if len(sizes) == 0 {
 		sizes = []int64{1000, 2000, 3000, 4000, 5000, 6000}
 	}
 	k := affine.MustLookup("gemm")
 	out := &Fig1Result{GPU: g.Name}
-	for _, n := range sizes {
-		params := map[string]int64{"NI": n, "NJ": n, "NK": n}
-		res, err := eatss.Run(k, g, eatss.DefaultTiles(k), eatss.RunConfig{
-			Params: params, UseShared: true, Precision: eatss.FP64,
+	type sized struct {
+		res eatss.Result
+		ok  bool
+	}
+	rows, done, _ := sweep.Map(context.Background(), Workers, sizes,
+		func(ctx context.Context, _ int, n int64) sized {
+			params := map[string]int64{"NI": n, "NJ": n, "NK": n}
+			res, err := eatss.RunCtx(ctx, k, g, eatss.DefaultTiles(k), eatss.RunConfig{
+				Params: params, UseShared: true, Precision: eatss.FP64,
+			})
+			return sized{res: res, ok: err == nil}
 		})
-		if err != nil {
+	floor := g.ConstantWatts + g.StaticWatts
+	for i, r := range rows {
+		if !done[i] || !r.ok {
 			continue
 		}
-		floor := g.ConstantWatts + g.StaticWatts
 		out.Rows = append(out.Rows, Fig1Row{
-			N:            n,
+			N:            sizes[i],
 			ConstStaticW: floor,
-			DynamicW:     res.AvgPowerW - floor,
-			TotalW:       res.AvgPowerW,
-			GFLOPS:       res.GFLOPS,
+			DynamicW:     r.res.AvgPowerW - floor,
+			TotalW:       r.res.AvgPowerW,
+			GFLOPS:       r.res.GFLOPS,
 		})
 	}
 	return out

@@ -1,8 +1,13 @@
 package bench
 
 import (
+	"context"
+
+	eatss "repro"
+
 	"repro/internal/affine"
 	"repro/internal/arch"
+	"repro/internal/sweep"
 )
 
 // Fig7Row is one Polybench kernel's comparison on one GPU: the paper's
@@ -35,54 +40,73 @@ type Fig7Result struct {
 	MedianEnergy float64 // median energy ratio (lower is better)
 }
 
-// Fig7 runs the study for the given kernels (nil = all Polybench).
+// Fig7 runs the study for the given kernels (nil = all Polybench). Each
+// kernel's full pipeline (tile-space sweep + EATSS protocol) is
+// independent of the others', so kernels fan out across the worker pool;
+// rows and the median summaries keep the input kernel order, making the
+// parallel figure identical to the sequential one.
 func Fig7(g *arch.GPU, kernels []string) *Fig7Result {
 	if kernels == nil {
 		kernels = affine.PolybenchNames()
 	}
 	out := &Fig7Result{GPU: g.Name}
 	var ppwXs, perfXs, enXs []float64
-	for _, name := range kernels {
-		params := ParamsFor(name, g)
-		variants, def := Explore(name, g, params, true, false)
-		if len(variants) == 0 || def.TimeSec == 0 {
+	type fig7Out struct {
+		row Fig7Row
+		ok  bool
+	}
+	results, doneIdx, _ := sweep.Map(context.Background(), Workers, kernels,
+		func(_ context.Context, _ int, name string) fig7Out {
+			params := ParamsFor(name, g)
+			variants, def := Explore(name, g, params, true, false)
+			if len(variants) == 0 || def.TimeSec == 0 {
+				return fig7Out{}
+			}
+			best, err := RunEATSS(name, g, params)
+			if err != nil {
+				return fig7Out{}
+			}
+			return fig7Out{row: fig7Row(name, variants, def, best), ok: true}
+		})
+	for i, r := range results {
+		if !doneIdx[i] || !r.ok {
 			continue
 		}
-		best, err := RunEATSS(name, g, params)
-		if err != nil {
-			continue
-		}
-		e := best.Chosen.Result
-
-		row := Fig7Row{
-			Kernel:          name,
-			MedPPCGGF:       Median(perfOf(variants)),
-			DefPPCGGF:       def.GFLOPS,
-			BestPPCGGF:      bestBy(variants, func(v Variant) float64 { return v.Result.GFLOPS }, true).Result.GFLOPS,
-			MedPPCGJ:        Median(energyOf(variants)),
-			DefPPCGJ:        def.EnergyJ,
-			BestPPCGJ:       bestBy(variants, func(v Variant) float64 { return v.Result.EnergyJ }, false).Result.EnergyJ,
-			MedPPCGPPW:      Median(ppwOf(variants)),
-			DefPPCGPPW:      def.PPW,
-			BestPPW:         bestBy(variants, func(v Variant) float64 { return v.Result.PPW }, true).Result.PPW,
-			EATSSGF:         e.GFLOPS,
-			EATSSJ:          e.EnergyJ,
-			EATSSPPW:        e.PPW,
-			EATSSSharedFrac: best.Chosen.SharedFrac,
-			EATSSTiles:      tilesString(best.Chosen.Selection.Tiles),
-			PerfRatio:       e.GFLOPS / def.GFLOPS,
-			EnergyRatio:     e.EnergyJ / def.EnergyJ,
-			PPWRatio:        e.PPW / def.PPW,
-		}
-		out.Rows = append(out.Rows, row)
-		ppwXs = append(ppwXs, row.PPWRatio)
-		perfXs = append(perfXs, row.PerfRatio)
-		enXs = append(enXs, row.EnergyRatio)
+		out.Rows = append(out.Rows, r.row)
+		ppwXs = append(ppwXs, r.row.PPWRatio)
+		perfXs = append(perfXs, r.row.PerfRatio)
+		enXs = append(enXs, r.row.EnergyRatio)
 	}
 	out.MedianPPWX = Median(ppwXs)
 	out.MedianPerfX = Median(perfXs)
 	out.MedianEnergy = Median(enXs)
 	return out
+}
+
+// fig7Row assembles one kernel's comparison row from its sweep and
+// EATSS outcomes.
+func fig7Row(name string, variants []Variant, def eatss.Result, best *eatss.Best) Fig7Row {
+	e := best.Chosen.Result
+	return Fig7Row{
+		Kernel:          name,
+		MedPPCGGF:       Median(perfOf(variants)),
+		DefPPCGGF:       def.GFLOPS,
+		BestPPCGGF:      bestBy(variants, func(v Variant) float64 { return v.Result.GFLOPS }, true).Result.GFLOPS,
+		MedPPCGJ:        Median(energyOf(variants)),
+		DefPPCGJ:        def.EnergyJ,
+		BestPPCGJ:       bestBy(variants, func(v Variant) float64 { return v.Result.EnergyJ }, false).Result.EnergyJ,
+		MedPPCGPPW:      Median(ppwOf(variants)),
+		DefPPCGPPW:      def.PPW,
+		BestPPW:         bestBy(variants, func(v Variant) float64 { return v.Result.PPW }, true).Result.PPW,
+		EATSSGF:         e.GFLOPS,
+		EATSSJ:          e.EnergyJ,
+		EATSSPPW:        e.PPW,
+		EATSSSharedFrac: best.Chosen.SharedFrac,
+		EATSSTiles:      tilesString(best.Chosen.Selection.Tiles),
+		PerfRatio:       e.GFLOPS / def.GFLOPS,
+		EnergyRatio:     e.EnergyJ / def.EnergyJ,
+		PPWRatio:        e.PPW / def.PPW,
+	}
 }
 
 // Render prints the Fig. 7 tables.

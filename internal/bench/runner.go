@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,10 +12,26 @@ import (
 	"repro/internal/arch"
 )
 
-// Variant pairs a tile configuration with its simulated outcome.
+// Workers bounds the concurrency of the bench sweeps — both the
+// tile-space sweeps inside Explore and the per-figure fan-outs (Fig. 1's
+// problem sizes, Fig. 7's kernels). 0 means GOMAXPROCS. Figure outputs
+// are input-ordered and therefore identical for any setting.
+var Workers int
+
+// Variant pairs a tile configuration with its simulated outcome. Tiles
+// is a defensive copy owned by the variant: mutating it (or the space it
+// was built from) never corrupts other recorded results.
 type Variant struct {
 	Tiles  map[string]int64
 	Result eatss.Result
+}
+
+func cloneTiles(tiles map[string]int64) map[string]int64 {
+	cp := make(map[string]int64, len(tiles))
+	for n, v := range tiles {
+		cp[n] = v
+	}
+	return cp
 }
 
 // SpaceSizesFor returns candidate tile sizes sized so a kernel of the
@@ -41,7 +58,10 @@ func SpaceSizesFor(depth int, paper15 bool) []int64 {
 }
 
 // Explore evaluates the kernel's tile space on g and returns the valid
-// variants plus the default-PPCG result.
+// variants plus the default-PPCG result. The sweep runs on the parallel
+// engine with the process-wide evaluation cache, so points shared
+// between figures (e.g. Fig. 2's 15^3 space is a superset of Fig. 7's)
+// are compiled and simulated once across the whole bench run.
 func Explore(name string, g *arch.GPU, params map[string]int64, useShared bool, paper15 bool) (variants []Variant, def eatss.Result) {
 	k := affine.MustLookup(name)
 	if params == nil {
@@ -49,9 +69,10 @@ func Explore(name string, g *arch.GPU, params map[string]int64, useShared bool, 
 	}
 	cfg := eatss.RunConfig{Params: params, UseShared: useShared, Precision: eatss.FP64}
 	space := eatss.Space(k, SpaceSizesFor(k.MaxDepth(), paper15))
-	pts, _ := eatss.ExploreSpace(k, g, space, cfg)
+	pts, _ := eatss.ExploreSpaceOpt(context.Background(), k, g, space, cfg,
+		eatss.SweepOptions{Workers: Workers})
 	for _, pt := range pts {
-		variants = append(variants, Variant{Tiles: pt.Tiles, Result: pt.Result})
+		variants = append(variants, Variant{Tiles: cloneTiles(pt.Tiles), Result: pt.Result})
 	}
 	def, _ = eatss.Run(k, g, eatss.DefaultTiles(k), cfg)
 	return variants, def

@@ -352,8 +352,15 @@ func SelectTilesCtx(ctx context.Context, k *affine.Kernel, g *arch.GPU, opts Opt
 	// --- IV-L: iterative maximization ---
 	sctx, solve := obs.Start(ctx, "core.solve")
 	solver := smt.NewSolver(p)
-	solver.SetContext(sctx)
-	model, best, ok := solver.Maximize(obj)
+	model, best, ok := solver.MaximizeCtx(sctx, obj)
+	if err := ctx.Err(); err != nil {
+		// Cancelled mid-solve: the search was interrupted, so an
+		// unsatisfiable outcome here is indistinguishable from an
+		// unfinished one — report the interruption, not UNSAT.
+		solve.SetBool("canceled", true)
+		solve.End()
+		return nil, fmt.Errorf("core: tile selection for %s on %s interrupted: %w", k.Name, g.Name, err)
+	}
 	if !ok {
 		solve.SetBool("sat", false)
 		solve.End()
@@ -388,13 +395,15 @@ func SelectTilesCtx(ctx context.Context, k *affine.Kernel, g *arch.GPU, opts Opt
 		mShrinkPasses.Add(1)
 		p.RequireEQ(obj, smt.C(best))
 		solver2 := smt.NewSolver(p)
-		solver2.SetContext(shctx)
-		if m2, _, ok2 := solver2.Maximize(smt.Sum(shrink...)); ok2 {
+		if m2, _, ok2 := solver2.MaximizeCtx(shctx, smt.Sum(shrink...)); ok2 && ctx.Err() == nil {
 			model = m2
 		}
 		solver.Stats.SolverCalls += solver2.Stats.SolverCalls
 		shr.SetInt("solver_calls", int64(solver2.Stats.SolverCalls))
 		shr.End()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: tile selection for %s on %s interrupted: %w", k.Name, g.Name, err)
+		}
 	}
 
 	for _, name := range names {

@@ -244,3 +244,93 @@ func TestSetClock(t *testing.T) {
 		}
 	})
 }
+
+// TestConcurrentSpanProducers is the audit test for the parallel sweep
+// engine: many goroutines opening span trees, annotating them, and
+// updating metrics at once, with concurrent Spans()/Snapshot() readers.
+// The contract it pins down (and -race enforces):
+//
+//   - Start/End on distinct spans is safe from any goroutine; the span
+//     sink serializes registration internally.
+//   - A span's attribute setters are NOT synchronized — each span must
+//     stay owned by one goroutine, which the sweep engine guarantees by
+//     giving every worker its own "sweep.worker" span.
+//   - Parentage is taken from the context, so concurrent children of a
+//     shared parent span are safe: the parent is only read.
+func TestConcurrentSpanProducers(t *testing.T) {
+	Enable()
+	defer Disable()
+	Reset()
+
+	c := NewCounter("obs.test.concurrent")
+	h := NewHistogram("obs.test.concurrent_hist", 1, 10, 100)
+
+	const producers = 8
+	const perProducer = 50
+	ctx, root := Start(context.Background(), "concurrent.root")
+
+	var wg sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			wctx, wsp := Start(ctx, "concurrent.worker")
+			wsp.SetInt("worker", int64(worker))
+			for i := 0; i < perProducer; i++ {
+				_, sp := Start(wctx, "concurrent.item")
+				sp.SetInt("i", int64(i))
+				c.Add(1)
+				h.Observe(float64(i))
+				sp.End()
+			}
+			wsp.End()
+		}(pi)
+	}
+	// Concurrent readers: snapshots must be safe while producers run.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_ = Spans()
+				_ = Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	if got := c.Value(); got != producers*perProducer {
+		t.Fatalf("counter = %d, want %d", got, producers*perProducer)
+	}
+	workers := SpansNamed("concurrent.worker")
+	if len(workers) != producers {
+		t.Fatalf("worker spans = %d, want %d", len(workers), producers)
+	}
+	workerIDs := make(map[uint64]bool)
+	for _, w := range workers {
+		if w.Parent != root.ID {
+			t.Fatalf("worker parent = %d, want %d", w.Parent, root.ID)
+		}
+		workerIDs[w.ID] = true
+	}
+	items := SpansNamed("concurrent.item")
+	if len(items) != producers*perProducer {
+		t.Fatalf("item spans = %d, want %d", len(items), producers*perProducer)
+	}
+	seen := make(map[uint64]bool, len(items))
+	for _, it := range items {
+		if !workerIDs[it.Parent] {
+			t.Fatalf("item parented to %d, not a worker", it.Parent)
+		}
+		if seen[it.ID] {
+			t.Fatalf("duplicate span ID %d", it.ID)
+		}
+		seen[it.ID] = true
+	}
+	snap := Snapshot()
+	if snap.Histograms["obs.test.concurrent_hist"].Count != producers*perProducer {
+		t.Fatalf("histogram count = %d, want %d",
+			snap.Histograms["obs.test.concurrent_hist"].Count, producers*perProducer)
+	}
+}

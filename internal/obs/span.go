@@ -62,7 +62,12 @@ func (a Attr) Value() any {
 
 // Span is one recorded pipeline phase. The zero ID is "no parent".
 // A span is owned by the goroutine that started it; attribute setters
-// are not synchronized.
+// are not synchronized. Concurrent producers are otherwise safe: Start
+// serializes registration in the process-wide sink and only reads the
+// parent span from the context, so many goroutines may open children of
+// a shared parent at once — the pattern the parallel sweep engine uses,
+// giving each pool worker its own "sweep.worker" child span to annotate
+// (see TestConcurrentSpanProducers).
 type Span struct {
 	ID      uint64
 	Parent  uint64

@@ -45,11 +45,18 @@ type Stats struct {
 }
 
 // Solver decides Problems and maximizes objectives over them.
+//
+// Cancellation: every solve entry point has a ...Ctx variant taking the
+// caller's context as an argument. The context is deliberately NOT
+// stored on the struct — a solver reused across calls would carry a
+// stale (possibly long-cancelled) context, silently aborting later
+// solves. The search loop polls ctx between batches of nodes, so a
+// cancelled SelectTilesCtx interrupts even a deep search; an interrupted
+// SolveCtx returns (nil, false), which callers must disambiguate from
+// UNSAT by checking ctx.Err().
 type Solver struct {
 	p     *Problem
 	Stats Stats
-	// ctx carries the parent obs span for round telemetry.
-	ctx context.Context
 	// domains are the solver's propagated copies of the problem domains
 	// (built lazily on the first Solve; nil entries alias the problem's).
 	domains [][]int64
@@ -63,16 +70,12 @@ type Solver struct {
 }
 
 // NewSolver returns a solver for p.
-func NewSolver(p *Problem) *Solver { return &Solver{p: p, ctx: context.Background()} }
+func NewSolver(p *Problem) *Solver { return &Solver{p: p} }
 
-// SetContext attaches ctx so the solver's telemetry spans nest under the
-// caller's span. A nil ctx restores the background context.
-func (s *Solver) SetContext(ctx context.Context) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	s.ctx = ctx
-}
+// cancelPollMask: the search polls ctx.Err() once every
+// (cancelPollMask+1) visited nodes — frequent enough to interrupt within
+// microseconds, rare enough to stay off the hot path's profile.
+const cancelPollMask = 1023
 
 // propagate builds the solver's working domains by enforcing node
 // consistency against the base constraints: a value is dropped when
@@ -134,7 +137,16 @@ func (s *Solver) propagate() {
 
 // Solve searches for a model satisfying all constraints. ok is false when
 // the problem is unsatisfiable.
-func (s *Solver) Solve() (Model, bool) {
+func (s *Solver) Solve() (Model, bool) { return s.SolveCtx(context.Background()) }
+
+// SolveCtx is Solve with the caller's context threaded through: the
+// search polls ctx between node batches and aborts when it is cancelled.
+// An aborted search returns (nil, false) exactly like UNSAT — callers
+// that care must check ctx.Err() to tell the cases apart.
+func (s *Solver) SolveCtx(ctx context.Context) (Model, bool) {
+	if ctx.Done() != nil && ctx.Err() != nil {
+		return nil, false
+	}
 	start := time.Now()
 	s.Stats.SolverCalls++
 	mSolveCalls.Add(1)
@@ -212,9 +224,20 @@ func (s *Solver) Solve() (Model, bool) {
 	}
 	model := make(Model, n)
 
+	// Poll cancellation only for contexts that can be cancelled;
+	// context.Background and friends have a nil Done channel.
+	poll := ctx.Done() != nil
+	aborted := false
+
 	var dfs func(depth int) bool
 	dfs = func(depth int) bool {
 		s.Stats.Nodes++
+		if poll && s.Stats.Nodes&cancelPollMask == 0 && ctx.Err() != nil {
+			aborted = true
+		}
+		if aborted {
+			return false
+		}
 		if depth == n {
 			return true
 		}
@@ -269,10 +292,10 @@ func (s *Solver) Solve() (Model, bool) {
 // solveRound runs one Solve under an "smt.round" span carrying the round
 // index and, when satisfiable, the achieved objective value — the
 // per-round telemetry backing the Sec. V-G measurements.
-func (s *Solver) solveRound(obj Expr, round int) (Model, int64, bool) {
-	_, sp := obs.Start(s.ctx, "smt.round")
+func (s *Solver) solveRound(ctx context.Context, obj Expr, round int) (Model, int64, bool) {
+	_, sp := obs.Start(ctx, "smt.round")
 	sp.SetInt("round", int64(round))
-	m, sat := s.Solve()
+	m, sat := s.SolveCtx(ctx)
 	sp.SetBool("sat", sat)
 	var val int64
 	if sat {
@@ -292,10 +315,20 @@ func (s *Solver) solveRound(obj Expr, round int) (Model, int64, bool) {
 // problem becomes unsatisfiable. It returns the best model found and its
 // objective value; ok is false when even the base problem is UNSAT.
 func (s *Solver) Maximize(obj Expr) (best Model, bestVal int64, ok bool) {
+	return s.MaximizeCtx(context.Background(), obj)
+}
+
+// MaximizeCtx is Maximize with the caller's context threaded through:
+// round spans nest under the caller's span, and cancellation interrupts
+// both the current search and the improvement loop. A run cancelled
+// after at least one satisfiable round returns the best model found so
+// far with ok=true; callers wanting strict interruption semantics check
+// ctx.Err() afterwards.
+func (s *Solver) MaximizeCtx(ctx context.Context, obj Expr) (best Model, bestVal int64, ok bool) {
 	s.extra = nil
 	s.descend = false
 	round := 0
-	m, val, sat := s.solveRound(obj, round)
+	m, val, sat := s.solveRound(ctx, obj, round)
 	if !sat {
 		return nil, 0, false
 	}
@@ -304,10 +337,10 @@ func (s *Solver) Maximize(obj Expr) (best Model, bestVal int64, ok bool) {
 	// each round jump near the remaining maximum — the small
 	// solver-call counts of Sec. V-G come from this behaviour.
 	s.descend = true
-	for {
+	for ctx.Err() == nil {
 		round++
 		s.extra = []Constraint{{L: obj, Op: GT, R: C(bestVal)}}
-		m, val, sat := s.solveRound(obj, round)
+		m, val, sat := s.solveRound(ctx, obj, round)
 		if !sat {
 			break
 		}
@@ -363,7 +396,13 @@ func (s *Solver) Enumerate(fn func(Model) bool) int {
 
 // Minimize finds a model minimizing obj, via Maximize on its negation.
 func (s *Solver) Minimize(obj Expr) (best Model, bestVal int64, ok bool) {
-	m, negVal, ok := s.Maximize(Scale(-1, obj))
+	return s.MinimizeCtx(context.Background(), obj)
+}
+
+// MinimizeCtx is Minimize with the caller's context threaded through
+// (see MaximizeCtx for the cancellation semantics).
+func (s *Solver) MinimizeCtx(ctx context.Context, obj Expr) (best Model, bestVal int64, ok bool) {
+	m, negVal, ok := s.MaximizeCtx(ctx, Scale(-1, obj))
 	if !ok {
 		return nil, 0, false
 	}
@@ -377,10 +416,16 @@ func (s *Solver) Minimize(obj Expr) (best Model, bestVal int64, ok bool) {
 // it when the objective range is wide and call count matters more than
 // mirroring the paper's Sec. IV-L procedure.
 func (s *Solver) MaximizeBinary(obj Expr) (best Model, bestVal int64, ok bool) {
+	return s.MaximizeBinaryCtx(context.Background(), obj)
+}
+
+// MaximizeBinaryCtx is MaximizeBinary with the caller's context threaded
+// through (see MaximizeCtx for the cancellation semantics).
+func (s *Solver) MaximizeBinaryCtx(ctx context.Context, obj Expr) (best Model, bestVal int64, ok bool) {
 	s.extra = nil
 	s.descend = false
 	round := 0
-	m, val, sat := s.solveRound(obj, round)
+	m, val, sat := s.solveRound(ctx, obj, round)
 	if !sat {
 		return nil, 0, false
 	}
@@ -397,11 +442,11 @@ func (s *Solver) MaximizeBinary(obj Expr) (best Model, bestVal int64, ok bool) {
 
 	s.descend = true
 	loVal := bestVal
-	for loVal < upper {
+	for loVal < upper && ctx.Err() == nil {
 		round++
 		mid := loVal + (upper-loVal+1)/2
 		s.extra = []Constraint{{L: obj, Op: GE, R: C(mid)}}
-		m, val, sat := s.solveRound(obj, round)
+		m, val, sat := s.solveRound(ctx, obj, round)
 		if !sat {
 			upper = mid - 1
 			continue

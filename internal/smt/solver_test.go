@@ -1,9 +1,12 @@
 package smt
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestSolveSimpleLinear(t *testing.T) {
@@ -321,5 +324,66 @@ func TestMaximizeBinaryFewerCallsOnWideRange(t *testing.T) {
 	}
 	if s2.Stats.SolverCalls > 20 {
 		t.Fatalf("binary search used %d calls", s2.Stats.SolverCalls)
+	}
+}
+
+func TestSolveCtxCancelledBeforeStart(t *testing.T) {
+	p := NewProblem()
+	x := p.RangeVar("x", 1, 10, 1)
+	p.RequireGT(V(x), C(0))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := NewSolver(p).SolveCtx(ctx); ok {
+		t.Fatal("pre-cancelled SolveCtx returned SAT")
+	}
+}
+
+func TestSolveCtxInterruptsSearch(t *testing.T) {
+	// A parity-trap UNSAT problem: every variable is even, so their sum
+	// can never equal an odd target — but the target lies inside the
+	// sum's interval bounds, so neither propagation nor interval
+	// lookahead can refute it early. Proving UNSAT needs the search to
+	// visit ~30^7 nodes, far more than fits in the cancellation
+	// deadline; the search-loop poll must cut it short.
+	p := NewProblem()
+	vars := make([]Var, 8)
+	var sum Expr = C(0)
+	for i := range vars {
+		vars[i] = p.RangeVar(fmt.Sprintf("v%d", i), 2, 60, 2)
+		sum = Sum(sum, V(vars[i]))
+	}
+	p.RequireEQ(sum, C(101)) // even sum == odd target: UNSAT
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, ok := NewSolver(p).SolveCtx(ctx)
+	elapsed := time.Since(start)
+	if ok {
+		t.Fatal("UNSAT problem returned SAT")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled search ran %v, poll is not interrupting", elapsed)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("search finished before the deadline; the problem is too easy to exercise cancellation")
+	}
+}
+
+func TestSolverReuseAfterCancelledCtx(t *testing.T) {
+	// The context is an argument, not solver state: a solve with a
+	// cancelled ctx must not poison a later solve on the same solver.
+	p := NewProblem()
+	x := p.RangeVar("x", 1, 10, 1)
+	p.RequireGT(V(x), C(5))
+	s := NewSolver(p)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := s.SolveCtx(ctx); ok {
+		t.Fatal("cancelled solve returned SAT")
+	}
+	m, ok := s.SolveCtx(context.Background())
+	if !ok || m.Value(x) <= 5 {
+		t.Fatalf("solver reuse after cancelled ctx failed: ok=%t m=%v", ok, m)
 	}
 }

@@ -1,0 +1,261 @@
+package eatss
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/parser"
+	"repro/internal/sweep"
+)
+
+// Sweep-engine telemetry: effective worker counts, cache effectiveness,
+// and how many sweeps were cut short by cancellation.
+var (
+	mSweepWorkers     = obs.NewGauge("eatss.sweep.workers")
+	mSweepCacheHits   = obs.NewCounter("eatss.sweep.cache_hits")
+	mSweepCacheMisses = obs.NewCounter("eatss.sweep.cache_misses")
+	mSweepAborted     = obs.NewCounter("eatss.sweep.aborted")
+)
+
+// SweepOptions configures the parallel sweep engine behind ExploreSpace
+// (see DESIGN.md's "Parallel sweep engine" section).
+type SweepOptions struct {
+	// Workers bounds the number of concurrent evaluations. 0 (or
+	// negative) uses GOMAXPROCS; 1 reproduces the sequential engine in
+	// the calling goroutine. Results are input-ordered regardless of
+	// the worker count, so any j produces identical output.
+	Workers int
+	// Cache memoizes (kernel, GPU, tiles, RunConfig) evaluations so
+	// repeated points across sweeps — e.g. the same tile configuration
+	// appearing in two figures' spaces — compile and simulate once.
+	// nil uses the process-wide DefaultEvalCache; NoCache disables
+	// memoization (every point is evaluated fresh).
+	Cache *EvalCache
+}
+
+// EvalCache memoizes compile+simulate outcomes across sweeps. It is safe
+// for concurrent use. Results are cached by value; tile maps are never
+// stored, so cached entries cannot alias caller-owned maps.
+type EvalCache struct {
+	disabled bool
+
+	mu     sync.Mutex
+	m      map[string]evalEntry
+	hits   int64
+	misses int64
+}
+
+type evalEntry struct {
+	res Result
+	ok  bool // false: the configuration failed to map
+}
+
+// maxEvalCacheEntries caps a cache's footprint. Entries are small
+// (a Result plus a short key), so the cap is generous; beyond it an
+// arbitrary entry is evicted per insert.
+const maxEvalCacheEntries = 1 << 20
+
+// NewEvalCache returns an empty evaluation cache, for callers that want
+// sweep-local memoization instead of the process-wide default.
+func NewEvalCache() *EvalCache { return &EvalCache{} }
+
+// DefaultEvalCache is the process-wide cache used when SweepOptions.Cache
+// is nil — it is what lets the bench figures share evaluations.
+var DefaultEvalCache = NewEvalCache()
+
+// NoCache disables memoization when set as SweepOptions.Cache.
+var NoCache = &EvalCache{disabled: true}
+
+// Len returns the number of cached evaluations.
+func (c *EvalCache) Len() int {
+	if c == nil || c.disabled {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns the cache's cumulative hit/miss counts.
+func (c *EvalCache) Stats() (hits, misses int64) {
+	if c == nil || c.disabled {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Clear drops every cached evaluation (the hit/miss counters are kept).
+func (c *EvalCache) Clear() {
+	if c == nil || c.disabled {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = nil
+}
+
+func (c *EvalCache) get(key string) (evalEntry, bool) {
+	if c == nil || c.disabled {
+		return evalEntry{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+func (c *EvalCache) put(key string, e evalEntry) {
+	if c == nil || c.disabled {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]evalEntry)
+	}
+	if len(c.m) >= maxEvalCacheEntries {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[key] = e
+}
+
+// sweepKeyPrefix fingerprints everything an evaluation depends on except
+// the tile choice: the kernel (its canonical DSL text covers nests,
+// arrays and default parameters), the full machine description, and the
+// RunConfig. Computed once per sweep; per-point keys append the tiles.
+func sweepKeyPrefix(k *AffineKernel, g *GPU, cfg RunConfig) string {
+	h := fnv.New64a()
+	io.WriteString(h, parser.Write(k))
+	fmt.Fprintf(h, "|%+v|", *g)
+	fmt.Fprintf(h, "%s|%t|%d|%v|%d|%d",
+		tileKey(cfg.Params), cfg.UseShared, cfg.SharedQuota, cfg.Precision,
+		cfg.TimeTileFuse, cfg.RegTile)
+	return strconv.FormatUint(h.Sum64(), 16) + "|"
+}
+
+// tileKey renders a tile (or parameter) map canonically: sorted
+// name=value pairs.
+func tileKey(tiles map[string]int64) string {
+	names := make([]string, 0, len(tiles))
+	for n := range tiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]byte, 0, 16*len(names))
+	for i, n := range names {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, n...)
+		out = append(out, '=')
+		out = strconv.AppendInt(out, tiles[n], 10)
+	}
+	return string(out)
+}
+
+// copyTiles returns a defensive copy of a tile map, so recorded results
+// never alias caller-owned (or space-owned) maps.
+func copyTiles(tiles map[string]int64) map[string]int64 {
+	cp := make(map[string]int64, len(tiles))
+	for n, v := range tiles {
+		cp[n] = v
+	}
+	return cp
+}
+
+// sweepOutcome is one point's evaluation as seen by the pool worker.
+type sweepOutcome struct {
+	res Result
+	ok  bool
+	hit bool
+}
+
+// ExploreSpaceOpt is ExploreSpaceCtx with explicit sweep options: the
+// worker count and the memoization cache. The contracts, regardless of
+// options:
+//
+//   - Ordering: the returned points follow the input space's order
+//     (failed-to-map points omitted), identically for any worker count.
+//   - Cancellation: the sweep polls ctx between evaluations; on
+//     cancellation it returns the points completed so far with
+//     stats.Aborted set, without dispatching further configurations.
+//   - Aliasing: every returned SpacePoint.Tiles is a defensive copy —
+//     callers may mutate the input space (or the results) freely.
+func ExploreSpaceOpt(ctx context.Context, k *AffineKernel, g *GPU, space []map[string]int64, cfg RunConfig, opt SweepOptions) ([]SpacePoint, ExploreStats) {
+	ctx, sp := obs.Start(ctx, "eatss.explore_space")
+	defer sp.End()
+	sp.SetStr("kernel", k.Name)
+	sp.SetInt("space", int64(len(space)))
+	workers := sweep.Workers(opt.Workers)
+	sp.SetInt("workers", int64(workers))
+	mSweepWorkers.Set(float64(workers))
+
+	cache := opt.Cache
+	if cache == nil {
+		cache = DefaultEvalCache
+	}
+	var prefix string
+	if !cache.disabled {
+		prefix = sweepKeyPrefix(k, g, cfg)
+	}
+
+	outcomes, done, cerr := sweep.Map(ctx, opt.Workers, space,
+		func(wctx context.Context, _ int, tiles map[string]int64) sweepOutcome {
+			var key string
+			if !cache.disabled {
+				key = prefix + tileKey(tiles)
+				if e, ok := cache.get(key); ok {
+					mSweepCacheHits.Add(1)
+					return sweepOutcome{res: e.res, ok: e.ok, hit: true}
+				}
+				mSweepCacheMisses.Add(1)
+			}
+			res, err := RunCtx(wctx, k, g, tiles, cfg)
+			o := sweepOutcome{res: res, ok: err == nil}
+			cache.put(key, evalEntry{res: o.res, ok: o.ok})
+			return o
+		})
+
+	var out []SpacePoint
+	var stats ExploreStats
+	for i, o := range outcomes {
+		if !done[i] {
+			continue
+		}
+		if o.hit {
+			stats.CacheHits++
+		}
+		if !o.ok {
+			stats.Skipped++
+			mExploreSkipped.Add(1)
+			continue
+		}
+		out = append(out, SpacePoint{Tiles: copyTiles(space[i]), Result: o.res})
+	}
+	stats.Evaluated = len(out)
+	stats.Aborted = cerr != nil
+	if stats.Aborted {
+		mSweepAborted.Add(1)
+	}
+	sp.SetInt("evaluated", int64(stats.Evaluated))
+	sp.SetInt("skipped", int64(stats.Skipped))
+	sp.SetInt("cache_hits", int64(stats.CacheHits))
+	sp.SetBool("aborted", stats.Aborted)
+	return out, stats
+}
