@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race sweep-race sweep-bench check clean
+.PHONY: all vet build test race sweep-race sweep-bench analysis-bench check clean
 
 all: check
 
@@ -29,10 +29,18 @@ sweep-race:
 sweep-bench:
 	$(GO) run ./cmd/sweepbench -points 512 -out BENCH_sweep.json
 
+# analysis-bench records what staged compilation buys per evaluation
+# (fresh per-point analysis vs one shared analysis.Program artifact)
+# into BENCH_analysis.json, and fails if the two paths' results ever
+# diverge — a cheap end-to-end parity gate on the staging split.
+analysis-bench:
+	$(GO) run ./cmd/analysisbench -out BENCH_analysis.json
+
 # check is the gate a change must pass before it lands: static analysis,
-# a full build, the sweep-engine race gate, and the full test suite
-# under the race detector.
-check: vet build sweep-race race
+# a full build, the sweep-engine race gate, the staged-compilation
+# parity/benchmark gate, and the full test suite under the race
+# detector.
+check: vet build sweep-race analysis-bench race
 
 clean:
 	$(GO) clean ./...

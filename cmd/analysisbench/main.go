@@ -1,0 +1,125 @@
+// Command analysisbench measures what staged compilation buys per
+// evaluation: it runs the same tile-space walk twice — once deriving the
+// dependence/reuse analysis per point (the pipeline's behaviour before
+// the analysis.Program artifact) and once compiling every point from a
+// single precomputed artifact — and writes the before/after numbers to a
+// JSON file. Both runs are single-threaded so the ratio isolates the
+// per-point analysis cost rather than pool effects. The Makefile's
+// `analysis-bench` target uses it to keep BENCH_analysis.json current.
+//
+//	analysisbench                       # gemm 15^3 space
+//	analysisbench -points 512 -out BENCH_analysis.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"repro/internal/affine"
+	"repro/internal/analysis"
+	"repro/internal/arch"
+	"repro/internal/codegen"
+	"repro/internal/gpusim"
+	"repro/internal/ppcg"
+)
+
+// report is the JSON schema of BENCH_analysis.json.
+type report struct {
+	Kernel           string  `json:"kernel"`
+	GPU              string  `json:"gpu"`
+	Points           int     `json:"points"`
+	FreshSec         float64 `json:"fresh_sec"`
+	StagedSec        float64 `json:"staged_sec"`
+	Speedup          float64 `json:"speedup"`
+	FreshPerPointUS  float64 `json:"fresh_per_point_us"`
+	StagedPerPointUS float64 `json:"staged_per_point_us"`
+	Identical        bool    `json:"results_identical"`
+	GeneratedAt      string  `json:"generated_at"`
+}
+
+func main() {
+	kernel := flag.String("kernel", "gemm", "kernel to sweep")
+	gpuName := flag.String("gpu", "ga100", "GPU: ga100 | xavier | v100")
+	points := flag.Int("points", 0, "limit the space to the first N points (0 = full 15^d space)")
+	outPath := flag.String("out", "BENCH_analysis.json", "output JSON path")
+	flag.Parse()
+
+	k, err := affine.Lookup(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+	g, ok := arch.ByName(*gpuName)
+	if !ok {
+		fatal(fmt.Errorf("unknown GPU %q", *gpuName))
+	}
+	space := ppcg.Space(k, ppcg.PaperSpaceSizes())
+	if *points > 0 && *points < len(space) {
+		space = space[:*points]
+	}
+	opts := codegen.Options{UseShared: true, Precision: affine.FP64}
+	ctx := context.Background()
+
+	// Before: the pre-staged pipeline — every point re-derives the
+	// per-nest dependence/reuse analysis inside the compile.
+	t0 := time.Now()
+	freshRes := make([]gpusim.Result, 0, len(space))
+	for _, tiles := range space {
+		mk, err := ppcg.CompileCtx(ctx, k, nil, tiles, g, opts)
+		if err != nil {
+			freshRes = append(freshRes, gpusim.Result{})
+			continue
+		}
+		freshRes = append(freshRes, gpusim.Simulate(mk, g))
+	}
+	freshSec := time.Since(t0).Seconds()
+
+	// After: one analysis artifact shared by every compile.
+	t1 := time.Now()
+	prog := analysis.Analyze(k, nil)
+	stagedRes := make([]gpusim.Result, 0, len(space))
+	for _, tiles := range space {
+		mk, err := ppcg.CompileAnalyzed(ctx, prog, nil, tiles, g, opts)
+		if err != nil {
+			stagedRes = append(stagedRes, gpusim.Result{})
+			continue
+		}
+		stagedRes = append(stagedRes, gpusim.Simulate(mk, g))
+	}
+	stagedSec := time.Since(t1).Seconds()
+
+	r := report{
+		Kernel:           k.Name,
+		GPU:              g.Name,
+		Points:           len(space),
+		FreshSec:         freshSec,
+		StagedSec:        stagedSec,
+		Speedup:          freshSec / stagedSec,
+		FreshPerPointUS:  1e6 * freshSec / float64(len(space)),
+		StagedPerPointUS: 1e6 * stagedSec / float64(len(space)),
+		Identical:        reflect.DeepEqual(freshRes, stagedRes),
+		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("analysisbench: %s on %s, %d points: fresh %.2fs (%.0fus/pt) -> staged %.2fs (%.0fus/pt), %.2fx, identical=%t\n",
+		r.Kernel, r.GPU, r.Points, r.FreshSec, r.FreshPerPointUS, r.StagedSec, r.StagedPerPointUS, r.Speedup, r.Identical)
+	if !r.Identical {
+		fatal(fmt.Errorf("staged results diverge from fresh per-point analysis"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analysisbench:", err)
+	os.Exit(1)
+}

@@ -36,6 +36,8 @@ func main() {
 	showPower := flag.Bool("power", false, "print the average power breakdown")
 	cuda := flag.Bool("cuda", false, "print the generated CUDA-style code")
 	list := flag.Bool("list", false, "list available kernels")
+	timeTile := flag.Int64("timetile", 0, "fuse this many time steps per launch on repeated stencil nests (>1 enables)")
+	regTile := flag.Int64("regtile", 0, "register micro-tile factor: each thread computes an r x r block (>1 enables)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event file of the pipeline (load in chrome://tracing or ui.perfetto.dev)")
 	metrics := flag.Bool("metrics", false, "print the metrics snapshot (solver nodes, prunes, simulated traffic) after the run")
 	summary := flag.Bool("summary", false, "print the span tree summary after the run")
@@ -126,8 +128,15 @@ func main() {
 		}
 	}
 
+	// Stage the analysis once; the solve, compile, simulate and explain
+	// steps below all reuse it.
+	prog, err := eatss.AnalyzeCtx(ctx, k, params)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *best {
-		b, err := eatss.SelectBestCtx(ctx, k.WithParams(params), g, prec, params)
+		b, err := prog.SelectBestCtx(ctx, g, prec)
 		if err != nil {
 			fatal(err)
 		}
@@ -142,7 +151,7 @@ func main() {
 				marker, c.SharedFrac, c.Selection.Tiles,
 				c.Result.GFLOPS, c.Result.AvgPowerW, c.Result.EnergyJ, c.Result.PPW)
 		}
-		compareDefault(ctx, k, g, params, b.Chosen.Result)
+		compareDefault(ctx, prog, g, params, b.Chosen.Result)
 		return
 	}
 
@@ -152,7 +161,7 @@ func main() {
 		Precision:        prec,
 		ProblemSizeAware: true,
 	}
-	sel, err := eatss.SelectTilesCtx(ctx, k.WithParams(params), g, opts)
+	sel, err := prog.SelectTilesCtx(ctx, g, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -162,22 +171,31 @@ func main() {
 		fmt.Print(sel.Model)
 	}
 	if *explain {
-		_, rendered := eatss.Explain(k.WithParams(params), g, sel)
+		_, rendered := prog.Explain(g, sel)
 		fmt.Println("\n--- constraint usage ---")
 		fmt.Print(rendered)
 	}
 
-	cfg := eatss.RunConfig{Params: params, UseShared: *split > 0, Precision: prec}
-	if *cuda {
-		mk, err := eatss.CompileCtx(ctx, k, g, sel.Tiles, cfg)
+	cfg := eatss.RunConfig{
+		Params: params, UseShared: *split > 0, Precision: prec,
+		TimeTileFuse: *timeTile, RegTile: *regTile,
+	}
+	if *cuda || *summary {
+		mk, err := prog.CompileCtx(ctx, g, sel.Tiles, cfg)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println("\n--- generated CUDA ---")
-		fmt.Print(mk.CUDASource())
+		if *cuda {
+			fmt.Println("\n--- generated CUDA ---")
+			fmt.Print(mk.CUDASource())
+		}
+		if *summary && (cfg.TimeTileFuse > 1 || cfg.RegTile > 1) {
+			fmt.Printf("tiling fallbacks: time-tile %d nest(s), register-tile %d nest(s)\n",
+				mk.TimeTileFallbacks, mk.RegTileFallbacks)
+		}
 	}
 
-	res, err := eatss.RunCtx(ctx, k, g, sel.Tiles, cfg)
+	res, err := prog.RunCtx(ctx, g, sel.Tiles, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -188,11 +206,11 @@ func main() {
 		fmt.Printf("power breakdown: const %.1fW  static %.1fW  SM %.1fW  L2 %.1fW  DRAM %.1fW  shared %.1fW  liveness %.1fW\n",
 			b.Constant, b.Static, b.DynSM, b.DynL2, b.DynDRAM, b.DynShared, b.DynLive)
 	}
-	compareDefault(ctx, k, g, params, res)
+	compareDefault(ctx, prog, g, params, res)
 }
 
-func compareDefault(ctx context.Context, k *eatss.AffineKernel, g *eatss.GPU, params map[string]int64, res eatss.Result) {
-	def, err := eatss.RunCtx(ctx, k, g, eatss.DefaultTiles(k), eatss.RunConfig{
+func compareDefault(ctx context.Context, prog *eatss.Program, g *eatss.GPU, params map[string]int64, res eatss.Result) {
+	def, err := prog.RunCtx(ctx, g, prog.DefaultTiles(), eatss.RunConfig{
 		Params: params, UseShared: true, Precision: eatss.FP64,
 	})
 	if err != nil {

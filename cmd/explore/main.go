@@ -45,20 +45,27 @@ func main() {
 	}
 	cfg := eatss.RunConfig{Params: params, UseShared: true, Precision: eatss.FP64}
 
+	// One staged analysis serves the whole sweep, the default-PPCG
+	// evaluation and the EATSS protocol below.
+	prog, err := eatss.Analyze(k, params)
+	if err != nil {
+		fatal(err)
+	}
+
 	var space []map[string]int64
 	if *paper15 || k.MaxDepth() <= 3 {
-		space = eatss.PaperSpace(k)
+		space = prog.PaperSpace()
 	} else {
-		space = eatss.Space(k, []int64{4, 8, 16, 32, 64})
+		space = prog.Space([]int64{4, 8, 16, 32, 64})
 	}
-	pts, stats := eatss.ExploreSpaceOpt(context.Background(), k, g, space, cfg,
+	pts, stats := prog.ExploreSpaceOpt(context.Background(), g, space, cfg,
 		eatss.SweepOptions{Workers: *j})
 	if len(pts) == 0 {
 		fatal(fmt.Errorf("no valid variants for %s (%d of %d configurations failed to map)",
 			*kernel, stats.Skipped, len(space)))
 	}
 
-	def, err := eatss.Run(k, g, eatss.DefaultTiles(k), cfg)
+	def, err := prog.Run(g, prog.DefaultTiles(), cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -78,7 +85,7 @@ func main() {
 	fmt.Printf("variants beating default: %.1f%% on perf, %.1f%% on energy\n",
 		100*float64(beatPerf)/float64(len(pts)), 100*float64(beatEnergy)/float64(len(pts)))
 
-	if best, err := eatss.SelectBest(k.WithParams(params), g, eatss.FP64, params); err == nil {
+	if best, err := prog.SelectBest(g, eatss.FP64); err == nil {
 		u := best.Chosen.Result
 		fmt.Printf("U (EATSS, split %.2f %v): %.1f GFLOP/s  %.3f J  PPW %.2f\n",
 			best.Chosen.SharedFrac, best.Chosen.Selection.Tiles, u.GFLOPS, u.EnergyJ, u.PPW)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/affine"
+	"repro/internal/analysis"
 	"repro/internal/arch"
 	"repro/internal/codegen"
 	"repro/internal/core"
@@ -200,29 +201,10 @@ func Compile(k *AffineKernel, g *GPU, tiles map[string]int64, cfg RunConfig) (*M
 }
 
 // CompileCtx is Compile with the caller's context threaded through for
-// observability.
+// observability. It stages the analysis fresh; callers compiling more
+// than one configuration should Analyze once and use Program.Compile.
 func CompileCtx(ctx context.Context, k *AffineKernel, g *GPU, tiles map[string]int64, cfg RunConfig) (*MappedKernel, error) {
-	mk, err := ppcg.CompileCtx(ctx, k, cfg.Params, tiles, g, codegen.Options{
-		UseShared:   cfg.UseShared,
-		SharedQuota: cfg.SharedQuota,
-		Precision:   cfg.Precision,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if cfg.TimeTileFuse > 1 {
-		for _, mn := range mk.Nests {
-			// Fuse where feasible; non-stencil or too-small-tile nests
-			// keep PPCG's one-launch-per-step behavior.
-			_ = mn.ApplyTimeTiling(cfg.TimeTileFuse)
-		}
-	}
-	if cfg.RegTile > 1 {
-		for _, mn := range mk.Nests {
-			_ = mn.ApplyRegisterTiling(cfg.RegTile, g.RegsPerThread)
-		}
-	}
-	return mk, nil
+	return compileAnalyzed(ctx, analysis.AnalyzeCtx(ctx, k, cfg.Params), g, tiles, cfg)
 }
 
 // Run compiles and simulates one tile configuration.
@@ -232,12 +214,10 @@ func Run(k *AffineKernel, g *GPU, tiles map[string]int64, cfg RunConfig) (Result
 
 // RunCtx is Run with the caller's context threaded through: one enabled
 // call produces a compile span and a simulate span under the caller's.
+// It stages the analysis fresh; callers evaluating more than one tile
+// configuration should Analyze once and use Program.Run.
 func RunCtx(ctx context.Context, k *AffineKernel, g *GPU, tiles map[string]int64, cfg RunConfig) (Result, error) {
-	mk, err := CompileCtx(ctx, k, g, tiles, cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	return gpusim.SimulateCtx(ctx, mk, g), nil
+	return runAnalyzed(ctx, analysis.AnalyzeCtx(ctx, k, cfg.Params), g, tiles, cfg)
 }
 
 // Candidate is one (EATSS configuration, simulated outcome) pair from
@@ -286,8 +266,19 @@ func SelectBest(k *AffineKernel, g *GPU, prec Precision, params map[string]int64
 
 // SelectBestCtx is SelectBest with the caller's context threaded
 // through: one enabled run records an "eatss.select_best" span with one
-// "eatss.candidate" child per shared-memory split.
+// "eatss.candidate" child per shared-memory split. The analysis is
+// staged once and shared by all nine potential solver calls and every
+// candidate evaluation.
 func SelectBestCtx(ctx context.Context, k *AffineKernel, g *GPU, prec Precision, params map[string]int64) (*Best, error) {
+	// Solve under the kernel's own params (like SelectTiles), evaluate
+	// under the caller's params override — the pre-staged protocol's
+	// semantics. The reuse analysis is size-independent, so one artifact
+	// serves both.
+	return selectBestAnalyzed(ctx, analysis.AnalyzeCtx(ctx, k, nil), g, prec, params)
+}
+
+func selectBestAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GPU, prec Precision, params map[string]int64) (*Best, error) {
+	k := prog.Kernel
 	ctx, root := obs.Start(ctx, "eatss.select_best")
 	defer root.End()
 	root.SetStr("kernel", k.Name)
@@ -305,7 +296,7 @@ func SelectBestCtx(ctx context.Context, k *AffineKernel, g *GPU, prec Precision,
 				Precision:        prec,
 				ProblemSizeAware: true,
 			}
-			sel, err = SelectTilesCtx(cctx, k, g, opts)
+			sel, err = core.SelectTilesAnalyzed(cctx, prog, g, opts)
 			if err == nil {
 				break
 			}
@@ -321,7 +312,7 @@ func SelectBestCtx(ctx context.Context, k *AffineKernel, g *GPU, prec Precision,
 		}
 		best.SolverCalls += sel.SolverCalls
 		best.SolveTime += sel.SolveTime
-		res, err := RunCtx(cctx, k, g, sel.Tiles, RunConfig{
+		res, err := runAnalyzed(cctx, prog, g, sel.Tiles, RunConfig{
 			Params:    params,
 			UseShared: split > 0,
 			Precision: prec,

@@ -50,13 +50,18 @@ func (c *tileCache) lookup(r request) (*eatss.Selection, error) {
 	if err != nil {
 		return nil, err
 	}
-	kk := k.WithParams(r.params)
+	// Stage the analysis once per miss; the warp-fraction fallback loop
+	// re-solves against the same artifact instead of re-analyzing.
+	prog, err := eatss.Analyze(k, r.params)
+	if err != nil {
+		return nil, err
+	}
 	// Problem-size-aware selection with warp-fraction fallback.
 	var lastErr error
 	for _, wf := range eatss.WarpFractions {
 		opts := eatss.Options{SplitFactor: 0.5, WarpFraction: wf,
 			Precision: eatss.FP64, ProblemSizeAware: true}
-		sel, err := eatss.SelectTiles(kk, r.gpu, opts)
+		sel, err := prog.SelectTiles(r.gpu, opts)
 		if err == nil {
 			c.entries[key(r)] = sel
 			return sel, nil

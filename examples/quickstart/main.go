@@ -22,25 +22,32 @@ func main() {
 	}
 	g := eatss.GA100()
 
-	// 2. Run the EATSS model generator + solver (Sec. IV of the paper).
+	// 2. Stage the kernel: Analyze computes the tile-independent
+	//    dependence/reuse analysis once; every step below reuses it.
+	prog, err := eatss.Analyze(k, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run the EATSS model generator + solver (Sec. IV of the paper).
 	//    DefaultOptions reproduce the paper's walkthrough: 50% of the
 	//    combined L1+shared pool to shared memory, warp-alignment 16,
 	//    double precision.
-	sel, err := eatss.SelectTiles(k, g, eatss.DefaultOptions())
+	sel, err := prog.SelectTiles(g, eatss.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("EATSS selection (expect Ti=16, Tj=384, Tk=16 — the paper's result):")
 	fmt.Print(sel.String())
 
-	// 3. Compile (PPCG-style mapping) and simulate the configuration.
-	res, err := eatss.Run(k, g, sel.Tiles, eatss.RunConfig{UseShared: true, Precision: eatss.FP64})
+	// 4. Compile (PPCG-style mapping) and simulate the configuration.
+	res, err := prog.Run(g, sel.Tiles, eatss.RunConfig{UseShared: true, Precision: eatss.FP64})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 4. Compare against the default 32^d tiling.
-	def, err := eatss.Run(k, g, eatss.DefaultTiles(k), eatss.RunConfig{UseShared: true, Precision: eatss.FP64})
+	// 5. Compare against the default 32^d tiling.
+	def, err := prog.Run(g, prog.DefaultTiles(), eatss.RunConfig{UseShared: true, Precision: eatss.FP64})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/deps"
+)
+
+func TestAnalyzeGemm(t *testing.T) {
+	k := affine.MustLookup("gemm")
+	p := Analyze(k, nil)
+
+	if p.Kernel != k {
+		t.Fatal("Program does not reference the analyzed kernel")
+	}
+	if len(p.Nests) != len(k.Nests) {
+		t.Fatalf("Nests = %d, want %d", len(p.Nests), len(k.Nests))
+	}
+	na := p.Nests[0]
+
+	// gemm's i and j parallelize; k is the reduction loop.
+	if want := []string{"i", "j"}; !reflect.DeepEqual(na.Parallel, want) {
+		t.Fatalf("Parallel = %v, want %v", na.Parallel, want)
+	}
+
+	// Extents come from the kernel's own EXTRALARGE params.
+	for _, l := range na.Nest.Loops {
+		if got, want := na.Extents[l.Name], l.Extent(k.Params); got != want {
+			t.Fatalf("Extents[%s] = %d, want %d", l.Name, got, want)
+		}
+	}
+
+	// Three arrays (C, A, B), each a data tile over two iterators.
+	if len(na.Arrays) != 3 {
+		t.Fatalf("Arrays = %v, want C, A, B", na.Arrays)
+	}
+	// Iters follow nest loop order (i, j, k), not subscript order.
+	wantIters := map[string][]string{
+		"C": {"i", "j"}, "A": {"i", "k"}, "B": {"j", "k"},
+	}
+	for _, av := range na.Arrays {
+		if want := wantIters[av.Array]; !reflect.DeepEqual(av.Iters, want) {
+			t.Fatalf("Iters[%s] = %v, want %v", av.Array, av.Iters, want)
+		}
+	}
+
+	// The skeleton matches the raw reuse counts after the structural
+	// zeroing rules: in a 3-deep nest serial loops' weights drop to zero.
+	reuse := deps.AnalyzeReuse(&k.Nests[0])
+	for name, h := range na.HSkeleton {
+		raw := reuse.HRaw[name]
+		if raw == 0 {
+			t.Fatalf("HSkeleton has %s but HRaw is zero", name)
+		}
+		if h != 0 && h != raw {
+			t.Fatalf("HSkeleton[%s] = %d, want 0 or HRaw %d", name, h, raw)
+		}
+	}
+}
+
+func TestAnalyzeParamsOverrideExtents(t *testing.T) {
+	k := affine.MustLookup("gemm")
+	params := map[string]int64{"NI": 64, "NJ": 128, "NK": 256}
+	p := Analyze(k, params)
+	na := p.Nests[0]
+	want := map[string]int64{"i": 64, "j": 128, "k": 256}
+	if !reflect.DeepEqual(na.Extents, want) {
+		t.Fatalf("Extents = %v, want %v", na.Extents, want)
+	}
+}
+
+func TestNestReusesAligned(t *testing.T) {
+	k := affine.MustLookup("2mm")
+	p := Analyze(k, nil)
+	rs := p.NestReuses()
+	if len(rs) != len(k.Nests) {
+		t.Fatalf("NestReuses = %d, want %d", len(rs), len(k.Nests))
+	}
+	for i, r := range rs {
+		if r.Nest != &k.Nests[i] {
+			t.Fatalf("NestReuses[%d] is not nest %q's analysis", i, k.Nests[i].Name)
+		}
+	}
+}
+
+func TestFingerprintIdentity(t *testing.T) {
+	k := affine.MustLookup("gemm")
+
+	a := Analyze(k, nil).Fingerprint()
+	b := Analyze(affine.MustLookup("gemm"), nil).Fingerprint()
+	if a != b {
+		t.Fatal("equal (kernel, params) pairs produced different fingerprints")
+	}
+	if a != Analyze(k, nil).Fingerprint() {
+		t.Fatal("Fingerprint is not deterministic")
+	}
+
+	// Params changes invalidate.
+	c := Analyze(k, map[string]int64{"NI": 64, "NJ": 64, "NK": 64}).Fingerprint()
+	if c == a {
+		t.Fatal("params change did not change the fingerprint")
+	}
+
+	// Kernel changes invalidate.
+	d := Analyze(affine.MustLookup("2mm"), nil).Fingerprint()
+	if d == a {
+		t.Fatal("kernel change did not change the fingerprint")
+	}
+}

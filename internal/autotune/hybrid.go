@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/affine"
+	"repro/internal/analysis"
 	"repro/internal/arch"
 	"repro/internal/codegen"
 	"repro/internal/core"
@@ -26,13 +27,17 @@ func HybridTune(k *affine.Kernel, g *arch.GPU, space []map[string]int64, cfg Con
 		cfg.Budget = 40
 	}
 
+	// Stage the analysis once; every solver call and every evaluation
+	// below consumes the same artifact.
+	prog := analysis.Analyze(k, nil)
+
 	// EATSS seeds: one configuration per shared split, with warp-fraction
 	// fallback for high-dimensional kernels. The three splits' solves
 	// are independent, so they run on the worker pool; folding in split
 	// order keeps the seed list deterministic.
 	splits := []float64{0.0, 0.5, 0.67}
 	seedOut, seedDone, _ := sweep.Map(context.Background(), cfg.Workers, splits,
-		func(_ context.Context, _ int, split float64) map[string]int64 {
+		func(wctx context.Context, _ int, split float64) map[string]int64 {
 			for _, wf := range []float64{0.5, 0.25, 0.125} {
 				opts := core.Options{
 					SplitFactor:      split,
@@ -40,7 +45,7 @@ func HybridTune(k *affine.Kernel, g *arch.GPU, space []map[string]int64, cfg Con
 					Precision:        cfg.Precision,
 					ProblemSizeAware: true,
 				}
-				sel, err := core.SelectTiles(k, g, opts)
+				sel, err := core.SelectTilesAnalyzed(wctx, prog, g, opts)
 				if err != nil {
 					continue
 				}
@@ -57,7 +62,8 @@ func HybridTune(k *affine.Kernel, g *arch.GPU, space []map[string]int64, cfg Con
 
 	var out Outcome
 	evaluateOne := func(tiles map[string]int64) (Observation, bool) {
-		mk, err := codegen.MapKernel(k, nil, tiles, g, codegen.Options{
+		analysis.CountReuseHits(len(prog.Nests))
+		mk, err := codegen.MapKernelReuse(context.Background(), k, prog.NestReuses(), nil, tiles, g, codegen.Options{
 			UseShared: cfg.UseShared,
 			Precision: cfg.Precision,
 		})

@@ -68,13 +68,17 @@ func Explore(name string, g *arch.GPU, params map[string]int64, useShared bool, 
 		params = k.Params
 	}
 	cfg := eatss.RunConfig{Params: params, UseShared: useShared, Precision: eatss.FP64}
-	space := eatss.Space(k, SpaceSizesFor(k.MaxDepth(), paper15))
-	pts, _ := eatss.ExploreSpaceOpt(context.Background(), k, g, space, cfg,
+	prog, err := eatss.Analyze(k, params)
+	if err != nil {
+		return nil, eatss.Result{}
+	}
+	space := prog.Space(SpaceSizesFor(k.MaxDepth(), paper15))
+	pts, _ := prog.ExploreSpaceOpt(context.Background(), g, space, cfg,
 		eatss.SweepOptions{Workers: Workers})
 	for _, pt := range pts {
 		variants = append(variants, Variant{Tiles: cloneTiles(pt.Tiles), Result: pt.Result})
 	}
-	def, _ = eatss.Run(k, g, eatss.DefaultTiles(k), cfg)
+	def, _ = prog.Run(g, prog.DefaultTiles(), cfg)
 	return variants, def
 }
 
@@ -91,11 +95,11 @@ func RunDefault(name string, g *arch.GPU, params map[string]int64, useShared boo
 // warp-fraction fallback, pick the best PPW) and returns the chosen
 // configuration's outcome.
 func RunEATSS(name string, g *arch.GPU, params map[string]int64) (*eatss.Best, error) {
-	k := affine.MustLookup(name)
-	if params != nil {
-		k = k.WithParams(params)
+	prog, err := eatss.Analyze(affine.MustLookup(name), params)
+	if err != nil {
+		return nil, err
 	}
-	return eatss.SelectBest(k, g, eatss.FP64, params)
+	return prog.SelectBest(g, eatss.FP64)
 }
 
 // ParamsFor returns the dataset for a kernel on a GPU: EXTRALARGE on the

@@ -8,6 +8,7 @@ package codegen
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +18,12 @@ import (
 	"repro/internal/deps"
 	"repro/internal/obs"
 )
+
+// ErrNegativeTile is returned (wrapped) by MapNest when a tile entry is
+// negative. Missing or zero entries keep the documented default-32
+// behaviour; a negative size is always a caller bug and is rejected
+// rather than silently coerced.
+var ErrNegativeTile = errors.New("negative tile size")
 
 // Telemetry: mapping decisions and shared-memory staging pressure.
 var (
@@ -102,11 +109,20 @@ type MappedNest struct {
 }
 
 // MapNest maps one nest with the given tile sizes. Tile sizes are looked
-// up by loop name; missing entries default to 32. It returns an error when
-// the configuration violates a hard execution-model limit (threads per
-// block, shared memory per block, registers).
+// up by loop name; missing or zero entries default to 32, and negative
+// entries are rejected with an error wrapping ErrNegativeTile. It returns
+// an error when the configuration violates a hard execution-model limit
+// (threads per block, shared memory per block, registers). It derives the
+// nest's reuse analysis fresh; callers that already hold one (e.g. via an
+// analysis.Program) should use MapNestReuse.
 func MapNest(n *affine.Nest, params map[string]int64, tiles map[string]int64, g *arch.GPU, opts Options) (*MappedNest, error) {
-	reuse := deps.AnalyzeReuse(n)
+	return MapNestReuse(n, deps.AnalyzeReuse(n), params, tiles, g, opts)
+}
+
+// MapNestReuse is MapNest with the nest's reuse analysis supplied by the
+// caller instead of re-derived, so a sweep evaluating thousands of tile
+// configurations pays the dependence/reuse analysis once.
+func MapNestReuse(n *affine.Nest, reuse *deps.NestReuse, params map[string]int64, tiles map[string]int64, g *arch.GPU, opts Options) (*MappedNest, error) {
 	info := reuse.Info
 
 	m := &MappedNest{
@@ -121,7 +137,10 @@ func MapNest(n *affine.Nest, params map[string]int64, tiles map[string]int64, g 
 	// Clamp tile sizes to loop extents.
 	for _, l := range n.Loops {
 		t := tiles[l.Name]
-		if t <= 0 {
+		if t < 0 {
+			return nil, fmt.Errorf("codegen: nest %q loop %q: %w (%d)", n.Name, l.Name, ErrNegativeTile, t)
+		}
+		if t == 0 {
 			t = 32
 		}
 		if ext := l.Extent(params); t > ext && ext > 0 {
@@ -384,6 +403,15 @@ type MappedKernel struct {
 	Kernel *affine.Kernel
 	Params map[string]int64
 	Nests  []*MappedNest
+
+	// TimeTileFallbacks and RegTileFallbacks count the nests where a
+	// requested extension (RunConfig.TimeTileFuse / RunConfig.RegTile)
+	// could not be applied — no stencil halo, tile too small, register
+	// file too tight — and the nest kept its plain PPCG behaviour.
+	// Recorded by the compile driver so per-nest failures are visible
+	// instead of silently dropped.
+	TimeTileFallbacks int
+	RegTileFallbacks  int
 }
 
 // MapKernel maps every nest of the kernel with a single tile configuration
@@ -397,6 +425,18 @@ func MapKernel(k *affine.Kernel, params map[string]int64, tiles map[string]int64
 // each nest's mapping runs under a "codegen.map_nest" span recording the
 // grid/block decision, thread coarsening, and staging footprint.
 func MapKernelCtx(ctx context.Context, k *affine.Kernel, params map[string]int64, tiles map[string]int64, g *arch.GPU, opts Options) (*MappedKernel, error) {
+	return MapKernelReuse(ctx, k, nil, params, tiles, g, opts)
+}
+
+// MapKernelReuse is MapKernelCtx with precomputed per-nest reuse
+// analyses (aligned with k.Nests, e.g. analysis.Program.NestReuses) so
+// no per-compile re-derivation happens. A nil slice re-derives every
+// nest, reproducing MapKernelCtx.
+func MapKernelReuse(ctx context.Context, k *affine.Kernel, reuses []*deps.NestReuse, params map[string]int64, tiles map[string]int64, g *arch.GPU, opts Options) (*MappedKernel, error) {
+	if reuses != nil && len(reuses) != len(k.Nests) {
+		return nil, fmt.Errorf("codegen: kernel %s: %d precomputed reuse analyses for %d nests",
+			k.Name, len(reuses), len(k.Nests))
+	}
 	if params == nil {
 		params = k.Params
 	}
@@ -404,7 +444,14 @@ func MapKernelCtx(ctx context.Context, k *affine.Kernel, params map[string]int64
 	for i := range k.Nests {
 		_, sp := obs.Start(ctx, "codegen.map_nest")
 		sp.SetStr("nest", k.Nests[i].Name)
-		mn, err := MapNest(&k.Nests[i], params, tiles, g, opts)
+		reuse := (*deps.NestReuse)(nil)
+		if reuses != nil {
+			reuse = reuses[i]
+		}
+		if reuse == nil {
+			reuse = deps.AnalyzeReuse(&k.Nests[i])
+		}
+		mn, err := MapNestReuse(&k.Nests[i], reuse, params, tiles, g, opts)
 		if err != nil {
 			mMapFailures.Add(1)
 			sp.SetStr("error", err.Error())

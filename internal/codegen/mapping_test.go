@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -212,5 +213,35 @@ func TestRegisterEstimateScalesWithPrecision(t *testing.T) {
 	if m64.RegsPerThread <= m32.RegsPerThread {
 		t.Fatalf("FP64 regs (%d) should exceed FP32 regs (%d)",
 			m64.RegsPerThread, m32.RegsPerThread)
+	}
+}
+
+func TestMapNestNegativeTileIsError(t *testing.T) {
+	k := affine.MustLookup("gemm")
+	_, err := MapNest(&k.Nests[0], k.Params, map[string]int64{"i": 16, "j": -8, "k": 16},
+		arch.GA100(), Options{Precision: affine.FP64})
+	if err == nil {
+		t.Fatal("MapNest accepted a negative tile size")
+	}
+	if !errors.Is(err, ErrNegativeTile) {
+		t.Fatalf("error = %v, want ErrNegativeTile", err)
+	}
+	if !strings.Contains(err.Error(), "j") {
+		t.Fatalf("error %q does not name the offending loop", err)
+	}
+
+	// Missing and zero entries keep PPCG's default-32 behavior.
+	for _, tiles := range []map[string]int64{
+		{"i": 16, "k": 16},
+		{"i": 16, "j": 0, "k": 16},
+	} {
+		m, err := MapNest(&k.Nests[0], k.Params, tiles, arch.GA100(),
+			Options{Precision: affine.FP64})
+		if err != nil {
+			t.Fatalf("MapNest(%v) = %v, want default-32 fallback", tiles, err)
+		}
+		if m.Tiles["j"] != 32 {
+			t.Fatalf("tiles %v: T_j = %d, want default 32", tiles, m.Tiles["j"])
+		}
 	}
 }

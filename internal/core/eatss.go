@@ -26,8 +26,8 @@ import (
 	"time"
 
 	"repro/internal/affine"
+	"repro/internal/analysis"
 	"repro/internal/arch"
-	"repro/internal/deps"
 	"repro/internal/obs"
 	"repro/internal/smt"
 )
@@ -130,9 +130,24 @@ func SelectTiles(k *affine.Kernel, g *arch.GPU, opts Options) (*Selection, error
 
 // SelectTilesCtx is SelectTiles with the caller's context threaded
 // through, so the model-generation and solver-round spans nest under the
-// caller's obs span.
+// caller's obs span. It derives the analysis artifact fresh; callers
+// solving the same kernel repeatedly (different Options) should build
+// one analysis.Program and use SelectTilesAnalyzed.
 func SelectTilesCtx(ctx context.Context, k *affine.Kernel, g *arch.GPU, opts Options) (*Selection, error) {
+	return SelectTilesAnalyzed(ctx, analysis.AnalyzeCtx(ctx, k, nil), g, opts)
+}
+
+// SelectTilesAnalyzed builds and solves the EATSS formulation from a
+// precomputed analysis artifact. The model generation splits into the
+// tile-independent skeleton carried by prog (reuse, classification, H
+// skeletons, extents) and the cheap per-Options instantiation done here
+// (warp-alignment steps, the L1/shared capacity split, precision
+// scaling), so e.g. SelectBest's 3 shared-splits x 3 warp-fractions
+// reuse one analysis instead of nine re-derivations. Results are
+// identical to SelectTilesCtx on the same kernel.
+func SelectTilesAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GPU, opts Options) (*Selection, error) {
 	start := time.Now()
+	k := prog.Kernel
 	if opts.WarpFraction == 0 {
 		opts.WarpFraction = 1.0
 	}
@@ -160,11 +175,11 @@ func SelectTilesCtx(ctx context.Context, k *affine.Kernel, g *arch.GPU, opts Opt
 	// tiles, Sec. IV-M ii).
 	upper := make(map[string]int64)
 	var names []string
-	for _, n := range k.Nests {
-		for _, l := range n.Loops {
+	for _, na := range prog.Nests {
+		for _, l := range na.Nest.Loops {
 			hi := g.ThreadsPerBlock
 			if opts.ProblemSizeAware {
-				if ext := l.Extent(k.Params); ext < hi {
+				if ext := na.Extents[l.Name]; ext < hi {
 					hi = ext
 				}
 			}
@@ -185,10 +200,10 @@ func SelectTilesCtx(ctx context.Context, k *affine.Kernel, g *arch.GPU, opts Opt
 	var objTerms []smt.Expr
 	var objParts []string
 	seenParallelProd := make(map[string]bool)
-	for ni := range k.Nests {
-		nest := &k.Nests[ni]
-		reuse := deps.AnalyzeReuse(nest)
-		info := reuse.Info
+	analysis.CountReuseHits(len(prog.Nests))
+	for _, na := range prog.Nests {
+		nest := na.Nest
+		reuse := na.Reuse
 
 		nm := NestModel{
 			Nest:    nest.Name,
@@ -196,13 +211,9 @@ func SelectTilesCtx(ctx context.Context, k *affine.Kernel, g *arch.GPU, opts Opt
 			H:       make(map[string]int64),
 		}
 
-		// IV-F: up to the first three parallel loops define B_size.
-		var parallel []string
-		for d, l := range nest.Loops {
-			if info.Parallel[d] && len(parallel) < 3 {
-				parallel = append(parallel, l.Name)
-			}
-		}
+		// IV-F: up to the first three parallel loops define B_size
+		// (precomputed by the analysis).
+		parallel := append([]string(nil), na.Parallel...)
 		nm.Parallel = parallel
 		if len(parallel) == 0 {
 			gen.End()
@@ -225,55 +236,28 @@ func SelectTilesCtx(ctx context.Context, k *affine.Kernel, g *arch.GPU, opts Opt
 		p.RequireLE(regSM, smt.C(g.RegsPerSM))
 		mConsRegister.Add(1)
 
-		// IV-C volumes + IV-E split into L1/shared capacity sums.
-		// One data-tile volume per array (references to the same array —
-		// e.g. a stencil's offset neighbors — share one tile, matching
-		// the paper's matmul walkthrough M_L1 = TiTj + TkTj). Capacities
-		// are in loop-iteration units: bytes / element size (Sec. IV-J
-		// "scaled down based on the byte width").
-		type arrVol struct {
-			iters map[string]bool
-			l1    bool
-		}
-		arrVols := make(map[string]*arrVol)
-		var arrOrder []string
-		for _, rr := range reuse.Refs {
-			av, ok := arrVols[rr.Ref.Array]
-			if !ok {
-				av = &arrVol{iters: make(map[string]bool)}
-				arrVols[rr.Ref.Array] = av
-				arrOrder = append(arrOrder, rr.Ref.Array)
-			}
-			for _, l := range nest.Loops {
-				if rr.Ref.UsesIter(l.Name) {
-					av.iters[l.Name] = true
-				}
-			}
-			if rr.Class == deps.MemL1 || opts.SplitFactor == 0 {
-				// A zero split gives the whole pool to the L1 cache
-				// (Sec. IV-J): every reference is cache-mapped.
-				av.l1 = true
-			}
-		}
+		// IV-C volumes + IV-E split into L1/shared capacity sums, from
+		// the precomputed per-array skeletons. Capacities are in
+		// loop-iteration units: bytes / element size (Sec. IV-J "scaled
+		// down based on the byte width"). A zero split gives the whole
+		// pool to the L1 cache (Sec. IV-J): every reference is
+		// cache-mapped regardless of its classification.
 		var l1Vols, shVols []smt.Expr
-		for _, array := range arrOrder {
-			av := arrVols[array]
-			var factors []smt.Expr
-			for _, l := range nest.Loops {
-				if av.iters[l.Name] {
-					factors = append(factors, smt.V(vars[l.Name]))
-				}
-			}
-			if len(factors) == 0 {
+		for _, av := range na.Arrays {
+			if len(av.Iters) == 0 {
 				continue // scalar: negligible volume
 			}
+			factors := make([]smt.Expr, len(av.Iters))
+			for i, it := range av.Iters {
+				factors[i] = smt.V(vars[it])
+			}
 			vol := smt.Mul(factors...)
-			if av.l1 {
+			if av.L1 || opts.SplitFactor == 0 {
 				l1Vols = append(l1Vols, vol)
-				nm.L1Arrays = append(nm.L1Arrays, array)
+				nm.L1Arrays = append(nm.L1Arrays, av.Array)
 			} else {
 				shVols = append(shVols, vol)
-				nm.SharedArrays = append(nm.SharedArrays, array)
+				nm.SharedArrays = append(nm.SharedArrays, av.Array)
 			}
 		}
 		pool := g.L1SharedBytes / elemB
@@ -297,25 +281,12 @@ func SelectTilesCtx(ctx context.Context, k *affine.Kernel, g *arch.GPU, opts Opt
 			}
 		}
 
-		// IV-K: objective weights.
-		depth := nest.Depth()
-		parallelSet := map[string]bool{}
-		for _, name := range parallel {
-			parallelSet[name] = true
-		}
-		for d, l := range nest.Loops {
-			h := reuse.HRaw[l.Name]
-			if h == 0 {
+		// IV-K: objective weights — the precomputed skeleton scaled by
+		// the warp-alignment factor on the CMA loop.
+		for _, l := range nest.Loops {
+			h, ok := na.HSkeleton[l.Name]
+			if !ok {
 				continue
-			}
-			switch {
-			case depth >= 3 && !info.Parallel[d]:
-				h = 0 // favor CMA over serial spatial reuse
-			case depth == 2 && info.NumParallel() == 1 && parallelSet[l.Name]:
-				// 2D nests with a single parallel loop (mvt, atax, ...):
-				// the parallel loop is already mapped; prefer growing
-				// the non-parallel one (Sec. IV-K, third sub-case).
-				h = 0
 			}
 			if h > 0 && l.Name == reuse.CMALoop {
 				h *= waf

@@ -6,8 +6,8 @@ import (
 	"strings"
 
 	"repro/internal/affine"
+	"repro/internal/analysis"
 	"repro/internal/arch"
-	"repro/internal/deps"
 )
 
 // ConstraintSlack reports how much headroom one resource constraint has
@@ -28,8 +28,17 @@ func (c ConstraintSlack) Slack() int64 { return c.Limit - c.Used }
 
 // Explain evaluates every resource constraint of the selection's
 // formulation under its chosen tiles and reports per-constraint usage,
-// flagging the binding ones. The second return value renders it.
+// flagging the binding ones. The second return value renders it. It
+// derives the analysis artifact fresh; callers that already hold one
+// should use ExplainAnalyzed.
 func Explain(k *affine.Kernel, g *arch.GPU, sel *Selection) ([]ConstraintSlack, string) {
+	return ExplainAnalyzed(analysis.Analyze(k, nil), g, sel)
+}
+
+// ExplainAnalyzed is Explain from a precomputed analysis artifact: the
+// reference classification and per-array volume skeletons come from
+// prog instead of a fresh per-nest re-derivation.
+func ExplainAnalyzed(prog *analysis.Program, g *arch.GPU, sel *Selection) ([]ConstraintSlack, string) {
 	opts := sel.Opts
 	elemB := opts.Precision.Bytes()
 	waf := opts.WarpAlignmentFactor(g)
@@ -39,19 +48,15 @@ func Explain(k *affine.Kernel, g *arch.GPU, sel *Selection) ([]ConstraintSlack, 
 	l2Cap := g.L2Bytes / g.SMCount / elemB
 
 	var out []ConstraintSlack
-	for ni := range k.Nests {
-		nest := &k.Nests[ni]
-		reuse := deps.AnalyzeReuse(nest)
-		info := reuse.Info
+	analysis.CountReuseHits(len(prog.Nests))
+	for _, na := range prog.Nests {
+		nest := na.Nest
+		reuse := na.Reuse
 
 		// B_size and registers.
 		bsize := int64(1)
-		nPar := 0
-		for d, l := range nest.Loops {
-			if info.Parallel[d] && nPar < 3 {
-				bsize *= sel.Tiles[l.Name]
-				nPar++
-			}
+		for _, name := range na.Parallel {
+			bsize *= sel.Tiles[name]
 		}
 		regs := bsize * reuse.DistinctLineRefs * opts.Precision.Factor()
 		out = append(out, ConstraintSlack{
@@ -64,43 +69,19 @@ func Explain(k *affine.Kernel, g *arch.GPU, sel *Selection) ([]ConstraintSlack, 
 		})
 
 		// Volumes per array, split by class (mirrors SelectTiles).
-		vol := func(iters map[string]bool) int64 {
-			v := int64(1)
-			for _, l := range nest.Loops {
-				if iters[l.Name] {
-					v *= sel.Tiles[l.Name]
-				}
-			}
-			return v
-		}
-		arrIters := map[string]map[string]bool{}
-		arrL1 := map[string]bool{}
-		var order []string
-		for _, rr := range reuse.Refs {
-			m, ok := arrIters[rr.Ref.Array]
-			if !ok {
-				m = map[string]bool{}
-				arrIters[rr.Ref.Array] = m
-				order = append(order, rr.Ref.Array)
-			}
-			for _, l := range nest.Loops {
-				if rr.Ref.UsesIter(l.Name) {
-					m[l.Name] = true
-				}
-			}
-			if rr.Class == deps.MemL1 || opts.SplitFactor == 0 {
-				arrL1[rr.Ref.Array] = true
-			}
-		}
 		var l1Sum, shSum int64
-		for _, a := range order {
-			if len(arrIters[a]) == 0 {
+		for _, av := range na.Arrays {
+			if len(av.Iters) == 0 {
 				continue
 			}
-			if arrL1[a] {
-				l1Sum += vol(arrIters[a])
+			v := int64(1)
+			for _, it := range av.Iters {
+				v *= sel.Tiles[it]
+			}
+			if av.L1 || opts.SplitFactor == 0 {
+				l1Sum += v
 			} else {
-				shSum += vol(arrIters[a])
+				shSum += v
 			}
 		}
 		if shSum > 0 {

@@ -1,10 +1,11 @@
-package parser
+package parser_test
 
 import (
 	"strings"
 	"testing"
 
 	"repro/internal/affine"
+	"repro/internal/parser"
 )
 
 // FuzzParse asserts the robustness contract of the front end: Parse never
@@ -19,11 +20,11 @@ func FuzzParse(f *testing.F) {
 	f.Add("kernel 2mm { param N = 4 }")
 	f.Add("kernel k { param N = 8 array A[2*N+1] nest n { for i in 0..N { S: A[2*i+1] = A[0] } } }")
 	f.Add("# only a comment")
-	f.Add(Write(affine.MustLookup("heat-3d")))
+	f.Add(parser.Write(affine.MustLookup("heat-3d")))
 	f.Add(strings.Repeat("kernel ", 50))
 
 	f.Fuzz(func(t *testing.T, src string) {
-		k, err := Parse(src) // must not panic
+		k, err := parser.Parse(src) // must not panic
 		if err != nil {
 			return
 		}
@@ -31,9 +32,9 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("Parse returned an invalid kernel: %v", err)
 		}
 		// Successful parses must round-trip.
-		back, err := Parse(Write(k))
+		back, err := parser.Parse(parser.Write(k))
 		if err != nil {
-			t.Fatalf("round trip failed: %v\n%s", err, Write(k))
+			t.Fatalf("round trip failed: %v\n%s", err, parser.Write(k))
 		}
 		if back.Name != k.Name || len(back.Nests) != len(k.Nests) {
 			t.Fatal("round trip changed kernel structure")

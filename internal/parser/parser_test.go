@@ -1,4 +1,4 @@
-package parser
+package parser_test
 
 import (
 	"strings"
@@ -8,6 +8,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/deps"
+	"repro/internal/parser"
 )
 
 const gemmSrc = `
@@ -26,7 +27,7 @@ kernel gemm {
 `
 
 func TestParseGemm(t *testing.T) {
-	k, err := Parse(gemmSrc)
+	k, err := parser.Parse(gemmSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestParseGemm(t *testing.T) {
 }
 
 func TestParsedGemmMatchesBuiltin(t *testing.T) {
-	parsed, err := Parse(gemmSrc)
+	parsed, err := parser.Parse(gemmSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ kernel jac {
   }
 }
 `
-	k, err := Parse(src)
+	k, err := parser.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ kernel strided {
   }
 }
 `
-	k, err := Parse(src)
+	k, err := parser.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,24 +174,24 @@ func TestParseErrors(t *testing.T) {
 		{"kernel k { param N = 4 array A[N] repeat Z nest n { for i in 0..N { S: A[i] = A[i] } } }", "not a declared parameter"},
 	}
 	for _, c := range cases {
-		_, err := Parse(c.src)
+		_, err := parser.Parse(c.src)
 		if err == nil {
-			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.want)
+			t.Errorf("parser.Parse(%q) succeeded, want error containing %q", c.src, c.want)
 			continue
 		}
 		if !strings.Contains(err.Error(), c.want) {
-			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.want)
+			t.Errorf("parser.Parse(%q) error = %q, want substring %q", c.src, err, c.want)
 		}
 	}
 }
 
 func TestErrorsCarryPositions(t *testing.T) {
 	src := "kernel k {\n  param N = \n}"
-	_, err := Parse(src)
+	_, err := parser.Parse(src)
 	if err == nil {
 		t.Fatal("expected error")
 	}
-	perr, ok := err.(*Error)
+	perr, ok := err.(*parser.Error)
 	if !ok {
 		t.Fatalf("error type %T", err)
 	}
@@ -212,7 +213,7 @@ kernel k { # hash comment
   }
 }
 `
-	if _, err := Parse(src); err != nil {
+	if _, err := parser.Parse(src); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -222,8 +223,8 @@ kernel k { # hash comment
 func TestRoundTripCatalog(t *testing.T) {
 	for _, name := range affine.Catalog() {
 		orig := affine.MustLookup(name)
-		src := Write(orig)
-		back, err := Parse(src)
+		src := parser.Write(orig)
+		back, err := parser.Parse(src)
 		if err != nil {
 			t.Errorf("%s: reparse failed: %v\n%s", name, err, src)
 			continue

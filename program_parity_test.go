@@ -1,0 +1,122 @@
+package eatss_test
+
+// Staged-compilation parity tests: the Program path must be
+// byte-identical to the legacy free-function path, which re-derives the
+// analysis per call. Any divergence means the staging split moved
+// something tile- or options-dependent into the artifact.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	eatss "repro"
+
+	"repro/internal/obs"
+)
+
+// TestProgramExploreSpaceParityGemmPaperSpace sweeps gemm's full
+// 15^3-point paper space twice — once through the legacy free function,
+// once through a shared Program — with memoization off, and requires
+// byte-identical points and stats.
+func TestProgramExploreSpaceParityGemmPaperSpace(t *testing.T) {
+	k := eatss.MustKernel("gemm")
+	g := eatss.GA100()
+	cfg := eatss.RunConfig{UseShared: true, Precision: eatss.FP64}
+	space := eatss.PaperSpace(k)
+
+	legacyPts, legacyStats := eatss.ExploreSpaceOpt(context.Background(), k, g, space, cfg,
+		eatss.SweepOptions{Cache: eatss.NoCache})
+
+	prog, err := eatss.Analyze(k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progPts, progStats := prog.ExploreSpaceOpt(context.Background(), g, space, cfg,
+		eatss.SweepOptions{Cache: eatss.NoCache})
+
+	if legacyStats != progStats {
+		t.Fatalf("stats diverge: legacy %+v, program %+v", legacyStats, progStats)
+	}
+	if len(legacyPts) == 0 {
+		t.Fatal("sweep produced no points")
+	}
+	if !reflect.DeepEqual(legacyPts, progPts) {
+		for i := range legacyPts {
+			if !reflect.DeepEqual(legacyPts[i], progPts[i]) {
+				t.Fatalf("point %d diverges:\nlegacy  %+v\nprogram %+v", i, legacyPts[i], progPts[i])
+			}
+		}
+		t.Fatal("results diverge")
+	}
+
+	// The shared artifact must also match a fresh analysis per point
+	// (the pre-staged pipeline's exact behavior): spot-check a sample.
+	for i := 0; i < len(progPts); i += 337 {
+		pt := progPts[i]
+		res, err := eatss.Run(k, g, pt.Tiles, cfg)
+		if err != nil {
+			t.Fatalf("fresh Run(%v): %v", pt.Tiles, err)
+		}
+		if !reflect.DeepEqual(res, pt.Result) {
+			t.Fatalf("tiles %v: fresh analysis %+v, shared artifact %+v", pt.Tiles, res, pt.Result)
+		}
+	}
+}
+
+// TestProgramSelectBestParityGemm runs the full three-split protocol
+// both ways and requires identical candidates, accounting and choice.
+// SolveTime is wall clock and is excluded.
+func TestProgramSelectBestParityGemm(t *testing.T) {
+	k := eatss.MustKernel("gemm")
+	g := eatss.GA100()
+
+	legacy, err := eatss.SelectBest(k, g, eatss.FP64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := eatss.Analyze(k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := prog.SelectBest(g, eatss.FP64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stripTimes := func(b *eatss.Best) {
+		b.SolveTime = 0
+		for _, c := range b.Candidates {
+			c.Selection.SolveTime = 0
+		}
+	}
+	stripTimes(legacy)
+	stripTimes(staged)
+	if !reflect.DeepEqual(legacy, staged) {
+		t.Fatalf("protocol outcomes diverge:\nlegacy  %+v\nprogram %+v", legacy, staged)
+	}
+}
+
+// TestSweepStagesAnalysisOnce asserts the staging contract the refactor
+// exists for: an N-point sweep performs exactly one analysis build, and
+// every evaluation consumes the precomputed per-nest analyses.
+func TestSweepStagesAnalysisOnce(t *testing.T) {
+	withObs(t, func() {
+		k := eatss.MustKernel("gemm")
+		g := eatss.GA100()
+		space := eatss.Space(k, []int64{16, 32}) // 2^3 = 8 points
+		pts, stats := eatss.ExploreSpaceOpt(context.Background(), k, g, space,
+			eatss.RunConfig{UseShared: true, Precision: eatss.FP64},
+			eatss.SweepOptions{Cache: eatss.NoCache})
+		if stats.Evaluated == 0 {
+			t.Fatal("sweep evaluated nothing")
+		}
+		s := obs.Snapshot()
+		if got := s.Counters["analysis.builds"]; got != 1 {
+			t.Fatalf("analysis.builds = %d for a %d-point sweep, want exactly 1", got, len(space))
+		}
+		if hits := s.Counters["analysis.reuse_hits"]; hits < int64(len(pts)) {
+			t.Fatalf("analysis.reuse_hits = %d, want >= %d (one per evaluated point)", hits, len(pts))
+		}
+	})
+}

@@ -9,8 +9,8 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/obs"
-	"repro/internal/parser"
 	"repro/internal/sweep"
 )
 
@@ -136,12 +136,13 @@ func (c *EvalCache) put(key string, e evalEntry) {
 }
 
 // sweepKeyPrefix fingerprints everything an evaluation depends on except
-// the tile choice: the kernel (its canonical DSL text covers nests,
-// arrays and default parameters), the full machine description, and the
-// RunConfig. Computed once per sweep; per-point keys append the tiles.
-func sweepKeyPrefix(k *AffineKernel, g *GPU, cfg RunConfig) string {
+// the tile choice: the analysis artifact's fingerprint (which covers the
+// kernel's canonical DSL text and the resolved problem sizes), the full
+// machine description, and the RunConfig. Computed once per sweep;
+// per-point keys append the tiles.
+func sweepKeyPrefix(prog *analysis.Program, g *GPU, cfg RunConfig) string {
 	h := fnv.New64a()
-	io.WriteString(h, parser.Write(k))
+	io.WriteString(h, prog.Fingerprint())
 	fmt.Fprintf(h, "|%+v|", *g)
 	fmt.Fprintf(h, "%s|%t|%d|%v|%d|%d",
 		tileKey(cfg.Params), cfg.UseShared, cfg.SharedQuota, cfg.Precision,
@@ -197,10 +198,17 @@ type sweepOutcome struct {
 //     stats.Aborted set, without dispatching further configurations.
 //   - Aliasing: every returned SpacePoint.Tiles is a defensive copy —
 //     callers may mutate the input space (or the results) freely.
+//
+// The analysis is staged once and shared by every worker; per point
+// only the mapping and simulation run.
 func ExploreSpaceOpt(ctx context.Context, k *AffineKernel, g *GPU, space []map[string]int64, cfg RunConfig, opt SweepOptions) ([]SpacePoint, ExploreStats) {
+	return exploreAnalyzed(ctx, analysis.AnalyzeCtx(ctx, k, cfg.Params), g, space, cfg, opt)
+}
+
+func exploreAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, space []map[string]int64, cfg RunConfig, opt SweepOptions) ([]SpacePoint, ExploreStats) {
 	ctx, sp := obs.Start(ctx, "eatss.explore_space")
 	defer sp.End()
-	sp.SetStr("kernel", k.Name)
+	sp.SetStr("kernel", prog.Kernel.Name)
 	sp.SetInt("space", int64(len(space)))
 	workers := sweep.Workers(opt.Workers)
 	sp.SetInt("workers", int64(workers))
@@ -212,7 +220,7 @@ func ExploreSpaceOpt(ctx context.Context, k *AffineKernel, g *GPU, space []map[s
 	}
 	var prefix string
 	if !cache.disabled {
-		prefix = sweepKeyPrefix(k, g, cfg)
+		prefix = sweepKeyPrefix(prog, g, cfg)
 	}
 
 	outcomes, done, cerr := sweep.Map(ctx, opt.Workers, space,
@@ -226,7 +234,7 @@ func ExploreSpaceOpt(ctx context.Context, k *AffineKernel, g *GPU, space []map[s
 				}
 				mSweepCacheMisses.Add(1)
 			}
-			res, err := RunCtx(wctx, k, g, tiles, cfg)
+			res, err := runAnalyzed(wctx, prog, g, tiles, cfg)
 			o := sweepOutcome{res: res, ok: err == nil}
 			cache.put(key, evalEntry{res: o.res, ok: o.ok})
 			return o
