@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race sweep-race sweep-bench analysis-bench check clean
+.PHONY: all vet build test race sweep-race sweep-bench analysis-bench obs-bench check clean
 
 all: check
 
@@ -36,11 +36,19 @@ sweep-bench:
 analysis-bench:
 	$(GO) run ./cmd/analysisbench -out BENCH_analysis.json
 
+# obs-bench guards the observability layer's disabled-path cost: the
+# allocs/op checks proving that spans, metrics, slog output, the live
+# sweep progress and the flight recorder all cost zero allocations (and
+# take no locks) on the hot path when observability is off. A regression
+# here taxes every sweep evaluation, so it runs as part of `check`.
+obs-bench:
+	$(GO) test -count=1 -run 'TestObsOverhead|TestLiveObsOverheadDisabled|TestDisabledRecorderDropsAndDoesNotAllocate|TestEnabledRecordDoesNotAllocate' ./internal/obs ./internal/obs/flight
+
 # check is the gate a change must pass before it lands: static analysis,
 # a full build, the sweep-engine race gate, the staged-compilation
-# parity/benchmark gate, and the full test suite under the race
-# detector.
-check: vet build sweep-race analysis-bench race
+# parity/benchmark gate, the zero-cost-observability guard, and the full
+# test suite under the race detector.
+check: vet build sweep-race analysis-bench obs-bench race
 
 clean:
 	$(GO) clean ./...

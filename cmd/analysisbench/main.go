@@ -23,6 +23,7 @@ import (
 	"repro/internal/affine"
 	"repro/internal/analysis"
 	"repro/internal/arch"
+	"repro/internal/cli"
 	"repro/internal/codegen"
 	"repro/internal/gpusim"
 	"repro/internal/ppcg"
@@ -47,7 +48,13 @@ func main() {
 	gpuName := flag.String("gpu", "ga100", "GPU: ga100 | xavier | v100")
 	points := flag.Int("points", 0, "limit the space to the first N points (0 = full 15^d space)")
 	outPath := flag.String("out", "BENCH_analysis.json", "output JSON path")
+	listen := cli.ListenFlag()
+	cli.SetUsage("analysisbench", "measure what staged compilation buys per sweep evaluation",
+		"analysisbench                       # gemm 15^3 space",
+		"analysisbench -points 512 -out BENCH_analysis.json",
+		"analysisbench -listen :8080         # live metrics at /metrics")
 	flag.Parse()
+	defer cli.Serve(*listen)()
 
 	k, err := affine.Lookup(*kernel)
 	if err != nil {
@@ -119,7 +126,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "analysisbench:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal(err) }

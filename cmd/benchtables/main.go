@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/bench"
+	"repro/internal/cli"
 )
 
 type experiment struct {
@@ -89,8 +90,16 @@ func main() {
 	gpuName := flag.String("gpu", "ga100", "GPU for single-GPU experiments (ga100|xavier)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	j := flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = sequential)")
+	listen := cli.ListenFlag()
+	cli.SetUsage("benchtables", "regenerate the tables and figures of the paper's evaluation section",
+		"benchtables                  # everything",
+		"benchtables -only fig7       # one experiment",
+		"benchtables -gpu xavier      # restrict GPU where applicable",
+		"benchtables -list            # list experiment ids",
+		"benchtables -listen :8080    # watch long sweeps at /progress")
 	flag.Parse()
 	bench.Workers = *j
+	defer cli.Serve(*listen)()
 
 	exps := experiments()
 	if *list {
@@ -101,7 +110,7 @@ func main() {
 	}
 	g, ok := arch.ByName(*gpuName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown GPU %q\n", *gpuName)
+		fmt.Fprintf(os.Stderr, "benchtables: unknown GPU %q (use ga100 or xavier)\n", *gpuName)
 		os.Exit(2)
 	}
 
@@ -121,7 +130,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q (use -list)\n", *only)
+		fmt.Fprintf(os.Stderr, "benchtables: no experiment matched %q (use -list)\n", *only)
 		os.Exit(2)
 	}
 }

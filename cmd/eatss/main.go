@@ -19,6 +19,7 @@ import (
 
 	eatss "repro"
 
+	"repro/internal/cli"
 	"repro/internal/obs"
 )
 
@@ -41,7 +42,19 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event file of the pipeline (load in chrome://tracing or ui.perfetto.dev)")
 	metrics := flag.Bool("metrics", false, "print the metrics snapshot (solver nodes, prunes, simulated traffic) after the run")
 	summary := flag.Bool("summary", false, "print the span tree summary after the run")
+	verbose := flag.Bool("v", false, "debug-level diagnostics on stderr")
+	listen := cli.ListenFlag()
+	cli.SetUsage("eatss", "run the Energy-Aware Tile Size Selection pipeline on one kernel",
+		"eatss -kernel gemm                       # paper's walkthrough (GA100)",
+		"eatss -kernel heat-3d -warpfrac 0.125    # high-dimensional kernel",
+		"eatss -kernel 2mm -gpu xavier -best      # full 3-split protocol",
+		"eatss -kernel gemm -dump-model -cuda     # show formulation and code",
+		"eatss -kernel gemm -listen 127.0.0.1:8080  # watch live at /progress")
 	flag.Parse()
+	if *verbose {
+		cli.Verbose()
+	}
+	defer cli.Serve(*listen)()
 
 	ctx := context.Background()
 	var rootSpan *obs.Span
@@ -61,12 +74,12 @@ func main() {
 			if *tracePath != "" {
 				f, err := os.Create(*tracePath)
 				if err != nil {
-					fmt.Fprintln(os.Stderr, "eatss:", err)
+					cli.Logger.Error(err.Error(), "tool", "eatss")
 					return
 				}
 				defer f.Close()
 				if err := obs.WriteChromeTrace(f); err != nil {
-					fmt.Fprintln(os.Stderr, "eatss:", err)
+					cli.Logger.Error(err.Error(), "tool", "eatss")
 					return
 				}
 				fmt.Printf("\nwrote Chrome trace (%d spans) to %s\n", len(obs.Spans()), *tracePath)
@@ -221,7 +234,4 @@ func compareDefault(ctx context.Context, prog *eatss.Program, g *eatss.GPU, para
 		res.GFLOPS/def.GFLOPS, res.PPW/def.PPW, res.EnergyJ/def.EnergyJ)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "eatss:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal(err) }

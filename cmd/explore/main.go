@@ -15,10 +15,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"os"
 	"sort"
 
 	eatss "repro"
+
+	"repro/internal/cli"
 )
 
 func main() {
@@ -27,7 +28,14 @@ func main() {
 	top := flag.Int("top", 10, "how many top variants to print")
 	paper15 := flag.Bool("paper15", false, "force the 15-sizes-per-dim space for 3D kernels")
 	j := flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = sequential)")
+	listen := cli.ListenFlag()
+	cli.SetUsage("explore", "evaluate a kernel's full tile space on the simulated GPU",
+		"explore -kernel 2mm                  # the paper's 3,375-variant space",
+		"explore -kernel mvt -gpu xavier",
+		"explore -kernel 2mm -j 8             # sweep with 8 parallel workers",
+		"explore -kernel 2mm -listen :8080    # watch the sweep at /progress")
 	flag.Parse()
+	defer cli.Serve(*listen)()
 
 	k, err := eatss.Kernel(*kernel)
 	if err != nil {
@@ -108,7 +116,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "explore:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal(err) }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/bench"
+	"repro/internal/cli"
 )
 
 type export struct {
@@ -89,17 +90,23 @@ func main() {
 	gpuName := flag.String("gpu", "ga100", "GPU (ga100|xavier|v100)")
 	only := flag.String("only", "", "comma-separated experiment ids (default all)")
 	j := flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = sequential)")
+	listen := cli.ListenFlag()
+	cli.SetUsage("figdata", "export the raw data series behind every figure and table as CSV",
+		"figdata -out ./figdata            # everything, GA100",
+		"figdata -out ./figdata -gpu xavier",
+		"figdata -out ./figdata -only fig2,fig9",
+		"figdata -listen :8080             # watch long sweeps at /progress")
 	flag.Parse()
 	bench.Workers = *j
+	defer cli.Serve(*listen)()
 
 	g, ok := arch.ByName(*gpuName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "figdata: unknown GPU %q\n", *gpuName)
+		fmt.Fprintf(os.Stderr, "figdata: unknown GPU %q (use ga100, xavier or v100)\n", *gpuName)
 		os.Exit(2)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, "figdata:", err)
-		os.Exit(1)
+		cli.Fatal(err)
 	}
 	selected := map[string]bool{}
 	if *only != "" {
@@ -117,17 +124,14 @@ func main() {
 			path := filepath.Join(*out, name)
 			f, err := os.Create(path)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "figdata:", err)
-				os.Exit(1)
+				cli.Fatal(err)
 			}
 			if err := write(f); err != nil {
 				f.Close()
-				fmt.Fprintln(os.Stderr, "figdata:", err)
-				os.Exit(1)
+				cli.Fatal(err)
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "figdata:", err)
-				os.Exit(1)
+				cli.Fatal(err)
 			}
 			fmt.Println("wrote", path)
 			wrote++

@@ -10,28 +10,32 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 )
 
 func main() {
 	out := flag.String("out", "", "write the report to a file (default stdout)")
+	listen := cli.ListenFlag()
+	cli.SetUsage("report", "run the complete evaluation and write a Markdown reproduction report",
+		"report                # to stdout",
+		"report -out REPORT.md",
+		"report -listen :8080  # watch the evaluation at /progress")
 	flag.Parse()
+	defer cli.Serve(*listen)()
 
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "report:", err)
-			os.Exit(1)
+			cli.Fatal(err)
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := bench.Report(w); err != nil {
-		fmt.Fprintln(os.Stderr, "report:", err)
-		os.Exit(1)
+		cli.Fatal(err)
 	}
 }

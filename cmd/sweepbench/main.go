@@ -19,6 +19,8 @@ import (
 	"time"
 
 	eatss "repro"
+
+	"repro/internal/cli"
 )
 
 // report is the JSON schema of BENCH_sweep.json.
@@ -43,7 +45,13 @@ func main() {
 	points := flag.Int("points", 0, "limit the space to the first N points (0 = full 15^d space)")
 	j := flag.Int("j", 0, "parallel workers for the 'after' run (0 = GOMAXPROCS)")
 	outPath := flag.String("out", "BENCH_sweep.json", "output JSON path")
+	listen := cli.ListenFlag()
+	cli.SetUsage("sweepbench", "measure the sweep engine's sequential vs parallel throughput",
+		"sweepbench                       # gemm 15^3 space, j=GOMAXPROCS",
+		"sweepbench -points 512 -j 8 -out BENCH_sweep.json",
+		"sweepbench -listen :8080         # watch both runs at /progress")
 	flag.Parse()
+	defer cli.Serve(*listen)()
 
 	k, err := eatss.Kernel(*kernel)
 	if err != nil {
@@ -104,7 +112,4 @@ func main() {
 		r.Kernel, r.GPU, r.Points, r.SeqSec, r.SeqPointsPerS, r.Workers, r.ParSec, r.ParPointsPerS, r.Speedup, r.Identical)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweepbench:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal(err) }

@@ -117,6 +117,12 @@ type Selection struct {
 	// SolverCalls and SolveTime reproduce the Sec. V-G measurements.
 	SolverCalls int
 	SolveTime   time.Duration
+	// Search is the main solve's deep search telemetry: per-constraint
+	// prune attribution, the search-depth histogram and the incumbent
+	// objective timeline of the Maximize climb (Sec. IV-L / V-G). It is
+	// snapshotted before the secondary shrink pass, whose calls appear
+	// only in SolverCalls above.
+	Search smt.Stats
 	// Model is the generated formulation in readable form.
 	Model string
 }
@@ -226,14 +232,14 @@ func SelectTilesAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GP
 		}
 		bsize := smt.Mul(bsizeFactors...)
 		if opts.EnforceThreadBlockLimit {
-			p.RequireLE(bsize, smt.C(g.ThreadsPerBlock))
+			p.RequireLabeled("block-limit", bsize, smt.LE, smt.C(g.ThreadsPerBlock))
 			mConsBlockLimit.Add(1)
 		}
 
 		// IV-G / IV-I: REG_SM = B_size x no.references x FP_factor.
 		nm.Refs = reuse.DistinctLineRefs
 		regSM := smt.Mul(bsize, smt.C(nm.Refs*opts.Precision.Factor()))
-		p.RequireLE(regSM, smt.C(g.RegsPerSM))
+		p.RequireLabeled("register", regSM, smt.LE, smt.C(g.RegsPerSM))
 		mConsRegister.Add(1)
 
 		// IV-C volumes + IV-E split into L1/shared capacity sums, from
@@ -264,7 +270,7 @@ func SelectTilesAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GP
 		shCap := int64(opts.SplitFactor * float64(pool))
 		l1Cap := pool - shCap
 		if len(shVols) > 0 {
-			p.RequireLE(smt.Sum(shVols...), smt.C(shCap))
+			p.RequireLabeled("shared-capacity", smt.Sum(shVols...), smt.LE, smt.C(shCap))
 			mConsShared.Add(1)
 		}
 		if len(l1Vols) > 0 {
@@ -273,10 +279,10 @@ func SelectTilesAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GP
 				// L1 constraint is dropped and the per-SM L2 share
 				// bounds the cache-mapped volumes instead.
 				l2Cap := g.L2Bytes / g.SMCount / elemB
-				p.RequireLE(smt.Sum(l1Vols...), smt.C(l2Cap))
+				p.RequireLabeled("l2-share", smt.Sum(l1Vols...), smt.LE, smt.C(l2Cap))
 				mConsL2.Add(1)
 			} else {
-				p.RequireLE(smt.Sum(l1Vols...), smt.C(l1Cap))
+				p.RequireLabeled("l1-capacity", smt.Sum(l1Vols...), smt.LE, smt.C(l1Cap))
 				mConsL1.Add(1)
 			}
 		}
@@ -323,6 +329,7 @@ func SelectTilesAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GP
 	// --- IV-L: iterative maximization ---
 	sctx, solve := obs.Start(ctx, "core.solve")
 	solver := smt.NewSolver(p)
+	solver.Name = k.Name
 	model, best, ok := solver.MaximizeCtx(sctx, obj)
 	if err := ctx.Err(); err != nil {
 		// Cancelled mid-solve: the search was interrupted, so an
@@ -361,11 +368,16 @@ func SelectTilesAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GP
 			shrink = append(shrink, smt.Scale(-1, smt.V(vars[name])))
 		}
 	}
+	// Deep search telemetry of the main solve, snapshotted before the
+	// shrink pass below overwrites the incumbent timeline's meaning.
+	sel.Search = solver.Stats
+
 	if len(shrink) > 0 {
 		shctx, shr := obs.Start(ctx, "core.shrink")
 		mShrinkPasses.Add(1)
 		p.RequireEQ(obj, smt.C(best))
 		solver2 := smt.NewSolver(p)
+		solver2.Name = k.Name + "/shrink"
 		if m2, _, ok2 := solver2.MaximizeCtx(shctx, smt.Sum(shrink...)); ok2 && ctx.Err() == nil {
 			model = m2
 		}

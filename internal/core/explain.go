@@ -8,6 +8,7 @@ import (
 	"repro/internal/affine"
 	"repro/internal/analysis"
 	"repro/internal/arch"
+	"repro/internal/smt"
 )
 
 // ConstraintSlack reports how much headroom one resource constraint has
@@ -126,7 +127,52 @@ func ExplainAnalyzed(prog *analysis.Program, g *arch.GPU, sel *Selection) ([]Con
 			mark, c.Nest, c.Resource, c.Used, c.Limit, pct)
 	}
 	b.WriteString("(* = binding: one more warp-aligned tile step would not fit)\n")
+	renderSearch(&b, &sel.Search)
 	return out, b.String()
+}
+
+// renderSearch appends the deep solver search telemetry carried by the
+// selection — prune attribution per labeled constraint, the incumbent
+// objective climb of the Maximize rounds, and the search-depth node
+// histogram. Every line is deterministic for a fixed formulation (the
+// DFS visit order is static), so the output stays golden-testable;
+// elapsed times are deliberately omitted.
+func renderSearch(b *strings.Builder, st *smt.Stats) {
+	if st.Nodes == 0 {
+		return
+	}
+	fmt.Fprintf(b, "\nsolver search (%d calls, %d nodes, %d rounds):\n",
+		st.SolverCalls, st.Nodes, st.Rounds)
+
+	if len(st.PruneByConstraint) > 0 {
+		var labels []string
+		var total int64
+		for l, n := range st.PruneByConstraint {
+			labels = append(labels, l)
+			total += n
+		}
+		sort.Strings(labels)
+		b.WriteString("  prunes by constraint:\n")
+		for _, l := range labels {
+			n := st.PruneByConstraint[l]
+			fmt.Fprintf(b, "    %-16s %8d (%.1f%%)\n", l, n, 100*float64(n)/float64(total))
+		}
+	}
+
+	if len(st.Incumbents) > 0 {
+		b.WriteString("  incumbent objective climb:\n")
+		for _, inc := range st.Incumbents {
+			fmt.Fprintf(b, "    round %-3d obj=%-10d after %d nodes\n", inc.Round, inc.Objective, inc.Nodes)
+		}
+	}
+
+	if len(st.DepthNodes) > 0 {
+		b.WriteString("  nodes by search depth:")
+		for d, n := range st.DepthNodes {
+			fmt.Fprintf(b, " %d:%d", d, n)
+		}
+		b.WriteString("\n")
+	}
 }
 
 func maxI64(a, b int64) int64 {

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs/flight"
 )
 
 // The process-wide metric registry. Instruments are registered once
@@ -39,12 +41,14 @@ func NewCounter(name string) *Counter {
 	return c
 }
 
-// Add increments the counter by d when the layer is enabled.
+// Add increments the counter by d when the layer is enabled. Deltas are
+// mirrored into the flight recorder when it is capturing.
 func (c *Counter) Add(d int64) {
 	if c == nil || !enabled.Load() {
 		return
 	}
 	c.v.Add(d)
+	flight.Default.CounterAdd(c.name, d)
 }
 
 // Value returns the current count.
@@ -76,12 +80,14 @@ func NewGauge(name string) *Gauge {
 	return g
 }
 
-// Set stores v when the layer is enabled.
+// Set stores v when the layer is enabled. Updates are mirrored into the
+// flight recorder when it is capturing.
 func (g *Gauge) Set(v float64) {
 	if g == nil || !enabled.Load() {
 		return
 	}
 	g.bits.Store(math.Float64bits(v))
+	flight.Default.GaugeSet(g.name, v)
 }
 
 // Value returns the last stored value (0 if never set).
@@ -132,6 +138,25 @@ func (h *Histogram) Observe(v float64) {
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveN records n identical samples of value v in one update — the
+// batched form the solver uses to publish a whole per-solve depth
+// profile without one atomic round-trip per search node.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if h == nil || n <= 0 || !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
 		if h.sumBits.CompareAndSwap(old, next) {
 			return
 		}

@@ -59,11 +59,13 @@ func SetClock(fn func() time.Time) {
 	nowFn = fn
 }
 
-// Reset discards all recorded spans and zeroes every registered metric.
-// Metric handles stay registered so package-level instruments survive.
+// Reset discards all recorded spans, zeroes every registered metric and
+// clears the live progress state. Metric handles stay registered so
+// package-level instruments survive.
 func Reset() {
 	tr.mu.Lock()
 	tr.spans = nil
 	tr.mu.Unlock()
 	resetMetrics()
+	resetProgress()
 }

@@ -1,0 +1,239 @@
+// Package serve exposes the observability layer over HTTP for live
+// introspection: while a long sweep or solve runs, `curl` (or a
+// Prometheus scraper, or a Chrome trace viewer) can watch it from
+// outside the process. All endpoints are read-only snapshots of the
+// obs/flight state; serving costs nothing to the instrumented hot
+// paths beyond what the obs layer already pays.
+//
+// Endpoints:
+//
+//	/metrics   Prometheus text exposition of the metric registry
+//	/progress  JSON live view: sweep points done/total + ETA, cache
+//	           hit rate, and the solver's current incumbent objective
+//	/trace     Chrome-trace JSON of the span tree recorded so far
+//	/flight    flight-recorder ring buffer dump (JSON)
+//	/debug/pprof/...  the standard runtime profiles
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+// Handler returns the introspection mux.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", handleIndex)
+	mux.HandleFunc("/metrics", handleMetrics)
+	mux.HandleFunc("/progress", handleProgress)
+	mux.HandleFunc("/trace", handleTrace)
+	mux.HandleFunc("/flight", handleFlight)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running introspection server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0" or ":8080") and serves the
+// introspection handler in a background goroutine.
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler()}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "eatss introspection endpoints:\n"+
+		"  /metrics   Prometheus text exposition\n"+
+		"  /progress  live sweep/solve progress (JSON)\n"+
+		"  /trace     Chrome trace of recorded spans\n"+
+		"  /flight    flight-recorder dump (JSON)\n"+
+		"  /debug/pprof/  runtime profiles\n")
+}
+
+func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, obs.Snapshot())
+}
+
+func handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteChromeTrace(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func handleFlight(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := flight.Default.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// progressView is the /progress JSON document.
+type progressView struct {
+	Sweep     *sweepView     `json:"sweep,omitempty"`
+	Incumbent *incumbentView `json:"incumbent,omitempty"`
+}
+
+type sweepView struct {
+	Kernel       string  `json:"kernel"`
+	Total        int64   `json:"total"`
+	Done         int64   `json:"done"`
+	CacheHits    int64   `json:"cache_hits"`
+	Skipped      int64   `json:"skipped"`
+	Finished     bool    `json:"finished"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// EtaSec estimates the remaining wall-clock seconds from the
+	// observed throughput; -1 while no point has completed yet.
+	EtaSec float64 `json:"eta_sec"`
+}
+
+type incumbentView struct {
+	Name      string  `json:"name"`
+	Round     int64   `json:"round"`
+	Objective int64   `json:"objective"`
+	AgeSec    float64 `json:"age_sec"`
+}
+
+func handleProgress(w http.ResponseWriter, _ *http.Request) {
+	var view progressView
+	now := time.Now()
+	if p := obs.CurrentSweep(); p != nil {
+		done, hits := p.Done(), p.CacheHits()
+		elapsed := now.Sub(time.Unix(0, p.StartNs)).Seconds()
+		sv := &sweepView{
+			Kernel:     p.Kernel,
+			Total:      p.Total,
+			Done:       done,
+			CacheHits:  hits,
+			Skipped:    p.Skipped(),
+			Finished:   p.Finished(),
+			ElapsedSec: elapsed,
+			EtaSec:     -1,
+		}
+		if done > 0 {
+			sv.CacheHitRate = float64(hits) / float64(done)
+			if elapsed > 0 {
+				sv.PointsPerSec = float64(done) / elapsed
+				sv.EtaSec = float64(p.Total-done) / sv.PointsPerSec
+			}
+		}
+		view.Sweep = sv
+	}
+	if inc, ok := obs.Incumbent(); ok {
+		view.Incumbent = &incumbentView{
+			Name:      inc.Name,
+			Round:     inc.Round,
+			Objective: inc.Objective,
+			AgeSec:    now.Sub(time.Unix(0, inc.TimeNs)).Seconds(),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(view) //nolint:errcheck // best-effort response write
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4). Series are emitted in sorted name
+// order, so the output is deterministic for a fixed snapshot. Metric
+// names are sanitized to the [a-zA-Z_:][a-zA-Z0-9_:]* charset the
+// format requires ("smt.nodes" becomes "smt_nodes").
+func WritePrometheus(w io.Writer, s obs.MetricsSnapshot) {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[name]))
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(b), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+}
+
+// promName maps a registry name onto the Prometheus metric-name charset.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

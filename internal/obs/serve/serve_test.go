@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden pins the exposition format against a fixed
+// snapshot: counter/gauge/histogram rendering, sorted order, name
+// sanitization, cumulative buckets and the +Inf terminator.
+func TestWritePrometheusGolden(t *testing.T) {
+	s := obs.MetricsSnapshot{
+		Counters: map[string]int64{
+			"smt.solve_calls": 14,
+			"core.selections": 3,
+		},
+		Gauges: map[string]float64{
+			"smt.incumbent_objective": 18432,
+			"sweep.hit_rate":          0.625,
+		},
+		Histograms: map[string]obs.HistogramSnapshot{
+			"smt.search_depth": {
+				Count:  357,
+				Sum:    391.5,
+				Bounds: []float64{1, 2, 4},
+				Counts: []int64{11, 326, 20, 0},
+			},
+		},
+	}
+	var b strings.Builder
+	WritePrometheus(&b, s)
+	got := b.String()
+
+	path := filepath.Join("testdata", "metrics.prom.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs/serve -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("Prometheus exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"smt.nodes":       "smt_nodes",
+		"a-b c/d":         "a_b_c_d",
+		"ok_name:subsys":  "ok_name:subsys",
+		"2fast":           "_2fast",
+		"core.cons.l1":    "core_cons_l1",
+		"already_fine_99": "already_fine_99",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestHandlerEndpoints drives every endpoint through an httptest server
+// with the obs layer live.
+func TestHandlerEndpoints(t *testing.T) {
+	obs.Reset()
+	flight.Default.Reset()
+	obs.Enable()
+	flight.Default.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		flight.Default.Disable()
+		obs.Reset()
+		flight.Default.Reset()
+	})
+
+	obs.NewCounter("serve.test_counter").Add(7)
+	p := obs.BeginSweep("gemm", 100)
+	p.PointDone(true, true)
+	p.PointDone(false, true)
+	obs.SetIncumbent("gemm", 2, 928)
+	_, sp := obs.Start(context.Background(), "serve.test_span")
+	sp.End()
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "serve_test_counter 7") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+
+	code, body := get("/progress")
+	if code != 200 {
+		t.Fatalf("/progress = %d", code)
+	}
+	var prog struct {
+		Sweep *struct {
+			Kernel       string  `json:"kernel"`
+			Total        int64   `json:"total"`
+			Done         int64   `json:"done"`
+			CacheHitRate float64 `json:"cache_hit_rate"`
+		} `json:"sweep"`
+		Incumbent *struct {
+			Name      string `json:"name"`
+			Objective int64  `json:"objective"`
+		} `json:"incumbent"`
+	}
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if prog.Sweep == nil || prog.Sweep.Kernel != "gemm" || prog.Sweep.Total != 100 || prog.Sweep.Done != 2 {
+		t.Fatalf("/progress sweep = %+v", prog.Sweep)
+	}
+	if prog.Sweep.CacheHitRate != 0.5 {
+		t.Fatalf("cache_hit_rate = %v, want 0.5", prog.Sweep.CacheHitRate)
+	}
+	if prog.Incumbent == nil || prog.Incumbent.Name != "gemm" || prog.Incumbent.Objective != 928 {
+		t.Fatalf("/progress incumbent = %+v", prog.Incumbent)
+	}
+
+	if code, body := get("/trace"); code != 200 || !json.Valid([]byte(body)) {
+		t.Fatalf("/trace = %d, valid JSON = %v", code, json.Valid([]byte(body)))
+	} else if !strings.Contains(body, "serve.test_span") {
+		t.Fatalf("/trace missing recorded span:\n%s", body)
+	}
+
+	code, body = get("/flight")
+	if code != 200 {
+		t.Fatalf("/flight = %d", code)
+	}
+	var dump struct {
+		Events []struct {
+			Kind string `json:"kind"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/flight not JSON: %v", err)
+	}
+	if len(dump.Events) == 0 {
+		t.Fatal("/flight dump has no events")
+	}
+
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/progress") {
+		t.Fatalf("index = %d:\n%s", code, body)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+// TestProgressEmptyWhenIdle confirms /progress degrades to an empty
+// document when nothing has been published.
+func TestProgressEmptyWhenIdle(t *testing.T) {
+	obs.Reset()
+	rec := httptest.NewRecorder()
+	handleProgress(rec, httptest.NewRequest("GET", "/progress", nil))
+	var v map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v["sweep"]; ok {
+		t.Fatalf("idle /progress published a sweep: %s", rec.Body.String())
+	}
+}
+
+// TestServerStartClose exercises the background listener lifecycle.
+func TestServerStartClose(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs/flight"
 )
 
 // AttrKind discriminates the value held by an Attr.
@@ -107,6 +109,7 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	tr.mu.Lock()
 	tr.spans = append(tr.spans, sp)
 	tr.mu.Unlock()
+	flight.Default.SpanBegin(sp.ID, parent, name)
 	return context.WithValue(ctx, ctxKey{}, sp), sp
 }
 
@@ -125,6 +128,7 @@ func (s *Span) End() {
 		return
 	}
 	s.EndAt = now()
+	flight.Default.SpanEnd(s.ID, s.Name, s.EndAt.Sub(s.StartAt))
 }
 
 // Duration is EndAt-StartAt, or 0 for an unfinished span.

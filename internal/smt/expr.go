@@ -169,11 +169,15 @@ func (o Op) String() string {
 	}
 }
 
-// Constraint is a comparison between two expressions.
+// Constraint is a comparison between two expressions. Label optionally
+// names the model constraint kind ("register", "l1-capacity", ...); the
+// solver attributes pruned subtrees to it, so the search telemetry can
+// report which part of the formulation does the cutting (Sec. V-G).
 type Constraint struct {
-	L  Expr
-	Op Op
-	R  Expr
+	L     Expr
+	Op    Op
+	R     Expr
+	Label string
 }
 
 // Holds evaluates the constraint under a complete model.

@@ -67,6 +67,12 @@ func (p *Problem) Require(l Expr, op Op, r Expr) {
 	p.cons = append(p.cons, Constraint{L: l, Op: op, R: r})
 }
 
+// RequireLabeled adds the constraint l op r under a label naming the
+// model constraint kind, for the solver's prune attribution.
+func (p *Problem) RequireLabeled(label string, l Expr, op Op, r Expr) {
+	p.cons = append(p.cons, Constraint{L: l, Op: op, R: r, Label: label})
+}
+
 // RequireLE adds l <= r.
 func (p *Problem) RequireLE(l, r Expr) { p.Require(l, LE, r) }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // Package-level telemetry instruments. Updates are batched per Solve
@@ -18,6 +19,12 @@ var (
 	mTightenings   = obs.NewCounter("smt.propagation.tightenings")
 	mRounds        = obs.NewCounter("smt.rounds")
 	mUnsat         = obs.NewCounter("smt.unsat")
+	// mIncumbent is the live incumbent objective of the most recent
+	// Maximize round (the OBJ_{n+1} > OBJ_n climb, Sec. IV-L).
+	mIncumbent = obs.NewGauge("smt.incumbent_objective")
+	// mSearchDepth profiles where the search spends its nodes; samples
+	// are batched per solve via ObserveN, never per node.
+	mSearchDepth = obs.NewHistogram("smt.search_depth", 1, 2, 3, 4, 6, 8, 12)
 )
 
 // Stats records solver effort, mirroring the measurements of Sec. V-G
@@ -42,6 +49,34 @@ type Stats struct {
 	Rounds int
 	// Elapsed is the total wall-clock time spent solving.
 	Elapsed time.Duration
+	// PruneByConstraint attributes pruned subtrees (violated + interval
+	// cuts combined) to the labeled model constraint that rejected them,
+	// across all calls. Constraints added without a label are pooled
+	// under "unlabeled". It answers the Sec. V-G question "which part of
+	// the formulation does the cutting".
+	PruneByConstraint map[string]int64
+	// DepthNodes counts visited search nodes by depth (index = depth,
+	// the final index is complete assignments), across all calls — the
+	// search-depth histogram.
+	DepthNodes []int64
+	// Incumbents is the objective timeline of the most recent Maximize /
+	// MaximizeBinary run: one entry per satisfiable round, in
+	// strictly-improving objective order.
+	Incumbents []Incumbent
+}
+
+// Incumbent is one objective improvement within a Maximize run.
+type Incumbent struct {
+	// Round is the improvement round that found the model (0 = the
+	// initial "any model" round).
+	Round int
+	// Objective is the incumbent objective value.
+	Objective int64
+	// Nodes is the cumulative search-node count when the incumbent was
+	// found.
+	Nodes int64
+	// Elapsed is the time since the Maximize call began.
+	Elapsed time.Duration
 }
 
 // Solver decides Problems and maximizes objectives over them.
@@ -57,6 +92,10 @@ type Stats struct {
 type Solver struct {
 	p     *Problem
 	Stats Stats
+	// Name tags the solver's live telemetry (incumbent publications,
+	// flight events) with what is being optimized — typically the kernel
+	// name. Optional; empty names are published as-is.
+	Name string
 	// domains are the solver's propagated copies of the problem domains
 	// (built lazily on the first Solve; nil entries alias the problem's).
 	domains [][]int64
@@ -151,11 +190,38 @@ func (s *Solver) SolveCtx(ctx context.Context) (Model, bool) {
 	s.Stats.SolverCalls++
 	mSolveCalls.Add(1)
 	nodes0, viol0, intv0 := s.Stats.Nodes, s.Stats.PruneViolated, s.Stats.PruneInterval
+	// Per-call attribution scratch, folded into Stats (and the batched
+	// obs instruments) on the way out. pruneCounts is indexed like the
+	// call's constraint slice; depthCounts by search depth.
+	var (
+		pruneCounts []int64
+		pruneLabels []string
+		depthCounts []int64
+	)
 	defer func() {
 		s.Stats.Elapsed += time.Since(start)
 		mNodes.Add(s.Stats.Nodes - nodes0)
 		mPruneViolated.Add(s.Stats.PruneViolated - viol0)
 		mPruneInterval.Add(s.Stats.PruneInterval - intv0)
+		for i, n := range pruneCounts {
+			if n == 0 {
+				continue
+			}
+			if s.Stats.PruneByConstraint == nil {
+				s.Stats.PruneByConstraint = make(map[string]int64)
+			}
+			s.Stats.PruneByConstraint[pruneLabels[i]] += n
+		}
+		for d, n := range depthCounts {
+			if n == 0 {
+				continue
+			}
+			if len(s.Stats.DepthNodes) <= d {
+				s.Stats.DepthNodes = append(s.Stats.DepthNodes, make([]int64, d+1-len(s.Stats.DepthNodes))...)
+			}
+			s.Stats.DepthNodes[d] += n
+			mSearchDepth.ObserveN(float64(d), n)
+		}
 	}()
 
 	n := s.p.NumVars()
@@ -182,8 +248,9 @@ func (s *Solver) SolveCtx(ctx context.Context) (Model, bool) {
 		return len(s.p.domains[order[a]]) < len(s.p.domains[order[b]])
 	})
 
-	// Group constraints by the highest-ordered variable they mention so
-	// each is checked exactly when it becomes fully assigned.
+	// Group constraints (by index, so prunes can be attributed) by the
+	// highest-ordered variable they mention, so each is checked exactly
+	// when it becomes fully assigned.
 	rank := make([]int, n)
 	for pos, v := range order {
 		rank[v] = pos
@@ -191,9 +258,19 @@ func (s *Solver) SolveCtx(ctx context.Context) (Model, bool) {
 	all := make([]Constraint, 0, len(s.p.cons)+len(s.extra))
 	all = append(all, s.p.cons...)
 	all = append(all, s.extra...)
-	byLast := make([][]Constraint, n)
-	var constOnly []Constraint
-	for _, c := range all {
+	pruneCounts = make([]int64, len(all))
+	pruneLabels = make([]string, len(all))
+	for i, c := range all {
+		if c.Label != "" {
+			pruneLabels[i] = c.Label
+		} else {
+			pruneLabels[i] = "unlabeled"
+		}
+	}
+	depthCounts = make([]int64, n+1)
+	byLast := make([][]int, n)
+	var constOnly []int
+	for ci, c := range all {
 		vars := make(map[Var]bool)
 		c.L.CollectVars(vars)
 		c.R.CollectVars(vars)
@@ -204,13 +281,13 @@ func (s *Solver) SolveCtx(ctx context.Context) (Model, bool) {
 			}
 		}
 		if last < 0 {
-			constOnly = append(constOnly, c)
+			constOnly = append(constOnly, ci)
 			continue
 		}
-		byLast[last] = append(byLast[last], c)
+		byLast[last] = append(byLast[last], ci)
 	}
-	for _, c := range constOnly {
-		if !c.Holds(nil) {
+	for _, ci := range constOnly {
+		if !all[ci].Holds(nil) {
 			return nil, false
 		}
 	}
@@ -232,6 +309,7 @@ func (s *Solver) SolveCtx(ctx context.Context) (Model, bool) {
 	var dfs func(depth int) bool
 	dfs = func(depth int) bool {
 		s.Stats.Nodes++
+		depthCounts[depth]++
 		if poll && s.Stats.Nodes&cancelPollMask == 0 && ctx.Err() != nil {
 			aborted = true
 		}
@@ -254,20 +332,22 @@ func (s *Solver) SolveCtx(ctx context.Context) (Model, bool) {
 
 			ok := true
 			// Check constraints fully assigned at this depth.
-			for _, c := range byLast[depth] {
-				if !c.Holds(model) {
+			for _, ci := range byLast[depth] {
+				if !all[ci].Holds(model) {
 					ok = false
 					s.Stats.PruneViolated++
+					pruneCounts[ci]++
 					break
 				}
 			}
 			// Interval-prune future constraints.
 			if ok {
 				for d := depth + 1; d < n && ok; d++ {
-					for _, c := range byLast[d] {
-						if !c.feasible(lo, hi) {
+					for _, ci := range byLast[d] {
+						if !all[ci].feasible(lo, hi) {
 							ok = false
 							s.Stats.PruneInterval++
+							pruneCounts[ci]++
 							break
 						}
 					}
@@ -292,7 +372,14 @@ func (s *Solver) SolveCtx(ctx context.Context) (Model, bool) {
 // solveRound runs one Solve under an "smt.round" span carrying the round
 // index and, when satisfiable, the achieved objective value — the
 // per-round telemetry backing the Sec. V-G measurements.
+//
+// It polls ctx before doing anything: a cancellation that lands between
+// Maximize rounds (outside the node loop's cancelPollMask cadence) must
+// not dispatch — or account for — one more full solve.
 func (s *Solver) solveRound(ctx context.Context, obj Expr, round int) (Model, int64, bool) {
+	if ctx.Err() != nil {
+		return nil, 0, false
+	}
 	_, sp := obs.Start(ctx, "smt.round")
 	sp.SetInt("round", int64(round))
 	m, sat := s.SolveCtx(ctx)
@@ -310,6 +397,21 @@ func (s *Solver) solveRound(ctx context.Context, obj Expr, round int) (Model, in
 	return m, val, sat
 }
 
+// noteIncumbent records one objective improvement in the solver stats
+// and publishes it to the live telemetry surfaces: the incumbent gauge,
+// the obs live-progress state, and the flight recorder.
+func (s *Solver) noteIncumbent(round int, val int64, start time.Time) {
+	s.Stats.Incumbents = append(s.Stats.Incumbents, Incumbent{
+		Round:     round,
+		Objective: val,
+		Nodes:     s.Stats.Nodes,
+		Elapsed:   time.Since(start),
+	})
+	mIncumbent.Set(float64(val))
+	obs.SetIncumbent(s.Name, int64(round), val)
+	flight.Default.Incumbent(s.Name, int64(round), val)
+}
+
 // Maximize implements the paper's iterative optimization (Sec. IV-L): find
 // a first model, then repeatedly add OBJ > best and re-solve until the
 // problem becomes unsatisfiable. It returns the best model found and its
@@ -325,6 +427,8 @@ func (s *Solver) Maximize(obj Expr) (best Model, bestVal int64, ok bool) {
 // far with ok=true; callers wanting strict interruption semantics check
 // ctx.Err() afterwards.
 func (s *Solver) MaximizeCtx(ctx context.Context, obj Expr) (best Model, bestVal int64, ok bool) {
+	start := time.Now()
+	s.Stats.Incumbents = nil
 	s.extra = nil
 	s.descend = false
 	round := 0
@@ -333,18 +437,20 @@ func (s *Solver) MaximizeCtx(ctx context.Context, obj Expr) (best Model, bestVal
 		return nil, 0, false
 	}
 	best, bestVal = m, val
+	s.noteIncumbent(round, bestVal, start)
 	// Subsequent improvement rounds descend through domains, which makes
 	// each round jump near the remaining maximum — the small
 	// solver-call counts of Sec. V-G come from this behaviour.
 	s.descend = true
 	for ctx.Err() == nil {
 		round++
-		s.extra = []Constraint{{L: obj, Op: GT, R: C(bestVal)}}
+		s.extra = []Constraint{{L: obj, Op: GT, R: C(bestVal), Label: "objective"}}
 		m, val, sat := s.solveRound(ctx, obj, round)
 		if !sat {
 			break
 		}
 		best, bestVal = m, val
+		s.noteIncumbent(round, bestVal, start)
 	}
 	s.extra = nil
 	return best, bestVal, true
@@ -422,6 +528,8 @@ func (s *Solver) MaximizeBinary(obj Expr) (best Model, bestVal int64, ok bool) {
 // MaximizeBinaryCtx is MaximizeBinary with the caller's context threaded
 // through (see MaximizeCtx for the cancellation semantics).
 func (s *Solver) MaximizeBinaryCtx(ctx context.Context, obj Expr) (best Model, bestVal int64, ok bool) {
+	start := time.Now()
+	s.Stats.Incumbents = nil
 	s.extra = nil
 	s.descend = false
 	round := 0
@@ -430,6 +538,7 @@ func (s *Solver) MaximizeBinaryCtx(ctx context.Context, obj Expr) (best Model, b
 		return nil, 0, false
 	}
 	best, bestVal = m, val
+	s.noteIncumbent(round, bestVal, start)
 
 	// Upper bound from interval arithmetic over the variable domains.
 	n := s.p.NumVars()
@@ -445,7 +554,7 @@ func (s *Solver) MaximizeBinaryCtx(ctx context.Context, obj Expr) (best Model, b
 	for loVal < upper && ctx.Err() == nil {
 		round++
 		mid := loVal + (upper-loVal+1)/2
-		s.extra = []Constraint{{L: obj, Op: GE, R: C(mid)}}
+		s.extra = []Constraint{{L: obj, Op: GE, R: C(mid), Label: "objective"}}
 		m, val, sat := s.solveRound(ctx, obj, round)
 		if !sat {
 			upper = mid - 1
@@ -453,6 +562,7 @@ func (s *Solver) MaximizeBinaryCtx(ctx context.Context, obj Expr) (best Model, b
 		}
 		best, bestVal = m, val
 		loVal = bestVal
+		s.noteIncumbent(round, bestVal, start)
 	}
 	s.extra = nil
 	return best, bestVal, true

@@ -1,0 +1,168 @@
+package smt
+
+import (
+	"context"
+	"testing"
+)
+
+// hardProblem returns a problem with enough search work that telemetry
+// counters are meaningfully exercised: maximize x*y*z under a capacity
+// cap plus labeled resource-style constraints.
+func hardProblem() (*Problem, Expr) {
+	p := NewProblem()
+	x := p.RangeVar("x", 1, 32, 1)
+	y := p.RangeVar("y", 1, 32, 1)
+	z := p.RangeVar("z", 1, 32, 1)
+	obj := Mul(V(x), V(y), V(z))
+	p.RequireLabeled("capacity", obj, LE, C(900))
+	p.RequireLabeled("budget", Sum(V(x), V(y), V(z)), LE, C(48))
+	p.Require(V(x), GE, V(y)) // unlabeled on purpose
+	return p, obj
+}
+
+func TestMaximizeCancelledBeforeStartRunsNoRounds(t *testing.T) {
+	p, obj := hardProblem()
+	s := NewSolver(p)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, ok := s.MaximizeCtx(ctx, obj); ok {
+		t.Fatal("pre-cancelled Maximize reported ok")
+	}
+	// The between-rounds poll must keep a cancelled run from dispatching
+	// (or accounting for) even one solve.
+	if s.Stats.SolverCalls != 0 || s.Stats.Rounds != 0 {
+		t.Fatalf("pre-cancelled Maximize ran: SolverCalls=%d Rounds=%d, want 0/0",
+			s.Stats.SolverCalls, s.Stats.Rounds)
+	}
+}
+
+func TestSolveRoundCancelledBetweenRounds(t *testing.T) {
+	// Cancel from inside the objective evaluation of round 0: the context
+	// is dead before any improvement round starts, so exactly one
+	// solve/round must be accounted.
+	p, obj := hardProblem()
+	s := NewSolver(p)
+	ctx, cancel := context.WithCancel(context.Background())
+	best, bestVal, ok := func() (Model, int64, bool) {
+		m, val, sat := s.solveRound(ctx, obj, 0)
+		cancel()
+		if !sat {
+			return nil, 0, false
+		}
+		// Mirror MaximizeCtx's improvement loop shape.
+		for ctx.Err() == nil {
+			t.Fatal("loop entered after cancellation")
+		}
+		return m, val, true
+	}()
+	if !ok || best == nil || bestVal <= 0 {
+		t.Fatalf("round 0 failed: ok=%v val=%d", ok, bestVal)
+	}
+	if s.Stats.SolverCalls != 1 || s.Stats.Rounds != 1 {
+		t.Fatalf("SolverCalls=%d Rounds=%d, want 1/1", s.Stats.SolverCalls, s.Stats.Rounds)
+	}
+	// A further solveRound against the dead context must be free.
+	if _, _, sat := s.solveRound(ctx, obj, 1); sat {
+		t.Fatal("solveRound returned sat on a cancelled context")
+	}
+	if s.Stats.SolverCalls != 1 || s.Stats.Rounds != 1 {
+		t.Fatalf("cancelled solveRound accounted work: SolverCalls=%d Rounds=%d, want 1/1",
+			s.Stats.SolverCalls, s.Stats.Rounds)
+	}
+}
+
+func TestPruneAttributionByLabel(t *testing.T) {
+	p, obj := hardProblem()
+	s := NewSolver(p)
+	if _, _, ok := s.Maximize(obj); !ok {
+		t.Fatal("expected SAT")
+	}
+	attr := s.Stats.PruneByConstraint
+	if len(attr) == 0 {
+		t.Fatal("no prune attribution recorded")
+	}
+	var total int64
+	for _, n := range attr {
+		total += n
+	}
+	if want := s.Stats.PruneViolated + s.Stats.PruneInterval; total != want {
+		t.Fatalf("attributed prunes = %d, want PruneViolated+PruneInterval = %d", total, want)
+	}
+	// The objective-improvement constraints must show up under their own
+	// label, and the labeled model constraints under theirs.
+	if attr["objective"] == 0 {
+		t.Fatalf("no prunes attributed to the objective climb: %v", attr)
+	}
+	if attr["capacity"]+attr["budget"]+attr["unlabeled"] == 0 {
+		t.Fatalf("no prunes attributed to model constraints: %v", attr)
+	}
+}
+
+func TestDepthNodesSumToNodes(t *testing.T) {
+	p, obj := hardProblem()
+	s := NewSolver(p)
+	if _, _, ok := s.Maximize(obj); !ok {
+		t.Fatal("expected SAT")
+	}
+	if len(s.Stats.DepthNodes) == 0 {
+		t.Fatal("no depth histogram recorded")
+	}
+	var total int64
+	for _, n := range s.Stats.DepthNodes {
+		total += n
+	}
+	if total != s.Stats.Nodes {
+		t.Fatalf("depth histogram sums to %d, want Nodes = %d", total, s.Stats.Nodes)
+	}
+	if len(s.Stats.DepthNodes) > p.NumVars()+1 {
+		t.Fatalf("depth histogram has %d entries, max depth is %d", len(s.Stats.DepthNodes), p.NumVars())
+	}
+}
+
+func TestIncumbentTimeline(t *testing.T) {
+	p, obj := hardProblem()
+	s := NewSolver(p)
+	s.Name = "hard"
+	_, bestVal, ok := s.Maximize(obj)
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	inc := s.Stats.Incumbents
+	if len(inc) == 0 {
+		t.Fatal("no incumbent timeline recorded")
+	}
+	for i := 1; i < len(inc); i++ {
+		if inc[i].Objective <= inc[i-1].Objective {
+			t.Fatalf("incumbent %d not improving: %+v", i, inc)
+		}
+		if inc[i].Round <= inc[i-1].Round {
+			t.Fatalf("incumbent rounds not increasing: %+v", inc)
+		}
+		if inc[i].Nodes < inc[i-1].Nodes {
+			t.Fatalf("incumbent node counts decreasing: %+v", inc)
+		}
+	}
+	if got := inc[len(inc)-1].Objective; got != bestVal {
+		t.Fatalf("last incumbent objective = %d, want best %d", got, bestVal)
+	}
+	if inc[0].Round != 0 {
+		t.Fatalf("first incumbent round = %d, want 0 (the any-model round)", inc[0].Round)
+	}
+
+	// MaximizeBinary resets and rebuilds the timeline, converging on the
+	// same optimum.
+	s2 := NewSolver(p)
+	_, binVal, ok := s2.MaximizeBinary(obj)
+	if !ok || binVal != bestVal {
+		t.Fatalf("binary optimum %d, want %d", binVal, bestVal)
+	}
+	bin := s2.Stats.Incumbents
+	if len(bin) == 0 || bin[len(bin)-1].Objective != bestVal {
+		t.Fatalf("binary incumbent timeline %+v does not end at %d", bin, bestVal)
+	}
+	for i := 1; i < len(bin); i++ {
+		if bin[i].Objective <= bin[i-1].Objective {
+			t.Fatalf("binary incumbent %d not improving: %+v", i, bin)
+		}
+	}
+}

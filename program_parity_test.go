@@ -88,6 +88,10 @@ func TestProgramSelectBestParityGemm(t *testing.T) {
 		b.SolveTime = 0
 		for _, c := range b.Candidates {
 			c.Selection.SolveTime = 0
+			c.Selection.Search.Elapsed = 0
+			for i := range c.Selection.Search.Incumbents {
+				c.Selection.Search.Incumbents[i].Elapsed = 0
+			}
 		}
 	}
 	stripTimes(legacy)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/sweep"
 )
 
@@ -213,6 +214,10 @@ func exploreAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, space 
 	workers := sweep.Workers(opt.Workers)
 	sp.SetInt("workers", int64(workers))
 	mSweepWorkers.Set(float64(workers))
+	// Live progress for the /progress endpoint, plus per-point flight
+	// events. Both are nil-safe no-ops while observability is disabled.
+	progress := obs.BeginSweep(prog.Kernel.Name, len(space))
+	defer progress.Finish()
 
 	cache := opt.Cache
 	if cache == nil {
@@ -224,12 +229,14 @@ func exploreAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, space 
 	}
 
 	outcomes, done, cerr := sweep.Map(ctx, opt.Workers, space,
-		func(wctx context.Context, _ int, tiles map[string]int64) sweepOutcome {
+		func(wctx context.Context, i int, tiles map[string]int64) sweepOutcome {
 			var key string
 			if !cache.disabled {
 				key = prefix + tileKey(tiles)
 				if e, ok := cache.get(key); ok {
 					mSweepCacheHits.Add(1)
+					progress.PointDone(true, e.ok)
+					flight.Default.SweepPoint(prog.Kernel.Name, int64(i), e.ok, true)
 					return sweepOutcome{res: e.res, ok: e.ok, hit: true}
 				}
 				mSweepCacheMisses.Add(1)
@@ -237,6 +244,8 @@ func exploreAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, space 
 			res, err := runAnalyzed(wctx, prog, g, tiles, cfg)
 			o := sweepOutcome{res: res, ok: err == nil}
 			cache.put(key, evalEntry{res: o.res, ok: o.ok})
+			progress.PointDone(false, o.ok)
+			flight.Default.SweepPoint(prog.Kernel.Name, int64(i), o.ok, false)
 			return o
 		})
 

@@ -191,6 +191,80 @@ func TestConcurrentSweepsWithObs(t *testing.T) {
 	}
 }
 
+// TestEvalCacheMetricsConcurrentSweep runs several sweeps over one
+// shared cache from concurrent goroutines and checks the accounting
+// invariant under -race: every point lookup is classified as exactly
+// one hit or miss, so hits+misses equals the total number of points
+// swept, and misses never exceeds what the workers could have computed.
+func TestEvalCacheMetricsConcurrentSweep(t *testing.T) {
+	k := eatss.MustKernel("mvt")
+	g := eatss.GA100()
+	space := eatss.Space(k, []int64{16, 32, 64})
+	cfg := eatss.RunConfig{UseShared: true, Precision: eatss.FP64}
+	cache := eatss.NewEvalCache()
+
+	const sweeps = 6
+	var wg sync.WaitGroup
+	for i := 0; i < sweeps; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eatss.ExploreSpaceOpt(context.Background(), k, g, space, cfg,
+				eatss.SweepOptions{Workers: 3, Cache: cache})
+		}()
+	}
+	wg.Wait()
+
+	hits, misses := cache.Stats()
+	points := int64(sweeps * len(space))
+	if hits+misses != points {
+		t.Fatalf("cache accounting leaked: hits %d + misses %d != %d points swept",
+			hits, misses, points)
+	}
+	// Every distinct point misses at least once; concurrent racers may
+	// each miss the same point before the first result lands, but a miss
+	// count at the sweep total would mean the cache never served anything.
+	if misses < int64(len(space)) || misses >= points {
+		t.Fatalf("misses = %d, want within [%d, %d)", misses, len(space), points)
+	}
+	if cache.Len() != len(space) {
+		t.Fatalf("cache holds %d entries, want %d distinct points", cache.Len(), len(space))
+	}
+}
+
+// TestSweepPublishesLiveProgress: with observability on, a sweep
+// publishes a live progress handle whose counters add up and which is
+// marked finished when the sweep returns.
+func TestSweepPublishesLiveProgress(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	obs.Reset()
+
+	k := eatss.MustKernel("mvt")
+	g := eatss.GA100()
+	space := eatss.Space(k, []int64{16, 32})
+	_, stats := eatss.ExploreSpaceOpt(context.Background(), k, g, space,
+		eatss.RunConfig{UseShared: true, Precision: eatss.FP64},
+		eatss.SweepOptions{Workers: 2, Cache: eatss.NewEvalCache()})
+
+	p := obs.CurrentSweep()
+	if p == nil {
+		t.Fatal("sweep published no live progress")
+	}
+	if p.Kernel != k.Name || p.Total != int64(len(space)) {
+		t.Fatalf("progress = %s/%d, want %s/%d", p.Kernel, p.Total, k.Name, len(space))
+	}
+	if !p.Finished() {
+		t.Fatal("finished sweep not marked finished")
+	}
+	if p.Done() != int64(len(space)) {
+		t.Fatalf("done = %d, want %d", p.Done(), len(space))
+	}
+	if p.Skipped() != int64(stats.Skipped) {
+		t.Fatalf("skipped = %d, stats say %d", p.Skipped(), stats.Skipped)
+	}
+}
+
 // TestSelectTilesCtxCancellation: a cancelled context interrupts tile
 // selection instead of being ignored (the solver polls it between node
 // batches) and is reported as an error, not as UNSAT.
@@ -213,4 +287,3 @@ func TestSelectTilesCtxCancellation(t *testing.T) {
 		t.Fatalf("fresh-context solve failed after cancelled one: %v", err)
 	}
 }
-
