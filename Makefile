@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race sweep-race sweep-bench analysis-bench obs-bench check clean
+.PHONY: all vet build test race sweep-race sweep-bench analysis-bench obs-bench lint-gate selfcheck check clean
 
 all: check
 
@@ -44,11 +44,26 @@ analysis-bench:
 obs-bench:
 	$(GO) test -count=1 -run 'TestObsOverhead|TestLiveObsOverheadDisabled|TestDisabledRecorderDropsAndDoesNotAllocate|TestEnabledRecordDoesNotAllocate' ./internal/obs ./internal/obs/flight
 
-# check is the gate a change must pass before it lands: static analysis,
-# a full build, the sweep-engine race gate, the staged-compilation
+# lint-gate runs the kernel linter (internal/lint) over the built-in
+# catalog and every shipped DSL kernel, failing on any error-severity
+# diagnostic: no kernel with a provable out-of-bounds access, undeclared
+# name or degenerate domain may ship.
+lint-gate:
+	$(GO) run ./tools/lintgate
+
+# selfcheck runs the repo's own static analyzer (tools/selfcheck,
+# stdlib go/ast only) over the source tree: obs span open/close pairing,
+# the *Ctx context-threading contract, and the "no raw time.Now under
+# internal/ outside obs and bench" rule.
+selfcheck:
+	$(GO) run ./tools/selfcheck .
+
+# check is the gate a change must pass before it lands: static analysis
+# (go vet plus the repo's own selfcheck analyzer), a full build, the
+# kernel lint gate, the sweep-engine race gate, the staged-compilation
 # parity/benchmark gate, the zero-cost-observability guard, and the full
 # test suite under the race detector.
-check: vet build sweep-race analysis-bench obs-bench race
+check: vet build selfcheck lint-gate sweep-race analysis-bench obs-bench race
 
 clean:
 	$(GO) clean ./...

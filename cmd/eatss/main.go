@@ -37,6 +37,8 @@ func main() {
 	showPower := flag.Bool("power", false, "print the average power breakdown")
 	cuda := flag.Bool("cuda", false, "print the generated CUDA-style code")
 	list := flag.Bool("list", false, "list available kernels")
+	lintFlag := flag.Bool("lint", false, "lint the kernel and exit (nonzero on error-severity findings)")
+	verifyFlag := flag.String("verify", "off", "independently certify results: off | sample | all")
 	timeTile := flag.Int64("timetile", 0, "fuse this many time steps per launch on repeated stencil nests (>1 enables)")
 	regTile := flag.Int64("regtile", 0, "register micro-tile factor: each thread computes an r x r block (>1 enables)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event file of the pipeline (load in chrome://tracing or ui.perfetto.dev)")
@@ -100,7 +102,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		k, err = eatss.ParseKernel(string(src))
+		k, err = eatss.ParseKernelNamed(string(src), *file)
 		if err != nil {
 			fatal(err)
 		}
@@ -115,6 +117,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *lintFlag {
+		diags := eatss.Lint(k, nil)
+		if len(diags) == 0 {
+			fmt.Printf("%s: no findings\n", k.Name)
+			return
+		}
+		fmt.Print(eatss.RenderDiags(diags))
+		if eatss.LintHasErrors(diags) {
+			os.Exit(1)
+		}
+		return
+	}
+	vmode, err := eatss.ParseVerifyMode(*verifyFlag)
+	if err != nil {
+		fatal(err)
 	}
 	var g *eatss.GPU
 	if *gpuFile != "" {
@@ -153,6 +171,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// The protocol threads its own Options per split, so certify the
+		// surviving candidates after the fact.
+		for _, c := range b.Candidates {
+			if !vmode.ShouldVerify(k.Name + "|" + g.Name + "|" + fmt.Sprint(c.SharedFrac)) {
+				continue
+			}
+			if err := eatss.Certify(prog.Kernel(), g, c.Selection); err != nil {
+				fatal(err)
+			}
+		}
+		if vmode != eatss.VerifyOff {
+			fmt.Printf("certified %d candidate selection(s)\n", len(b.Candidates))
+		}
 		fmt.Printf("EATSS protocol for %s on %s (%d candidates, %d solver calls)\n",
 			k.Name, g.Name, len(b.Candidates), b.SolverCalls)
 		for _, c := range b.Candidates {
@@ -173,6 +204,7 @@ func main() {
 		WarpFraction:     *warpFrac,
 		Precision:        prec,
 		ProblemSizeAware: true,
+		Verify:           vmode,
 	}
 	sel, err := prog.SelectTilesCtx(ctx, g, opts)
 	if err != nil {
@@ -191,7 +223,7 @@ func main() {
 
 	cfg := eatss.RunConfig{
 		Params: params, UseShared: *split > 0, Precision: prec,
-		TimeTileFuse: *timeTile, RegTile: *regTile,
+		TimeTileFuse: *timeTile, RegTile: *regTile, Verify: vmode,
 	}
 	if *cuda || *summary {
 		mk, err := prog.CompileCtx(ctx, g, sel.Tiles, cfg)

@@ -193,6 +193,10 @@ type RunConfig struct {
 	// PPCG code from vendor libraries). Nests where it is infeasible
 	// keep one point per thread.
 	RegTile int64
+	// Verify selects independent certification of each compiled mapping
+	// (launch geometry, staging footprint, register budget — see
+	// CertifyMapped). A failed certification is a hard compile error.
+	Verify VerifyMode
 }
 
 // Compile maps a kernel with the given tiles onto the GPU (the PPCG step).

@@ -129,11 +129,24 @@ func (nb *NestBuilder) End() *Builder {
 
 // Build validates and returns the kernel. It panics on malformed kernels —
 // the builder is used to define the static kernel library, where a
-// construction error is a programming bug.
+// construction error is a programming bug. Code assembling kernels from
+// untrusted input should use BuildChecked instead.
 func (b *Builder) Build() *Kernel {
-	k := b.k
-	if err := k.Validate(); err != nil {
+	k, err := b.BuildChecked()
+	if err != nil {
 		panic(err)
 	}
-	return &k
+	return k
+}
+
+// BuildChecked validates and returns the kernel, reporting malformed
+// constructions — duplicate iterator names in a nest, references to
+// undeclared arrays or parameters, subscript/rank mismatches — as an
+// error instead of panicking.
+func (b *Builder) BuildChecked() (*Kernel, error) {
+	k := b.k
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return &k, nil
 }

@@ -1,0 +1,92 @@
+package affine
+
+import (
+	"strings"
+	"testing"
+)
+
+// The builder API has two exits: Build panics on malformed kernels (the
+// static catalog, where a construction error is a programming bug) and
+// BuildChecked reports the same problems as errors (untrusted input).
+// These tests pin that the checked path actually surfaces each class of
+// malformation instead of handing a broken kernel to the pipeline.
+
+func TestBuildCheckedDuplicateIterator(t *testing.T) {
+	_, err := NewBuilder("dup", map[string]int64{"N": 8}).
+		Array("A", "N").
+		Nest("n").
+		Loop("i", "N").Loop("i", "N").
+		Stmt("S0", 1).Write("A", "i").End().
+		End().
+		BuildChecked()
+	if err == nil || !strings.Contains(err.Error(), "i") {
+		t.Fatalf("duplicate iterator not reported: %v", err)
+	}
+}
+
+func TestBuildCheckedUndeclaredArray(t *testing.T) {
+	_, err := NewBuilder("ghost", map[string]int64{"N": 8}).
+		Nest("n").
+		Loop("i", "N").
+		Stmt("S0", 1).Write("A", "i").End().
+		End().
+		BuildChecked()
+	if err == nil || !strings.Contains(err.Error(), "A") {
+		t.Fatalf("undeclared array not reported: %v", err)
+	}
+}
+
+func TestBuildCheckedUndeclaredParam(t *testing.T) {
+	_, err := NewBuilder("noparam", map[string]int64{"N": 8}).
+		Array("A", "N").
+		Nest("n").
+		Loop("i", "M"). // M never declared
+		Stmt("S0", 1).Write("A", "i").End().
+		End().
+		BuildChecked()
+	if err == nil {
+		t.Fatal("undeclared loop-bound parameter not reported")
+	}
+}
+
+func TestBuildCheckedEmptyNest(t *testing.T) {
+	_, err := NewBuilder("empty", map[string]int64{"N": 8}).
+		Array("A", "N").
+		Nest("n").
+		Loop("i", "N").
+		End().
+		BuildChecked()
+	if err == nil {
+		t.Fatal("nest without statements not reported")
+	}
+}
+
+func TestBuildCheckedValidKernel(t *testing.T) {
+	k, err := NewBuilder("ok", map[string]int64{"N": 8}).
+		Array("A", "N").
+		Nest("n").
+		Loop("i", "N").
+		Stmt("S0", 1).Write("A", "i").End().
+		End().
+		BuildChecked()
+	if err != nil {
+		t.Fatalf("valid kernel rejected: %v", err)
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatalf("built kernel fails validation: %v", err)
+	}
+}
+
+func TestBuildPanicsOnMalformed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build did not panic on a malformed kernel")
+		}
+	}()
+	NewBuilder("bad", map[string]int64{"N": 8}).
+		Nest("n").
+		Loop("i", "N").
+		Stmt("S0", 1).Write("Ghost", "i").End().
+		End().
+		Build()
+}

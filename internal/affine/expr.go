@@ -135,6 +135,19 @@ func (e Expr) IterNames() []string {
 	return names
 }
 
+// ParamNames returns the parameters used in e (nonzero coefficient),
+// sorted.
+func (e Expr) ParamNames() []string {
+	names := make([]string, 0, len(e.Params))
+	for k, v := range e.Params {
+		if v != 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Eval evaluates e under the given iterator and parameter bindings.
 // Missing bindings evaluate as zero.
 func (e Expr) Eval(iters, params map[string]int64) int64 {

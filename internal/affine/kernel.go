@@ -47,6 +47,9 @@ type Loop struct {
 	Name  string
 	Lower Expr
 	Upper Expr
+	// Pos is the source position of the loop header (zero when the
+	// kernel was not parsed from DSL text).
+	Pos Pos
 }
 
 // Extent returns the trip count of the loop under the given parameter
@@ -63,6 +66,9 @@ func (l Loop) Extent(params map[string]int64) int64 {
 type Array struct {
 	Name string
 	Dims []Expr
+	// Pos is the source position of the declaration (zero when built
+	// programmatically).
+	Pos Pos
 }
 
 // Elements returns the total number of elements under the parameter
@@ -83,6 +89,9 @@ type Ref struct {
 	Subscripts []Expr
 	// Write marks the reference as a store target.
 	Write bool
+	// Pos is the source position of the reference (zero when built
+	// programmatically).
+	Pos Pos
 }
 
 // UsesIter reports whether any subscript uses the iterator.
@@ -163,6 +172,9 @@ type Statement struct {
 	// does not use the innermost reduction iterator(s); such statements
 	// carry loop dependences on the missing iterators.
 	Reduction bool
+	// Pos is the source position of the statement label (zero when built
+	// programmatically).
+	Pos Pos
 }
 
 // WriteRefs returns the store targets of the statement.
@@ -188,6 +200,9 @@ type Nest struct {
 	Loops  []Loop
 	Body   []Statement
 	Repeat Expr
+	// Pos is the source position of the nest header (zero when built
+	// programmatically).
+	Pos Pos
 }
 
 // RepeatCount returns how many times the nest is launched under params
@@ -320,7 +335,9 @@ func (k *Kernel) WithParams(overrides map[string]int64) *Kernel {
 
 // Validate checks internal consistency: loop names unique per nest, every
 // subscript iterator is declared by an enclosing loop, every referenced
-// array is declared, and subscript counts match array rank.
+// array is declared, every parameter referenced by a bound, dimension,
+// repeat count or subscript is declared in Params, and subscript counts
+// match array rank.
 func (k *Kernel) Validate() error {
 	if k.Name == "" {
 		return fmt.Errorf("affine: kernel has no name")
@@ -328,14 +345,34 @@ func (k *Kernel) Validate() error {
 	if len(k.Nests) == 0 {
 		return fmt.Errorf("affine: kernel %q has no loop nests", k.Name)
 	}
+	checkParams := func(e Expr, where string) error {
+		for _, p := range e.ParamNames() {
+			if _, ok := k.Params[p]; !ok {
+				return fmt.Errorf("affine: kernel %q: %s references undeclared parameter %q",
+					k.Name, where, p)
+			}
+		}
+		return nil
+	}
 	arrays := make(map[string]Array, len(k.Arrays))
 	for _, a := range k.Arrays {
 		if _, dup := arrays[a.Name]; dup {
 			return fmt.Errorf("affine: kernel %q declares array %q twice", k.Name, a.Name)
 		}
 		arrays[a.Name] = a
+		for _, d := range a.Dims {
+			if len(d.Iters) != 0 {
+				return fmt.Errorf("affine: array %q dimension %s uses a loop iterator", a.Name, d)
+			}
+			if err := checkParams(d, fmt.Sprintf("array %q dimension", a.Name)); err != nil {
+				return err
+			}
+		}
 	}
 	for _, n := range k.Nests {
+		if err := checkParams(n.Repeat, fmt.Sprintf("nest %q repeat count", n.Name)); err != nil {
+			return err
+		}
 		seen := make(map[string]bool, len(n.Loops))
 		for _, l := range n.Loops {
 			if seen[l.Name] {
@@ -344,6 +381,12 @@ func (k *Kernel) Validate() error {
 			seen[l.Name] = true
 			if len(l.Lower.Iters) != 0 || len(l.Upper.Iters) != 0 {
 				return fmt.Errorf("affine: nest %q loop %q has non-rectangular bounds", n.Name, l.Name)
+			}
+			if err := checkParams(l.Lower, fmt.Sprintf("nest %q loop %q lower bound", n.Name, l.Name)); err != nil {
+				return err
+			}
+			if err := checkParams(l.Upper, fmt.Sprintf("nest %q loop %q upper bound", n.Name, l.Name)); err != nil {
+				return err
 			}
 		}
 		if len(n.Body) == 0 {
@@ -365,6 +408,9 @@ func (k *Kernel) Validate() error {
 							return fmt.Errorf("affine: reference %s uses iterator %q not bound by nest %q",
 								r, it, n.Name)
 						}
+					}
+					if err := checkParams(sub, fmt.Sprintf("reference %s subscript", r)); err != nil {
+						return err
 					}
 				}
 			}
@@ -415,11 +461,11 @@ func (k *Kernel) Clone() *Kernel {
 	}
 	out.Arrays = make([]Array, len(k.Arrays))
 	for i, a := range k.Arrays {
-		out.Arrays[i] = Array{Name: a.Name, Dims: append([]Expr(nil), a.Dims...)}
+		out.Arrays[i] = Array{Name: a.Name, Dims: append([]Expr(nil), a.Dims...), Pos: a.Pos}
 	}
 	out.Nests = make([]Nest, len(k.Nests))
 	for i, n := range k.Nests {
-		cp := Nest{Name: n.Name, Repeat: n.Repeat}
+		cp := Nest{Name: n.Name, Repeat: n.Repeat, Pos: n.Pos}
 		cp.Loops = append([]Loop(nil), n.Loops...)
 		cp.Body = make([]Statement, len(n.Body))
 		for j, st := range n.Body {

@@ -438,8 +438,10 @@ func fdtdAPMLKernel() *Kernel {
 	iz, iy, ix := NewIter("iz"), NewIter("iy"), NewIter("ix")
 	return NewBuilder("fdtd-apml", map[string]int64{"CZ": 512, "CYM": 512, "CXM": 512}).
 		Array("Bza", "CZ", "CYM", "CXM").
-		Array("Ex", "CZ", "CYM", "CXM").
-		Array("Ey", "CZ", "CYM", "CXM").
+		// The E-field arrays carry Polybench's +1 halo padding on the
+		// offset-accessed dimensions (Ex[iz][iy+1][ix], Ey[iz][iy][ix+1]).
+		ArrayExpr("Ex", NewParam("CZ"), NewParam("CYM").AddConst(1), NewParam("CXM")).
+		ArrayExpr("Ey", NewParam("CZ"), NewParam("CYM"), NewParam("CXM").AddConst(1)).
 		Array("Hz", "CZ", "CYM", "CXM").
 		Array("czm", "CZ").
 		Array("czp", "CZ").

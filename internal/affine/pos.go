@@ -1,0 +1,23 @@
+package affine
+
+import "fmt"
+
+// Pos is a source position (1-based line and column) carried from the
+// kernel DSL parser into the IR, so diagnostics (internal/lint, parse
+// errors) can point at the offending source. The zero Pos means "no
+// source position" — kernels constructed through the Builder have none.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position carries real source information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "line:col", or "-" for the zero position.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}

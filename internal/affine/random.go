@@ -30,10 +30,12 @@ func RandomKernel(r *rand.Rand) *Kernel {
 	for ni := 0; ni < nNests; ni++ {
 		depth := 1 + r.Intn(4)
 		nest := Nest{Name: fmt.Sprintf("n%d", ni)}
+		lowers := make([]int64, depth)
 		for d := 0; d < depth; d++ {
+			lowers[d] = int64(r.Intn(2))
 			nest.Loops = append(nest.Loops, Loop{
 				Name:  iterNames[d],
-				Lower: NewConst(int64(r.Intn(2))),
+				Lower: NewConst(lowers[d]),
 				Upper: NewParam(paramNames[d]),
 			})
 		}
@@ -45,15 +47,17 @@ func RandomKernel(r *rand.Rand) *Kernel {
 
 		writeRank := 1 + r.Intn(depth)
 		wSubs := make([]Expr, writeRank)
+		wDims := make([]Expr, writeRank)
 		for p := 0; p < writeRank; p++ {
 			wSubs[p] = NewIter(iterNames[p])
+			wDims[p] = dimFor(paramNames[p])
 		}
 		if writeRank < depth {
 			st.Reduction = true
 		}
 		wName := fmt.Sprintf("W%d", arrayID)
 		arrayID++
-		k.Arrays = append(k.Arrays, arrayFor(wName, wSubs, paramNames))
+		k.Arrays = append(k.Arrays, Array{Name: wName, Dims: wDims})
 		st.Refs = append(st.Refs, Ref{Array: wName, Subscripts: wSubs, Write: true})
 		if st.Reduction {
 			st.Refs = append(st.Refs, Ref{Array: wName, Subscripts: wSubs})
@@ -62,17 +66,25 @@ func RandomKernel(r *rand.Rand) *Kernel {
 		for ri := 0; ri < nRefs; ri++ {
 			rank := 1 + r.Intn(depth)
 			subs := make([]Expr, rank)
+			dims := make([]Expr, rank)
 			perm := r.Perm(depth)[:rank]
 			for p := 0; p < rank; p++ {
 				e := NewIter(iterNames[perm[p]])
 				if r.Intn(4) == 0 {
-					e = e.AddConst(int64(r.Intn(3) - 1)) // stencil offset
+					// Stencil offset, clamped so the subscript never
+					// drops below the loop's lower bound.
+					off := int64(r.Intn(3) - 1)
+					if off < -lowers[perm[p]] {
+						off = -lowers[perm[p]]
+					}
+					e = e.AddConst(off)
 				}
 				subs[p] = e
+				dims[p] = dimFor(paramNames[perm[p]])
 			}
 			name := fmt.Sprintf("R%d", arrayID)
 			arrayID++
-			k.Arrays = append(k.Arrays, arrayFor(name, subs, paramNames))
+			k.Arrays = append(k.Arrays, Array{Name: name, Dims: dims})
 			st.Refs = append(st.Refs, Ref{Array: name, Subscripts: subs})
 		}
 		nest.Body = append(nest.Body, st)
@@ -81,14 +93,8 @@ func RandomKernel(r *rand.Rand) *Kernel {
 	return k
 }
 
-// arrayFor sizes an array generously enough for the subscripts' reachable
-// range (parameter bound + slack for offsets).
-func arrayFor(name string, subs []Expr, paramNames []string) Array {
-	dims := make([]Expr, len(subs))
-	for i := range subs {
-		// Upper-bound each dimension by the largest parameter plus
-		// offset slack; precise sizing is irrelevant to the analyses.
-		dims[i] = NewParam(paramNames[len(paramNames)-1]).Add(NewParam(paramNames[0])).AddConst(4)
-	}
-	return Array{Name: name, Dims: dims}
+// dimFor sizes an array dimension by the parameter bounding the iterator
+// that indexes it, plus slack so positive stencil offsets stay in bounds.
+func dimFor(param string) Expr {
+	return NewParam(param).AddConst(4)
 }

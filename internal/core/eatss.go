@@ -30,6 +30,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/obs"
 	"repro/internal/smt"
+	"repro/internal/verify"
 )
 
 // Telemetry instruments: selection outcomes and which constraint kinds
@@ -71,6 +72,11 @@ type Options struct {
 	// instead and on PPCG's point-loop strip-mining; we therefore leave
 	// it off by default, matching the published artifact's behaviour.
 	EnforceThreadBlockLimit bool
+	// Verify selects independent certification of each selection
+	// (internal/verify): the solver's model is replayed in arbitrary
+	// precision and the resource bounds are re-derived without the
+	// solver. A failed certification is a hard error.
+	Verify verify.Mode
 }
 
 // DefaultOptions mirrors the paper's GA100 matmul walkthrough: 50% split,
@@ -125,6 +131,10 @@ type Selection struct {
 	Search smt.Stats
 	// Model is the generated formulation in readable form.
 	Model string
+	// Witness is the solved problem plus the final model, kept so an
+	// independent checker (internal/verify, eatss.Certify) can re-decide
+	// every constraint without re-running the search.
+	Witness *smt.Witness
 }
 
 // SelectTiles builds and solves the EATSS formulation for a kernel.
@@ -152,7 +162,7 @@ func SelectTilesCtx(ctx context.Context, k *affine.Kernel, g *arch.GPU, opts Opt
 // reuse one analysis instead of nine re-derivations. Results are
 // identical to SelectTilesCtx on the same kernel.
 func SelectTilesAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GPU, opts Options) (*Selection, error) {
-	start := time.Now()
+	start := obs.Now()
 	k := prog.Kernel
 	if opts.WarpFraction == 0 {
 		opts.WarpFraction = 1.0
@@ -392,8 +402,22 @@ func SelectTilesAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GP
 	for _, name := range names {
 		sel.Tiles[name] = model.Value(vars[name])
 	}
+	wvars := make(map[string]smt.Var, len(vars))
+	for name, v := range vars {
+		wvars["T_"+name] = v
+	}
+	sel.Witness = &smt.Witness{Problem: p, Model: model, Vars: wvars}
 	sel.SolverCalls = solver.Stats.SolverCalls
-	sel.SolveTime = time.Since(start)
+	sel.SolveTime = obs.Now().Sub(start)
+
+	if opts.Verify.ShouldVerify(verifyKey(k.Name, g.Name, opts)) {
+		if err := verify.CertifySelection(selectionFacts(prog, g, sel)); err != nil {
+			root.SetStr("verify_error", err.Error())
+			mVerifyFailures.Add(1)
+			return nil, fmt.Errorf("core: selection for %s on %s failed certification: %w", k.Name, g.Name, err)
+		}
+		mVerified.Add(1)
+	}
 	mSelections.Add(1)
 	mSolverCallsPerSelect.Observe(float64(sel.SolverCalls))
 	root.SetInt("objective", sel.Objective)

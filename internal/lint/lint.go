@@ -1,0 +1,403 @@
+// Package lint is a static kernel linter over the affine IR. It diagnoses
+// suspicious-but-valid kernels before they enter the pipeline — provably
+// out-of-bounds subscripts, empty loop domains, column-major access
+// patterns, spurious reductions — as well as outright malformed ones
+// (undeclared iterators/arrays, duplicate loop names) that the Builder's
+// Validate would reject, so the same diagnostics work on kernels
+// assembled by hand from struct literals.
+//
+// Each finding is a structured Diag carrying a stable code, a severity,
+// the source position (when the kernel was parsed from DSL text — see
+// internal/parser), a message and an optional remediation note. The
+// public surface is eatss.Lint and Program.Lint.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/affine"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// Info marks observations that need no action.
+	Info Severity = iota
+	// Warning marks kernels that will run but probably not as intended
+	// (dead arrays, uncoalescable access patterns, empty domains).
+	Warning
+	// Error marks kernels that are malformed or provably access memory
+	// out of bounds; the pipeline's behaviour on them is undefined.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// Diagnostic codes, stable across releases (tests and tools match on
+// them; messages may be reworded freely).
+const (
+	CodeUndeclaredIterator = "undeclared-iterator"
+	CodeUnusedIterator     = "unused-iterator"
+	CodeDuplicateIterator  = "duplicate-iterator"
+	CodeUndeclaredArray    = "undeclared-array"
+	CodeUnusedArray        = "unused-array"
+	CodeRankMismatch       = "rank-mismatch"
+	CodeOutOfBounds        = "out-of-bounds"
+	CodeEmptyDomain        = "empty-domain"
+	CodeZeroCoefficient    = "zero-coefficient"
+	CodeColumnMajor        = "column-major"
+	CodeSpuriousReduction  = "spurious-reduction"
+	CodeUndeclaredParam    = "undeclared-parameter"
+)
+
+// Diag is one linter finding.
+type Diag struct {
+	// Code is the stable diagnostic identifier (e.g. "out-of-bounds").
+	Code string
+	// Severity grades the finding.
+	Severity Severity
+	// Pos locates the finding in the DSL source; the zero Pos means the
+	// kernel was built programmatically.
+	Pos affine.Pos
+	// Msg states the finding.
+	Msg string
+	// Note optionally suggests a remediation or adds context.
+	Note string
+}
+
+// String renders "line:col: severity[code]: msg (note)".
+func (d Diag) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s[%s]: %s", d.Pos, d.Severity, d.Code, d.Msg)
+	if d.Note != "" {
+		fmt.Fprintf(&b, " (%s)", d.Note)
+	}
+	return b.String()
+}
+
+// HasErrors reports whether any diagnostic is Error-severity.
+func HasErrors(diags []Diag) bool {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Render joins diagnostics one per line (the golden-test and CLI form).
+func Render(diags []Diag) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Lint diagnoses a kernel under the given problem sizes (nil params uses
+// the kernel's defaults). It never mutates the kernel and accepts
+// malformed kernels that Validate would reject — malformed constructs
+// are reported as Error diagnostics instead. The returned order is
+// deterministic: declaration/nest order, structural checks before
+// value-dependent ones within each nest.
+func Lint(k *affine.Kernel, params map[string]int64) []Diag {
+	if k == nil {
+		return nil
+	}
+	if params == nil {
+		params = k.Params
+	}
+	var diags []Diag
+	add := func(code string, sev Severity, pos affine.Pos, msg, note string) {
+		diags = append(diags, Diag{Code: code, Severity: sev, Pos: pos, Msg: msg, Note: note})
+	}
+
+	// Declared arrays (duplicates are Validate's domain; the linter only
+	// needs the first declaration for rank/bounds checks).
+	arrays := make(map[string]affine.Array, len(k.Arrays))
+	for _, a := range k.Arrays {
+		if _, dup := arrays[a.Name]; !dup {
+			arrays[a.Name] = a
+		}
+	}
+	usedArrays := make(map[string]bool)
+
+	for ni := range k.Nests {
+		n := &k.Nests[ni]
+		diags = append(diags, lintNest(k, n, arrays, usedArrays, params, add)...)
+	}
+
+	// Unused arrays, in declaration order.
+	for _, a := range k.Arrays {
+		if !usedArrays[a.Name] {
+			add(CodeUnusedArray, Warning, a.Pos,
+				fmt.Sprintf("array %q is declared but never referenced", a.Name),
+				"drop the declaration or reference the array")
+		}
+	}
+
+	// Undeclared parameters anywhere in the kernel (bounds, dims,
+	// subscripts, repeat counts) evaluate as zero and silently collapse
+	// domains and volumes.
+	checkParams(k, add)
+	return diags
+}
+
+func checkParams(k *affine.Kernel, add func(string, Severity, affine.Pos, string, string)) {
+	report := func(e affine.Expr, pos affine.Pos, where string) {
+		for _, p := range e.ParamNames() {
+			if _, ok := k.Params[p]; !ok {
+				add(CodeUndeclaredParam, Error, pos,
+					fmt.Sprintf("%s references undeclared parameter %q", where, p),
+					"undeclared parameters evaluate as zero")
+			}
+		}
+	}
+	for _, a := range k.Arrays {
+		for _, d := range a.Dims {
+			report(d, a.Pos, fmt.Sprintf("array %q dimension", a.Name))
+		}
+	}
+	for ni := range k.Nests {
+		n := &k.Nests[ni]
+		report(n.Repeat, n.Pos, fmt.Sprintf("nest %q repeat count", n.Name))
+		for _, l := range n.Loops {
+			report(l.Lower, l.Pos, fmt.Sprintf("loop %q lower bound", l.Name))
+			report(l.Upper, l.Pos, fmt.Sprintf("loop %q upper bound", l.Name))
+		}
+		for _, st := range n.Body {
+			for _, r := range st.Refs {
+				for _, s := range r.Subscripts {
+					report(s, r.Pos, fmt.Sprintf("reference %s subscript", r))
+				}
+			}
+		}
+	}
+}
+
+func lintNest(k *affine.Kernel, n *affine.Nest, arrays map[string]affine.Array,
+	usedArrays map[string]bool, params map[string]int64,
+	add func(string, Severity, affine.Pos, string, string)) []Diag {
+
+	var diags []Diag
+	local := func(code string, sev Severity, pos affine.Pos, msg, note string) {
+		diags = append(diags, Diag{Code: code, Severity: sev, Pos: pos, Msg: msg, Note: note})
+	}
+
+	// Duplicate iterator names across the nest.
+	bound := make(map[string]bool, len(n.Loops))
+	for _, l := range n.Loops {
+		if bound[l.Name] {
+			local(CodeDuplicateIterator, Error, l.Pos,
+				fmt.Sprintf("nest %q binds iterator %q twice", n.Name, l.Name),
+				"inner loops shadow outer ones; rename the iterator")
+			continue
+		}
+		bound[l.Name] = true
+	}
+
+	// Empty or degenerate loop domains under the bound problem sizes.
+	degenerate := false
+	for _, l := range n.Loops {
+		ext := l.Extent(params)
+		switch {
+		case ext <= 0:
+			degenerate = true
+			local(CodeEmptyDomain, Warning, l.Pos,
+				fmt.Sprintf("loop %q has an empty domain (%s..%s = %d iterations)",
+					l.Name, l.Lower, l.Upper, ext),
+				"the nest executes zero iterations under the current problem sizes")
+		case ext == 1:
+			local(CodeEmptyDomain, Info, l.Pos,
+				fmt.Sprintf("loop %q is degenerate (a single iteration)", l.Name),
+				"consider removing the loop dimension")
+		}
+	}
+
+	// Per-reference structural checks, and iterator/array usage.
+	usedIters := make(map[string]bool)
+	stride1Anywhere := false
+	for si := range n.Body {
+		st := &n.Body[si]
+		for _, r := range st.Refs {
+			usedArrays[r.Array] = true
+			for _, s := range r.Subscripts {
+				for _, it := range s.IterNames() {
+					usedIters[it] = true
+					if !bound[it] {
+						local(CodeUndeclaredIterator, Error, r.Pos,
+							fmt.Sprintf("reference %s uses iterator %q not bound by nest %q", r, it, n.Name),
+							"")
+					}
+				}
+				// Zero-coefficient anomalies: an iterator recorded with
+				// coefficient 0 contributes nothing but suggests a
+				// mis-built expression.
+				for it, c := range s.Iters {
+					if c == 0 {
+						local(CodeZeroCoefficient, Warning, r.Pos,
+							fmt.Sprintf("reference %s subscript carries iterator %q with coefficient 0", r, it),
+							"the term has no effect; drop it or fix the coefficient")
+					}
+				}
+			}
+			if len(r.Stride1Iters()) > 0 {
+				stride1Anywhere = true
+			}
+
+			a, declared := arrays[r.Array]
+			if !declared {
+				local(CodeUndeclaredArray, Error, r.Pos,
+					fmt.Sprintf("reference %s targets undeclared array %q", r, r.Array),
+					"declare the array with its dimensions")
+				continue
+			}
+			if len(r.Subscripts) != len(a.Dims) {
+				local(CodeRankMismatch, Error, r.Pos,
+					fmt.Sprintf("reference %s has %d subscripts; array %q has rank %d",
+						r, len(r.Subscripts), a.Name, len(a.Dims)),
+					"")
+				continue
+			}
+			// Provably out-of-bounds subscripts by interval evaluation
+			// over the loop domains. Skipped for nests with empty
+			// domains (no instance executes) and for subscripts using
+			// unbound iterators (already an error above).
+			if !degenerate {
+				diags = append(diags, lintBounds(n, r, a, params, bound)...)
+			}
+		}
+
+		// Reductions whose write target varies with every loop carry no
+		// reduction at all: X[i][j] += ... inside an i,j nest updates a
+		// fresh location each iteration.
+		if st.Reduction {
+			for _, w := range st.WriteRefs() {
+				invariant := false
+				for _, l := range n.Loops {
+					if !w.UsesIter(l.Name) {
+						invariant = true
+						break
+					}
+				}
+				if !invariant && len(n.Loops) > 0 {
+					local(CodeSpuriousReduction, Warning, st.Pos,
+						fmt.Sprintf("reduction statement %q writes %s, which varies with every loop of nest %q",
+							st.Name, w, n.Name),
+						"a reduction target should be invariant along at least one loop; use '=' if no accumulation is intended")
+				}
+			}
+		}
+	}
+
+	// Unused iterators: bound by a loop but indexing nothing.
+	for _, l := range n.Loops {
+		if !usedIters[l.Name] {
+			local(CodeUnusedIterator, Warning, l.Pos,
+				fmt.Sprintf("iterator %q of nest %q appears in no subscript", l.Name, n.Name),
+				"every iteration touches the same data; the loop only repeats work")
+		}
+	}
+
+	// Column-major access: no reference in the nest walks its
+	// fastest-varying dimension with any unit-stride iterator, so no
+	// loop can coalesce (the classic transposed-layout mistake).
+	if len(n.Body) > 0 && !stride1Anywhere {
+		local(CodeColumnMajor, Warning, n.Pos,
+			fmt.Sprintf("no reference in nest %q is stride-1 in its fastest-varying dimension", n.Name),
+			"accesses cannot coalesce; transpose the layout or interchange subscripts")
+	}
+	return diags
+}
+
+// lintBounds interval-evaluates each affine subscript of r over the
+// nest's rectangular domain and reports subscripts that provably fall
+// outside the declared array extent. Bounds and extents are evaluated
+// under params; iterator ranges are [lower, upper-1].
+func lintBounds(n *affine.Nest, r affine.Ref, a affine.Array, params map[string]int64, bound map[string]bool) []Diag {
+	var diags []Diag
+	for di, s := range r.Subscripts {
+		if di >= len(a.Dims) {
+			break
+		}
+		unboundIter := false
+		for _, it := range s.IterNames() {
+			if !bound[it] {
+				unboundIter = true
+			}
+		}
+		if unboundIter {
+			continue
+		}
+		lo, hi, ok := subscriptRange(n, s, params)
+		if !ok {
+			continue
+		}
+		size := a.Dims[di].Eval(nil, params)
+		if size <= 0 {
+			continue // degenerate array extent; covered by other checks
+		}
+		if lo < 0 || hi >= size {
+			diags = append(diags, Diag{
+				Code:     CodeOutOfBounds,
+				Severity: Error,
+				Pos:      r.Pos,
+				Msg: fmt.Sprintf("reference %s subscript %d spans [%d, %d] but array %q dimension %d has extent %d",
+					r, di, lo, hi, a.Name, di, size),
+				Note: "shrink the loop domain or pad the array",
+			})
+		}
+	}
+	return diags
+}
+
+// subscriptRange returns the inclusive value range of an affine
+// subscript over the nest's domain, or ok=false when a used iterator has
+// an empty range.
+func subscriptRange(n *affine.Nest, s affine.Expr, params map[string]int64) (lo, hi int64, ok bool) {
+	e := s.EvalParams(params)
+	lo, hi = e.Const, e.Const
+	// Deterministic iteration for reproducible diagnostics.
+	iters := make([]string, 0, len(e.Iters))
+	for it := range e.Iters {
+		iters = append(iters, it)
+	}
+	sort.Strings(iters)
+	for _, it := range iters {
+		c := e.Iters[it]
+		if c == 0 {
+			continue
+		}
+		idx := n.LoopIndex(it)
+		if idx < 0 {
+			return 0, 0, false
+		}
+		l := n.Loops[idx]
+		itLo := l.Lower.Eval(nil, params)
+		itHi := l.Upper.Eval(nil, params) - 1
+		if itHi < itLo {
+			return 0, 0, false
+		}
+		if c > 0 {
+			lo += c * itLo
+			hi += c * itHi
+		} else {
+			lo += c * itHi
+			hi += c * itLo
+		}
+	}
+	return lo, hi, true
+}

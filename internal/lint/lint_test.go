@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/parser"
+)
+
+var update = flag.Bool("update", false, "rewrite the .golden files")
+
+// TestGolden lints every testdata kernel and compares the rendered
+// diagnostics against the .golden file next to it. Run with -update to
+// regenerate after an intentional diagnostic change.
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.kdsl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata kernels")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k, err := parser.ParseNamed(string(src), filepath.Base(f))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			got := Render(Lint(k, nil))
+			golden := strings.TrimSuffix(f, ".kdsl") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenShipped lints the repo's shipped example kernels
+// (testdata/kernels at the module root) against goldens, pinning that
+// the shipped examples stay clean.
+func TestGoldenShipped(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "kernels", "*.kdsl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no shipped kernels")
+	}
+	for _, f := range files {
+		f := f
+		base := strings.TrimSuffix(filepath.Base(f), ".kdsl")
+		t.Run(base, func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k, err := parser.ParseNamed(string(src), filepath.Base(f))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			diags := Lint(k, nil)
+			got := Render(diags)
+			if HasErrors(diags) {
+				t.Errorf("shipped kernel has error diagnostics:\n%s", got)
+			}
+			golden := filepath.Join("testdata", "shipped_"+base+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestCatalogClean pins that no built-in benchmark kernel carries an
+// Error-severity diagnostic (the lint gate's invariant).
+func TestCatalogClean(t *testing.T) {
+	for _, name := range affine.Catalog() {
+		k := affine.MustLookup(name)
+		if diags := Lint(k, nil); HasErrors(diags) {
+			t.Errorf("%s:\n%s", name, Render(diags))
+		}
+	}
+}
+
+func hasCode(diags []Diag, code string) bool {
+	for _, d := range diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// Malformed kernels cannot be written in the DSL (the parser validates),
+// so the structural checks are exercised on hand-assembled kernels.
+
+func TestUndeclaredIteratorAndArray(t *testing.T) {
+	k := &affine.Kernel{
+		Name:   "bad",
+		Params: map[string]int64{"N": 16},
+		Arrays: []affine.Array{{Name: "A", Dims: []affine.Expr{affine.NewParam("N")}}},
+		Nests: []affine.Nest{{
+			Name:  "n",
+			Loops: []affine.Loop{{Name: "i", Upper: affine.NewParam("N")}},
+			Body: []affine.Statement{{
+				Name: "S0",
+				Refs: []affine.Ref{
+					{Array: "A", Subscripts: []affine.Expr{affine.NewIter("q")}, Write: true},
+					{Array: "Ghost", Subscripts: []affine.Expr{affine.NewIter("i")}},
+				},
+			}},
+		}},
+	}
+	diags := Lint(k, nil)
+	if !hasCode(diags, CodeUndeclaredIterator) {
+		t.Errorf("missing %s in:\n%s", CodeUndeclaredIterator, Render(diags))
+	}
+	if !hasCode(diags, CodeUndeclaredArray) {
+		t.Errorf("missing %s in:\n%s", CodeUndeclaredArray, Render(diags))
+	}
+	if !HasErrors(diags) {
+		t.Error("expected error severity")
+	}
+}
+
+func TestDuplicateIteratorAndRank(t *testing.T) {
+	k := &affine.Kernel{
+		Name:   "bad",
+		Params: map[string]int64{"N": 16},
+		Arrays: []affine.Array{{Name: "A", Dims: []affine.Expr{affine.NewParam("N"), affine.NewParam("N")}}},
+		Nests: []affine.Nest{{
+			Name: "n",
+			Loops: []affine.Loop{
+				{Name: "i", Upper: affine.NewParam("N")},
+				{Name: "i", Upper: affine.NewParam("N")},
+			},
+			Body: []affine.Statement{{
+				Name: "S0",
+				Refs: []affine.Ref{{Array: "A", Subscripts: []affine.Expr{affine.NewIter("i")}, Write: true}},
+			}},
+		}},
+	}
+	diags := Lint(k, nil)
+	if !hasCode(diags, CodeDuplicateIterator) {
+		t.Errorf("missing %s in:\n%s", CodeDuplicateIterator, Render(diags))
+	}
+	if !hasCode(diags, CodeRankMismatch) {
+		t.Errorf("missing %s in:\n%s", CodeRankMismatch, Render(diags))
+	}
+}
+
+func TestZeroCoefficientAndUndeclaredParam(t *testing.T) {
+	k := &affine.Kernel{
+		Name:   "bad",
+		Params: map[string]int64{"N": 16},
+		Arrays: []affine.Array{{Name: "A", Dims: []affine.Expr{affine.NewParam("N")}}},
+		Nests: []affine.Nest{{
+			Name:  "n",
+			Loops: []affine.Loop{{Name: "i", Upper: affine.NewParam("M")}},
+			Body: []affine.Statement{{
+				Name: "S0",
+				Refs: []affine.Ref{{
+					Array:      "A",
+					Subscripts: []affine.Expr{{Iters: map[string]int64{"i": 0}}},
+					Write:      true,
+				}},
+			}},
+		}},
+	}
+	diags := Lint(k, nil)
+	if !hasCode(diags, CodeZeroCoefficient) {
+		t.Errorf("missing %s in:\n%s", CodeZeroCoefficient, Render(diags))
+	}
+	if !hasCode(diags, CodeUndeclaredParam) {
+		t.Errorf("missing %s in:\n%s", CodeUndeclaredParam, Render(diags))
+	}
+}
+
+func TestOutOfBoundsNegative(t *testing.T) {
+	// A[i-1] reaches -1: provably below the array.
+	k := &affine.Kernel{
+		Name:   "neg",
+		Params: map[string]int64{"N": 16},
+		Arrays: []affine.Array{{Name: "A", Dims: []affine.Expr{affine.NewParam("N")}}},
+		Nests: []affine.Nest{{
+			Name:  "n",
+			Loops: []affine.Loop{{Name: "i", Upper: affine.NewParam("N")}},
+			Body: []affine.Statement{{
+				Name: "S0",
+				Refs: []affine.Ref{{
+					Array:      "A",
+					Subscripts: []affine.Expr{affine.NewIter("i").AddConst(-1)},
+					Write:      true,
+				}},
+			}},
+		}},
+	}
+	if diags := Lint(k, nil); !hasCode(diags, CodeOutOfBounds) {
+		t.Errorf("missing %s in:\n%s", CodeOutOfBounds, Render(diags))
+	}
+}
+
+// TestBoundsRespectParams pins that the interval evaluation uses the
+// caller's params: the same kernel is clean at N=16 against extent 32
+// but out of bounds at N=64.
+func TestBoundsRespectParams(t *testing.T) {
+	k := &affine.Kernel{
+		Name:   "p",
+		Params: map[string]int64{"N": 16},
+		Arrays: []affine.Array{{Name: "A", Dims: []affine.Expr{affine.NewConst(32)}}},
+		Nests: []affine.Nest{{
+			Name:  "n",
+			Loops: []affine.Loop{{Name: "i", Upper: affine.NewParam("N")}},
+			Body: []affine.Statement{{
+				Name: "S0",
+				Refs: []affine.Ref{{Array: "A", Subscripts: []affine.Expr{affine.NewIter("i")}, Write: true}},
+			}},
+		}},
+	}
+	if diags := Lint(k, nil); hasCode(diags, CodeOutOfBounds) {
+		t.Errorf("unexpected %s at N=16:\n%s", CodeOutOfBounds, Render(diags))
+	}
+	if diags := Lint(k, map[string]int64{"N": 64}); !hasCode(diags, CodeOutOfBounds) {
+		t.Error("expected out-of-bounds at N=64")
+	}
+}
+
+func TestNilKernel(t *testing.T) {
+	if diags := Lint(nil, nil); diags != nil {
+		t.Errorf("Lint(nil) = %v, want nil", diags)
+	}
+}

@@ -48,6 +48,12 @@ func now() time.Time {
 	return fn()
 }
 
+// Now returns the current time from the layer's swappable clock. The
+// pipeline packages use it instead of calling time.Now directly (a
+// project invariant enforced by tools/selfcheck), so wall-clock reads in
+// solver and selection timings honor SetClock overrides in tests.
+func Now() time.Time { return now() }
+
 // SetClock overrides the time source used for span timestamps. Passing
 // nil restores time.Now. Intended for golden tests.
 func SetClock(fn func() time.Time) {

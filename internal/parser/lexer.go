@@ -70,12 +70,19 @@ func newLexer(src string) *lexer {
 
 // Error is a parse or lex error with position information.
 type Error struct {
+	// File names the source for rendering ("kernel DSL" when parsed
+	// from an anonymous string — see ParseNamed).
+	File      string
 	Line, Col int
 	Msg       string
 }
 
 func (e *Error) Error() string {
-	return fmt.Sprintf("kernel DSL:%d:%d: %s", e.Line, e.Col, e.Msg)
+	file := e.File
+	if file == "" {
+		file = "kernel DSL"
+	}
+	return fmt.Sprintf("%s:%d:%d: %s", file, e.Line, e.Col, e.Msg)
 }
 
 func (lx *lexer) errorf(format string, args ...interface{}) error {

@@ -8,7 +8,28 @@ import (
 )
 
 // Parse parses a kernel definition and returns the validated kernel.
+// Statements, references, loops, arrays and nests carry their source
+// positions (affine.Pos), so downstream diagnostics (internal/lint)
+// point at the offending DSL line.
 func Parse(src string) (*affine.Kernel, error) {
+	return ParseNamed(src, "")
+}
+
+// ParseNamed is Parse with a source name (typically the file path)
+// stamped into every positioned error, so parse failures render
+// "file:line:col: message". An empty name keeps the "kernel DSL" prefix.
+func ParseNamed(src, name string) (*affine.Kernel, error) {
+	k, err := parse(src)
+	if err != nil {
+		if perr, ok := err.(*Error); ok && name != "" && perr.File == "" {
+			perr.File = name
+		}
+		return nil, err
+	}
+	return k, nil
+}
+
+func parse(src string) (*affine.Kernel, error) {
 	toks, err := lexAll(src)
 	if err != nil {
 		return nil, err
@@ -53,6 +74,9 @@ func (p *parser) advance() token {
 func (p *parser) errorf(t token, format string, args ...interface{}) error {
 	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
 }
+
+// pos converts a token's position into the IR's position type.
+func pos(t token) affine.Pos { return affine.Pos{Line: t.line, Col: t.col} }
 
 // expectSymbol consumes the given symbol or fails.
 func (p *parser) expectSymbol(s string) error {
@@ -214,6 +238,7 @@ func (p *parser) paramSection(k *affine.Kernel) error {
 func (p *parser) arraySection(k *affine.Kernel) error {
 	p.advance() // 'array'
 	for {
+		at := p.cur()
 		name, err := p.ident()
 		if err != nil {
 			return err
@@ -236,7 +261,7 @@ func (p *parser) arraySection(k *affine.Kernel) error {
 		if len(dims) == 0 {
 			return p.errorf(p.cur(), "array %q has no dimensions", name)
 		}
-		k.Arrays = append(k.Arrays, affine.Array{Name: name, Dims: dims})
+		k.Arrays = append(k.Arrays, affine.Array{Name: name, Dims: dims, Pos: pos(at)})
 		if p.cur().kind == tokSymbol && p.cur().text == "," {
 			p.advance()
 			continue
@@ -264,6 +289,7 @@ func (p *parser) nestSection(k *affine.Kernel) error {
 	if err := p.expectKeyword("nest"); err != nil {
 		return err
 	}
+	nt := p.cur()
 	name, err := p.ident()
 	if err != nil {
 		return err
@@ -272,11 +298,12 @@ func (p *parser) nestSection(k *affine.Kernel) error {
 		return err
 	}
 
-	nest := affine.Nest{Name: name, Repeat: repeat}
+	nest := affine.Nest{Name: name, Repeat: repeat, Pos: pos(nt)}
 	p.iters = map[string]bool{}
 
 	// Loop headers.
 	for p.acceptKeyword("for") {
+		it := p.cur()
 		iter, err := p.ident()
 		if err != nil {
 			return err
@@ -300,7 +327,7 @@ func (p *parser) nestSection(k *affine.Kernel) error {
 		if err != nil {
 			return err
 		}
-		nest.Loops = append(nest.Loops, affine.Loop{Name: iter, Lower: lo, Upper: hi})
+		nest.Loops = append(nest.Loops, affine.Loop{Name: iter, Lower: lo, Upper: hi, Pos: pos(it)})
 		p.iters[iter] = true
 	}
 	if len(nest.Loops) == 0 {
@@ -338,11 +365,13 @@ func (p *parser) nestSection(k *affine.Kernel) error {
 // term      := ref | number
 func (p *parser) statement() (affine.Statement, error) {
 	var st affine.Statement
+	nt := p.cur()
 	name, err := p.ident()
 	if err != nil {
 		return st, err
 	}
 	st.Name = name
+	st.Pos = pos(nt)
 	if err := p.expectSymbol(":"); err != nil {
 		return st, err
 	}
@@ -431,12 +460,14 @@ func (p *parser) statement() (affine.Statement, error) {
 // arrayRef := name ("[" affineExpr "]")+
 func (p *parser) arrayRef(write bool) (affine.Ref, error) {
 	var r affine.Ref
+	nt := p.cur()
 	name, err := p.ident()
 	if err != nil {
 		return r, err
 	}
 	r.Array = name
 	r.Write = write
+	r.Pos = pos(nt)
 	if t := p.cur(); t.kind != tokSymbol || t.text != "[" {
 		return r, p.errorf(t, "expected '[' after array %q", name)
 	}

@@ -200,6 +200,65 @@ func TestErrorsCarryPositions(t *testing.T) {
 	}
 }
 
+// TestParseNamedStampsFile pins that ParseNamed renders errors as
+// "file:line:col: message" so diagnostics point at the source file.
+func TestParseNamedStampsFile(t *testing.T) {
+	src := "kernel k {\n  param N = \n}"
+	_, err := parser.ParseNamed(src, "bad.kdsl")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// The offending token is the closing brace: line 2 or 3 depending on
+	// where the lexer anchors it, but always file-prefixed.
+	if !strings.HasPrefix(err.Error(), "bad.kdsl:") {
+		t.Fatalf("error = %q, want bad.kdsl:<line>:<col>: prefix", err)
+	}
+	// Anonymous parses keep the generic prefix.
+	_, err = parser.Parse(src)
+	if err == nil || !strings.HasPrefix(err.Error(), "kernel DSL:") {
+		t.Fatalf("anonymous error = %v, want kernel DSL:<line>:<col>: prefix", err)
+	}
+}
+
+// TestParsedIRCarriesPositions pins that the parser threads source
+// positions onto every IR node class — arrays, nests, loops, statements
+// and references — so lint diagnostics can point into the DSL source.
+func TestParsedIRCarriesPositions(t *testing.T) {
+	k, err := parser.Parse(gemmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range k.Arrays {
+		if !a.Pos.IsValid() {
+			t.Errorf("array %s has no position", a.Name)
+		}
+	}
+	for _, n := range k.Nests {
+		if !n.Pos.IsValid() {
+			t.Errorf("nest %s has no position", n.Name)
+		}
+		for _, l := range n.Loops {
+			if !l.Pos.IsValid() {
+				t.Errorf("loop %s has no position", l.Name)
+			}
+		}
+		for _, s := range n.Body {
+			if !s.Pos.IsValid() {
+				t.Errorf("statement %s has no position", s.Name)
+			}
+			for _, r := range s.Refs {
+				if !r.Pos.IsValid() {
+					t.Errorf("ref %s has no position", r.String())
+				}
+			}
+		}
+	}
+	// Builder-constructed kernels carry the zero position by design.
+	if affine.MustLookup("gemm").Nests[0].Pos.IsValid() {
+		t.Error("builder kernel unexpectedly carries a source position")
+	}
+}
+
 func TestCommentsAndWhitespace(t *testing.T) {
 	src := `
 // line comment

@@ -9,6 +9,7 @@ package smt
 
 import (
 	"fmt"
+	"math/big"
 	"strings"
 )
 
@@ -19,6 +20,10 @@ type Var int
 type Expr interface {
 	// Eval evaluates the expression under a complete assignment.
 	Eval(m Model) int64
+	// EvalBig evaluates the expression under a complete assignment in
+	// arbitrary precision, so an independent checker (internal/verify)
+	// can re-decide constraints without inheriting Eval's int64 wrap.
+	EvalBig(m Model) *big.Int
 	// Bounds returns a conservative interval of the expression's value
 	// given per-variable bounds.
 	Bounds(lo, hi []int64) Interval
@@ -39,13 +44,15 @@ func (m Model) Value(v Var) int64 { return m[v] }
 type constExpr struct{ v int64 }
 
 func (c constExpr) Eval(Model) int64             { return c.v }
+func (c constExpr) EvalBig(Model) *big.Int       { return big.NewInt(c.v) }
 func (c constExpr) Bounds(_, _ []int64) Interval { return Interval{c.v, c.v} }
 func (c constExpr) CollectVars(map[Var]bool)     {}
 func (c constExpr) render(_ []string) string     { return fmt.Sprintf("%d", c.v) }
 
 type varExpr struct{ v Var }
 
-func (e varExpr) Eval(m Model) int64 { return m[e.v] }
+func (e varExpr) Eval(m Model) int64       { return m[e.v] }
+func (e varExpr) EvalBig(m Model) *big.Int { return big.NewInt(m[e.v]) }
 func (e varExpr) Bounds(lo, hi []int64) Interval {
 	return Interval{lo[e.v], hi[e.v]}
 }
@@ -58,6 +65,13 @@ func (e sumExpr) Eval(m Model) int64 {
 	var s int64
 	for _, t := range e.terms {
 		s += t.Eval(m)
+	}
+	return s
+}
+func (e sumExpr) EvalBig(m Model) *big.Int {
+	s := new(big.Int)
+	for _, t := range e.terms {
+		s.Add(s, t.EvalBig(m))
 	}
 	return s
 }
@@ -87,6 +101,13 @@ func (e mulExpr) Eval(m Model) int64 {
 	p := int64(1)
 	for _, f := range e.factors {
 		p *= f.Eval(m)
+	}
+	return p
+}
+func (e mulExpr) EvalBig(m Model) *big.Int {
+	p := big.NewInt(1)
+	for _, f := range e.factors {
+		p.Mul(p, f.EvalBig(m))
 	}
 	return p
 }
@@ -197,6 +218,35 @@ func (c Constraint) Holds(m Model) bool {
 	default:
 		return l != r
 	}
+}
+
+// HoldsBig decides the constraint under a complete model in arbitrary
+// precision. It is the certification path (internal/verify): where Eval
+// could wrap int64 on adversarial formulations, HoldsBig cannot, so a
+// disagreement between Holds and HoldsBig exposes overflow in the solver
+// arithmetic rather than hiding it.
+func (c Constraint) HoldsBig(m Model) bool {
+	cmp := c.L.EvalBig(m).Cmp(c.R.EvalBig(m))
+	switch c.Op {
+	case LE:
+		return cmp <= 0
+	case LT:
+		return cmp < 0
+	case GE:
+		return cmp >= 0
+	case GT:
+		return cmp > 0
+	case EQ:
+		return cmp == 0
+	default:
+		return cmp != 0
+	}
+}
+
+// Render returns the constraint in the problem's SMT-LIB-flavored form,
+// resolving variable names through the owning problem.
+func (c Constraint) Render(p *Problem) string {
+	return fmt.Sprintf("(%s %s %s)", c.Op, c.L.render(p.names), c.R.render(p.names))
 }
 
 // feasible reports whether the constraint can possibly hold given variable

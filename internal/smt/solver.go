@@ -186,7 +186,7 @@ func (s *Solver) SolveCtx(ctx context.Context) (Model, bool) {
 	if ctx.Done() != nil && ctx.Err() != nil {
 		return nil, false
 	}
-	start := time.Now()
+	start := obs.Now()
 	s.Stats.SolverCalls++
 	mSolveCalls.Add(1)
 	nodes0, viol0, intv0 := s.Stats.Nodes, s.Stats.PruneViolated, s.Stats.PruneInterval
@@ -199,7 +199,7 @@ func (s *Solver) SolveCtx(ctx context.Context) (Model, bool) {
 		depthCounts []int64
 	)
 	defer func() {
-		s.Stats.Elapsed += time.Since(start)
+		s.Stats.Elapsed += obs.Now().Sub(start)
 		mNodes.Add(s.Stats.Nodes - nodes0)
 		mPruneViolated.Add(s.Stats.PruneViolated - viol0)
 		mPruneInterval.Add(s.Stats.PruneInterval - intv0)
@@ -405,7 +405,7 @@ func (s *Solver) noteIncumbent(round int, val int64, start time.Time) {
 		Round:     round,
 		Objective: val,
 		Nodes:     s.Stats.Nodes,
-		Elapsed:   time.Since(start),
+		Elapsed:   obs.Now().Sub(start),
 	})
 	mIncumbent.Set(float64(val))
 	obs.SetIncumbent(s.Name, int64(round), val)
@@ -427,7 +427,7 @@ func (s *Solver) Maximize(obj Expr) (best Model, bestVal int64, ok bool) {
 // far with ok=true; callers wanting strict interruption semantics check
 // ctx.Err() afterwards.
 func (s *Solver) MaximizeCtx(ctx context.Context, obj Expr) (best Model, bestVal int64, ok bool) {
-	start := time.Now()
+	start := obs.Now()
 	s.Stats.Incumbents = nil
 	s.extra = nil
 	s.descend = false
@@ -528,7 +528,7 @@ func (s *Solver) MaximizeBinary(obj Expr) (best Model, bestVal int64, ok bool) {
 // MaximizeBinaryCtx is MaximizeBinary with the caller's context threaded
 // through (see MaximizeCtx for the cancellation semantics).
 func (s *Solver) MaximizeBinaryCtx(ctx context.Context, obj Expr) (best Model, bestVal int64, ok bool) {
-	start := time.Now()
+	start := obs.Now()
 	s.Stats.Incumbents = nil
 	s.extra = nil
 	s.descend = false

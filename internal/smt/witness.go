@@ -1,0 +1,40 @@
+package smt
+
+// Witness packages a solved problem together with the model the solver
+// returned and the name->variable index, so an independent checker
+// (internal/verify) can re-decide every constraint against the model
+// without re-running — or trusting — the search. The Problem inside a
+// witness is the exact object the solver decided, including any
+// constraints appended after the main solve (e.g. the objective-pinning
+// equality of the shrink pass); the final model satisfies all of them.
+type Witness struct {
+	Problem *Problem
+	Model   Model
+	// Vars maps declared variable names (e.g. "T_i") to their indices.
+	Vars map[string]Var
+}
+
+// Cons returns a copy of the problem's constraint list, for checkers
+// that re-evaluate the conjunction term by term.
+func (p *Problem) Cons() []Constraint {
+	return append([]Constraint(nil), p.cons...)
+}
+
+// InDomain reports whether value v is in the declared candidate domain
+// of the variable (binary search over the sorted domain).
+func (p *Problem) InDomain(x Var, v int64) bool {
+	d := p.domains[x]
+	lo, hi := 0, len(d)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case d[mid] == v:
+			return true
+		case d[mid] < v:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
+}

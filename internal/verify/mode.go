@@ -1,0 +1,60 @@
+package verify
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Mode selects how often the pipeline certifies its own results.
+type Mode int
+
+const (
+	// Off skips certification (the default: the solver and mapper are
+	// trusted).
+	Off Mode = iota
+	// Sample certifies a deterministic 1-in-8 subset of results, keyed by
+	// the configuration string — cheap enough to leave on in sweeps.
+	Sample
+	// All certifies every result.
+	All
+)
+
+func (m Mode) String() string {
+	switch m {
+	case All:
+		return "all"
+	case Sample:
+		return "sample"
+	default:
+		return "off"
+	}
+}
+
+// ParseMode parses "off", "sample" or "all".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off", "":
+		return Off, nil
+	case "sample":
+		return Sample, nil
+	case "all":
+		return All, nil
+	}
+	return Off, fmt.Errorf("verify: unknown mode %q (want off, sample or all)", s)
+}
+
+// ShouldVerify reports whether a result identified by key is certified
+// under the mode. Sample mode hashes the key (FNV-1a) so the same
+// configuration is always either in or out of the sample — sweeps stay
+// deterministic and memoization-safe.
+func (m Mode) ShouldVerify(key string) bool {
+	switch m {
+	case All:
+		return true
+	case Sample:
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		return h.Sum64()%8 == 0
+	}
+	return false
+}

@@ -7,6 +7,7 @@ package eatss_test
 // shapes no catalog entry has.
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -46,26 +47,51 @@ func TestRandomKernelsThroughPipeline(t *testing.T) {
 			t.Fatalf("seed %d: scheduling broke the kernel: %v", seed, err)
 		}
 
+		// Lint oracle: a generator kernel that passes Validate must lint
+		// without panicking and without Error-severity findings (warnings
+		// — dead iterators, uncoalescable patterns — are expected on
+		// random shapes).
+		if diags := eatss.Lint(k, nil); eatss.LintHasErrors(diags) {
+			t.Fatalf("seed %d: valid kernel has lint errors:\n%s\nkernel:\n%s",
+				seed, eatss.RenderDiags(diags), k)
+		}
+
 		// EATSS with warp-fraction fallback; nests without parallel loops
-		// are legitimately rejected.
-		var tiles map[string]int64
+		// are legitimately rejected. Every accepted selection must pass
+		// independent certification (the verify oracle) — both inside the
+		// solve (Verify=All) and post-hoc.
+		var sel *eatss.Selection
 		for _, wf := range eatss.WarpFractions {
-			sel, err := eatss.SelectTiles(k, g, eatss.Options{
+			s, err := eatss.SelectTiles(k, g, eatss.Options{
 				SplitFactor: 0.5, WarpFraction: wf,
 				Precision: eatss.FP64, ProblemSizeAware: true,
+				Verify: eatss.VerifyAll,
 			})
 			if err == nil {
-				tiles = sel.Tiles
+				sel = s
 				break
 			}
 		}
-		if tiles == nil {
+		if sel == nil {
 			continue
 		}
 		solved++
+		if err := eatss.Certify(k, g, sel); err != nil {
+			t.Fatalf("seed %d: accepted selection failed certification: %v\nkernel:\n%s", seed, err, k)
+		}
+		tiles := sel.Tiles
 
-		res, err := eatss.Run(k, g, tiles, eatss.RunConfig{UseShared: true, Precision: eatss.FP64})
+		res, err := eatss.Run(k, g, tiles, eatss.RunConfig{
+			UseShared: true, Precision: eatss.FP64, Verify: eatss.VerifyAll,
+		})
 		if err != nil {
+			// Failing to map (execution-model limits) is a legitimate
+			// outcome on random shapes; a certification Violation on a
+			// mapping that WAS produced is always a bug.
+			var v *eatss.Violation
+			if errors.As(err, &v) {
+				t.Fatalf("seed %d: compiled mapping failed certification: %v\nkernel:\n%s", seed, err, k)
+			}
 			continue
 		}
 		mapped++

@@ -8,7 +8,9 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/gpusim"
+	"repro/internal/lint"
 	"repro/internal/ppcg"
+	"repro/internal/verify"
 )
 
 // Program is the staged-compilation artifact: everything about a
@@ -88,6 +90,12 @@ func (p *Program) SelectTilesCtx(ctx context.Context, g *GPU, opts Options) (*Se
 // DefaultTiles returns PPCG's default 32^d configuration for the
 // Program's kernel.
 func (p *Program) DefaultTiles() map[string]int64 { return ppcg.DefaultTiles(p.prog.Kernel) }
+
+// Lint diagnoses the Program's kernel under its resolved problem sizes
+// (see the package-level Lint). A validated kernel can still carry
+// Warning-severity findings — dead arrays, uncoalescable access
+// patterns, empty domains under these problem sizes.
+func (p *Program) Lint() []Diag { return lint.Lint(p.prog.Kernel, p.prog.Params) }
 
 // Compile maps a tile choice onto the GPU (the PPCG step), reusing the
 // staged analysis. cfg.Params may override the Program's problem sizes
@@ -183,6 +191,12 @@ func compileAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, tiles 
 			if err := mn.ApplyRegisterTiling(cfg.RegTile, g.RegsPerThread); err != nil {
 				mk.RegTileFallbacks++
 			}
+		}
+	}
+	if cfg.Verify.ShouldVerify(prog.Fingerprint() + "|" + g.Name + "|" + tileKey(tiles)) {
+		if err := verify.CertifyKernel(mk, g); err != nil {
+			return nil, fmt.Errorf("eatss: compiled mapping for %s on %s failed certification: %w",
+				prog.Kernel.Name, g.Name, err)
 		}
 	}
 	return mk, nil

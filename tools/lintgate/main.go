@@ -1,0 +1,73 @@
+// Command lintgate runs the kernel linter (internal/lint) over every
+// kernel the repo ships — the built-in benchmark catalog and the DSL
+// files under testdata/kernels — and fails when any kernel carries an
+// Error-severity diagnostic. Warnings are printed but do not fail the
+// gate (some catalog kernels legitimately warn, e.g. single-iteration
+// batch loops). Run via `make lint-gate`.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/affine"
+	"repro/internal/lint"
+	"repro/internal/parser"
+)
+
+func main() {
+	dir := "testdata/kernels"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	errs := 0
+	warns := 0
+
+	report := func(source string, diags []lint.Diag) {
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", source, d)
+			switch d.Severity {
+			case lint.Error:
+				errs++
+			case lint.Warning:
+				warns++
+			}
+		}
+	}
+
+	names := affine.Catalog()
+	sort.Strings(names)
+	for _, name := range names {
+		k := affine.MustLookup(name)
+		report("catalog/"+name, lint.Lint(k, nil))
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.kdsl"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintgate:", err)
+		os.Exit(2)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintgate:", err)
+			os.Exit(2)
+		}
+		k, err := parser.ParseNamed(string(src), f)
+		if err != nil {
+			fmt.Printf("%s: parse error: %v\n", f, err)
+			errs++
+			continue
+		}
+		report(f, lint.Lint(k, nil))
+	}
+
+	fmt.Printf("lintgate: %d kernel(s) checked, %d error(s), %d warning(s)\n",
+		len(names)+len(files), errs, warns)
+	if errs > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,347 @@
+// Command selfcheck is the repo's self-lint: a stdlib-only static
+// analyzer (go/ast + go/parser) enforcing project invariants that `go
+// vet` cannot express:
+//
+//	R1  every span opened with obs.Start / obs.BeginSweep in a function
+//	    is closed there — an End()/Finish() call on the span variable
+//	    (including inside defers and closures) — or deliberately escapes
+//	    (returned, stored, or passed on);
+//	R2  every exported function whose name ends in "Ctx" and takes a
+//	    context.Context actually uses it (the ...Ctx naming contract:
+//	    the suffix promises the context is threaded through);
+//	R3  no internal/ package reads the wall clock via time.Now outside
+//	    internal/obs/** and internal/bench/** — pipeline code must use
+//	    obs.Now() so tests can swap the clock (obs.SetClock).
+//
+// Test files and testdata are exempt. Run via `make selfcheck`; exits
+// nonzero when any rule fires.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type finding struct {
+	pos  token.Position
+	rule string
+	msg  string
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var findings []finding
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || name == ".git" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		file, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			findings = append(findings, finding{
+				pos: token.Position{Filename: path}, rule: "parse", msg: perr.Error()})
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			rel = path
+		}
+		findings = append(findings, checkFile(fset, file, filepath.ToSlash(rel))...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selfcheck:", err)
+		os.Exit(2)
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].pos, findings[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d: [%s] %s\n", f.pos.Filename, f.pos.Line, f.rule, f.msg)
+	}
+	if len(findings) > 0 {
+		fmt.Printf("selfcheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Println("selfcheck: ok")
+}
+
+func checkFile(fset *token.FileSet, file *ast.File, rel string) []finding {
+	var out []finding
+	// Resolve the local names of the obs, time and context imports —
+	// rules must survive import aliasing.
+	obsName, timeName := "", "time"
+	for _, imp := range file.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		local := ""
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		switch p {
+		case "repro/internal/obs":
+			obsName = "obs"
+			if local != "" {
+				obsName = local
+			}
+		case "time":
+			timeName = "time"
+			if local != "" {
+				timeName = local
+			}
+		}
+	}
+
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		if obsName != "" {
+			out = append(out, checkSpanPairing(fset, fn, obsName, rel)...)
+		}
+		out = append(out, checkCtxContract(fset, fn, rel)...)
+	}
+	if timeRestricted(rel) {
+		out = append(out, checkTimeNow(fset, file, timeName, rel)...)
+	}
+	return out
+}
+
+// timeRestricted reports whether the file is under internal/ but outside
+// the packages allowed to read the wall clock directly.
+func timeRestricted(rel string) bool {
+	if !strings.Contains(rel, "internal/") {
+		return false
+	}
+	for _, allowed := range []string{"internal/obs/", "internal/bench/"} {
+		if strings.Contains(rel, allowed) {
+			return false
+		}
+	}
+	return true
+}
+
+// spanOpeners are the obs calls that return something requiring an
+// explicit close, mapped to the closing method name.
+var spanOpeners = map[string]string{
+	"Start":      "End",    // obs.Start(ctx, name) -> (ctx, *Span); Span needs End
+	"BeginSweep": "Finish", // obs.BeginSweep(...) -> *SweepProgress; needs Finish
+}
+
+// checkSpanPairing implements R1 for one function.
+func checkSpanPairing(fset *token.FileSet, fn *ast.FuncDecl, obsName, rel string) []finding {
+	var out []finding
+	type opened struct {
+		name  string // local variable bound to the span
+		close string // required closing method
+		pos   token.Pos
+	}
+	var spans []opened
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != obsName {
+			return true
+		}
+		closeName, ok := spanOpeners[sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		// The span is the last value on the left (obs.Start returns
+		// (ctx, span); obs.BeginSweep returns the progress alone).
+		tgt := as.Lhs[len(as.Lhs)-1]
+		id, ok := tgt.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			out = append(out, finding{
+				pos:  fset.Position(call.Pos()),
+				rule: "R1",
+				msg: fmt.Sprintf("%s.%s result discarded; the span is never closed",
+					obsName, sel.Sel.Name),
+			})
+			return true
+		}
+		spans = append(spans, opened{name: id.Name, close: closeName, pos: call.Pos()})
+		return true
+	})
+
+	for _, sp := range spans {
+		if spanClosedOrEscapes(fn.Body, sp.name, sp.close) {
+			continue
+		}
+		out = append(out, finding{
+			pos:  fset.Position(sp.pos),
+			rule: "R1",
+			msg: fmt.Sprintf("span %q opened here has no %s() call in this function and does not escape",
+				sp.name, sp.close),
+		})
+	}
+	return out
+}
+
+// spanClosedOrEscapes reports whether the function body contains
+// name.close() anywhere (including defers and closures), or lets the
+// value escape: returned, passed as a call argument, stored into a
+// field/map/slice, or reassigned.
+func spanClosedOrEscapes(body *ast.BlockStmt, name, close string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == name && sel.Sel.Name == close {
+					found = true
+					return false
+				}
+			}
+			for _, arg := range n.Args {
+				if isIdent(arg, name) {
+					found = true // escapes into the callee
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if isIdent(r, name) {
+					found = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				if isIdent(r, name) {
+					found = true // stored somewhere else
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if isIdent(el, name) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// checkCtxContract implements R2 for one function.
+func checkCtxContract(fset *token.FileSet, fn *ast.FuncDecl, rel string) []finding {
+	if !fn.Name.IsExported() || !strings.HasSuffix(fn.Name.Name, "Ctx") {
+		return nil
+	}
+	// Find a parameter of type context.Context.
+	var ctxParam string
+	for _, field := range fn.Type.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "context" {
+			continue
+		}
+		for _, n := range field.Names {
+			ctxParam = n.Name
+		}
+		if len(field.Names) == 0 {
+			ctxParam = "_"
+		}
+	}
+	if ctxParam == "" {
+		return nil // no context parameter; the suffix is a misnomer but not this rule's business
+	}
+	if ctxParam == "_" {
+		return []finding{{
+			pos:  fset.Position(fn.Pos()),
+			rule: "R2",
+			msg:  fmt.Sprintf("%s discards its context.Context parameter", fn.Name.Name),
+		}}
+	}
+	used := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == ctxParam {
+			used = true
+		}
+		return !used
+	})
+	if !used {
+		return []finding{{
+			pos:  fset.Position(fn.Pos()),
+			rule: "R2",
+			msg:  fmt.Sprintf("%s never uses its context parameter %q", fn.Name.Name, ctxParam),
+		}}
+	}
+	return nil
+}
+
+// checkTimeNow implements R3 for one restricted file.
+func checkTimeNow(fset *token.FileSet, file *ast.File, timeName, rel string) []finding {
+	var out []finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != timeName {
+			return true
+		}
+		out = append(out, finding{
+			pos:  fset.Position(sel.Pos()),
+			rule: "R3",
+			msg:  "internal package reads time.Now directly; use obs.Now() so tests can swap the clock",
+		})
+		return true
+	})
+	return out
+}
