@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race sweep-race sweep-bench analysis-bench obs-bench lint-gate selfcheck check clean
+.PHONY: all vet build test race sweep-race sweep-bench analysis-bench obs-bench bench-guard profile-demo lint-gate selfcheck check clean
 
 all: check
 
@@ -37,12 +37,30 @@ analysis-bench:
 	$(GO) run ./cmd/analysisbench -out BENCH_analysis.json
 
 # obs-bench guards the observability layer's disabled-path cost: the
-# allocs/op checks proving that spans, metrics, slog output, the live
-# sweep progress and the flight recorder all cost zero allocations (and
-# take no locks) on the hot path when observability is off. A regression
+# allocs/op checks proving that spans, metrics (counters, gauges and the
+# sweep/solver latency histograms), slog output, the live sweep progress
+# and the flight recorder all cost zero allocations (and take no locks)
+# on the hot path when observability is off — and that histogram
+# observation stays allocation-free even when it is on. A regression
 # here taxes every sweep evaluation, so it runs as part of `check`.
 obs-bench:
-	$(GO) test -count=1 -run 'TestObsOverhead|TestLiveObsOverheadDisabled|TestDisabledRecorderDropsAndDoesNotAllocate|TestEnabledRecordDoesNotAllocate' ./internal/obs ./internal/obs/flight
+	$(GO) test -count=1 -run 'TestObsOverhead|TestHistogramObserveEnabledDoesNotAllocate|TestLiveObsOverheadDisabled|TestDisabledRecorderDropsAndDoesNotAllocate|TestEnabledRecordDoesNotAllocate' ./internal/obs ./internal/obs/flight
+
+# bench-guard replays the BENCH_*.json files just written by the bench
+# targets against BENCH_history.jsonl: a guarded metric (per-point
+# latency, points/sec, speedup) regressing more than 15% against the
+# median of comparable history (same file/kernel/points/GOMAXPROCS/host)
+# fails the gate. Passing runs are appended to the history so the
+# baseline tracks the trajectory.
+bench-guard:
+	$(GO) run ./cmd/benchguard
+
+# profile-demo exercises the energy attribution profiler end to end on
+# the paper's worked example: per-nest/per-array/per-level breakdown,
+# the "why best beats ppcg-default" diff, and the sweep-surface export
+# (PROFILE_gemm.json + SURFACE_gemm.csv are CI artifacts, not committed).
+profile-demo:
+	$(GO) run ./cmd/eatss -kernel gemm -best -profile -profile-out PROFILE_gemm.json -surface SURFACE_gemm.csv
 
 # lint-gate runs the kernel linter (internal/lint) over the built-in
 # catalog and every shipped DSL kernel, failing on any error-severity
@@ -61,10 +79,11 @@ selfcheck:
 # check is the gate a change must pass before it lands: static analysis
 # (go vet plus the repo's own selfcheck analyzer), a full build, the
 # kernel lint gate, the sweep-engine race gate, the staged-compilation
-# parity/benchmark gate, the zero-cost-observability guard, and the full
-# test suite under the race detector.
-check: vet build selfcheck lint-gate sweep-race analysis-bench obs-bench race
+# parity/benchmark gate, the benchmark regression guard over the BENCH
+# history, the zero-cost-observability guard, the attribution-profiler
+# demo, and the full test suite under the race detector.
+check: vet build selfcheck lint-gate sweep-race analysis-bench bench-guard obs-bench profile-demo race
 
 clean:
 	$(GO) clean ./...
-	rm -f trace.json
+	rm -f trace.json PROFILE_gemm.json SURFACE_gemm.csv

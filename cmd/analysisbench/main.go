@@ -13,23 +13,25 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
 	"reflect"
 	"time"
 
 	"repro/internal/affine"
 	"repro/internal/analysis"
 	"repro/internal/arch"
+	"repro/internal/bench"
 	"repro/internal/cli"
 	"repro/internal/codegen"
 	"repro/internal/gpusim"
 	"repro/internal/ppcg"
 )
 
-// report is the JSON schema of BENCH_analysis.json.
+// report is the JSON schema of BENCH_analysis.json: the shared bench
+// envelope (schema version, gomaxprocs, workers, host, git commit)
+// plus the staging-specific figures. Both walks are single-threaded,
+// so the envelope's workers is always 1.
 type report struct {
 	Kernel           string  `json:"kernel"`
 	GPU              string  `json:"gpu"`
@@ -40,7 +42,7 @@ type report struct {
 	FreshPerPointUS  float64 `json:"fresh_per_point_us"`
 	StagedPerPointUS float64 `json:"staged_per_point_us"`
 	Identical        bool    `json:"results_identical"`
-	GeneratedAt      string  `json:"generated_at"`
+	bench.Meta
 }
 
 func main() {
@@ -109,14 +111,9 @@ func main() {
 		FreshPerPointUS:  1e6 * freshSec / float64(len(space)),
 		StagedPerPointUS: 1e6 * stagedSec / float64(len(space)),
 		Identical:        reflect.DeepEqual(freshRes, stagedRes),
-		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+		Meta:             bench.NewMeta(1),
 	}
-	buf, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+	if err := bench.WriteJSON(*outPath, r); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("analysisbench: %s on %s, %d points: fresh %.2fs (%.0fus/pt) -> staged %.2fs (%.0fus/pt), %.2fx, identical=%t\n",

@@ -13,9 +13,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	eatss "repro"
 
@@ -35,6 +38,10 @@ func main() {
 	dumpModel := flag.Bool("dump-model", false, "print the generated formulation")
 	explain := flag.Bool("explain", false, "print per-constraint usage and binding constraints")
 	showPower := flag.Bool("power", false, "print the average power breakdown")
+	profileFlag := flag.Bool("profile", false, "print the per-level/per-array energy attribution and the diff vs the PPCG default")
+	profileOut := flag.String("profile-out", "", "write the attribution profile as JSON to this file")
+	surfaceOut := flag.String("surface", "", "sweep the tile space and write the energy surface to this file (.csv = long-format points, else JSON with heatmap slices)")
+	surfaceSizes := flag.String("surface-sizes", "4,8,16,32,64", "comma-separated tile sizes enumerated per dimension by -surface")
 	cuda := flag.Bool("cuda", false, "print the generated CUDA-style code")
 	list := flag.Bool("list", false, "list available kernels")
 	lintFlag := flag.Bool("lint", false, "lint the kernel and exit (nonzero on error-severity findings)")
@@ -196,6 +203,8 @@ func main() {
 				c.Result.GFLOPS, c.Result.AvgPowerW, c.Result.EnergyJ, c.Result.PPW)
 		}
 		compareDefault(ctx, prog, g, params, b.Chosen.Result)
+		emitProfile(ctx, prog, g, params, b.Chosen.Selection, b.Chosen.Result, *profileFlag, *profileOut)
+		emitSurface(ctx, prog, g, params, prec, *surfaceSizes, *surfaceOut)
 		return
 	}
 
@@ -252,6 +261,8 @@ func main() {
 			b.Constant, b.Static, b.DynSM, b.DynL2, b.DynDRAM, b.DynShared, b.DynLive)
 	}
 	compareDefault(ctx, prog, g, params, res)
+	emitProfile(ctx, prog, g, params, sel, res, *profileFlag, *profileOut)
+	emitSurface(ctx, prog, g, params, prec, *surfaceSizes, *surfaceOut)
 }
 
 func compareDefault(ctx context.Context, prog *eatss.Program, g *eatss.GPU, params map[string]int64, res eatss.Result) {
@@ -264,6 +275,102 @@ func compareDefault(ctx context.Context, prog *eatss.Program, g *eatss.GPU, para
 	fmt.Printf("vs default PPCG (32^d): %.1f GFLOP/s  %.1f W  PPW %.2f  =>  %.2fx perf, %.2fx PPW, %.2fx energy\n",
 		def.GFLOPS, def.AvgPowerW, def.PPW,
 		res.GFLOPS/def.GFLOPS, res.PPW/def.PPW, res.EnergyJ/def.EnergyJ)
+}
+
+// emitProfile computes the energy attribution of the chosen
+// configuration and, as requested, prints the report (with the energy
+// explanation and the diff against the PPCG default) and/or writes the
+// profile JSON. The profile is also published to the live server's
+// /profile endpoint when -listen is active.
+func emitProfile(ctx context.Context, prog *eatss.Program, g *eatss.GPU, params map[string]int64, sel *eatss.Selection, res eatss.Result, show bool, outPath string) {
+	if !show && outPath == "" {
+		return
+	}
+	p, err := eatss.ProfileOf(&res, sel.Tiles)
+	if err != nil {
+		fatal(err)
+	}
+	eatss.PublishProfile(p)
+	if show {
+		fmt.Println("\n--- energy attribution ---")
+		fmt.Print(p.Render())
+		slacks, _ := prog.Explain(g, sel)
+		fmt.Println()
+		fmt.Print(eatss.ExplainEnergy(sel, slacks, p))
+		defTiles := prog.DefaultTiles()
+		def, err := prog.RunCtx(ctx, g, defTiles, eatss.RunConfig{
+			Params: params, UseShared: true, Precision: eatss.FP64,
+		})
+		if err == nil {
+			if pd, err := eatss.ProfileOf(&def, defTiles); err == nil {
+				pd.Label = "ppcg-default"
+				fmt.Println("\n--- profile diff (A=default, B=selected) ---")
+				fmt.Print(eatss.ProfileDiff(pd, p).Render())
+			}
+		}
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(p); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote attribution profile to %s\n", outPath)
+	}
+}
+
+// emitSurface sweeps the kernel's tile space over the -surface-sizes
+// grid and writes the energy surface: long-format CSV when the path
+// ends in .csv, JSON with heatmap slices otherwise.
+func emitSurface(ctx context.Context, prog *eatss.Program, g *eatss.GPU, params map[string]int64, prec eatss.Precision, sizesCSV, path string) {
+	if path == "" {
+		return
+	}
+	var sizes []int64
+	for _, part := range strings.Split(sizesCSV, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil || v < 1 {
+			fatal(fmt.Errorf("bad -surface-sizes entry %q", part))
+		}
+		sizes = append(sizes, v)
+	}
+	if len(sizes) == 0 {
+		fatal(fmt.Errorf("-surface-sizes is empty"))
+	}
+	space := prog.Space(sizes)
+	pts, stats := prog.ExploreSpaceOpt(ctx, g, space, eatss.RunConfig{
+		Params: params, UseShared: true, Precision: prec,
+	}, eatss.SweepOptions{})
+	s := eatss.NewSweepSurface(prog.Kernel().Name, g.Name, pts)
+	eatss.PublishSweepSurface(s)
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = s.WriteCSV(f)
+	} else {
+		err = s.WriteJSON(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote energy surface (%d/%d points evaluated, %d skipped) to %s\n",
+		stats.Evaluated, len(space), stats.Skipped, path)
 }
 
 func fatal(err error) { cli.Fatal(err) }

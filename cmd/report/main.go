@@ -1,6 +1,8 @@
 // Command report runs the complete evaluation and writes a Markdown
 // reproduction report with a pass/deviation verdict per paper artifact —
-// the machine-generated counterpart of EXPERIMENTS.md.
+// the machine-generated counterpart of EXPERIMENTS.md. It exits non-zero
+// when any shape check carries a DEVIATION verdict, so CI can gate on a
+// drifted reproduction.
 //
 // Usage:
 //
@@ -10,6 +12,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 
 	"repro/internal/bench"
@@ -35,7 +38,12 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := bench.Report(w); err != nil {
+	deviations, err := bench.Report(w)
+	if err != nil {
 		cli.Fatal(err)
+	}
+	if deviations > 0 {
+		fmt.Fprintf(os.Stderr, "report: %d shape check(s) deviate from the paper\n", deviations)
+		os.Exit(1)
 	}
 }

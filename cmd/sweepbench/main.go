@@ -10,33 +10,32 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
 	"reflect"
 	"runtime"
 	"time"
 
 	eatss "repro"
 
+	"repro/internal/bench"
 	"repro/internal/cli"
 )
 
-// report is the JSON schema of BENCH_sweep.json.
+// report is the JSON schema of BENCH_sweep.json: the shared bench
+// envelope (schema version, gomaxprocs, workers, host, git commit)
+// plus the sweep-specific figures.
 type report struct {
 	Kernel        string  `json:"kernel"`
 	GPU           string  `json:"gpu"`
 	Points        int     `json:"points"`
-	GOMAXPROCS    int     `json:"gomaxprocs"`
-	Workers       int     `json:"workers"`
 	SeqSec        float64 `json:"seq_sec"`
 	ParSec        float64 `json:"par_sec"`
 	Speedup       float64 `json:"speedup"`
 	SeqPointsPerS float64 `json:"seq_points_per_sec"`
 	ParPointsPerS float64 `json:"par_points_per_sec"`
 	Identical     bool    `json:"results_identical"`
-	GeneratedAt   string  `json:"generated_at"`
+	bench.Meta
 }
 
 func main() {
@@ -90,22 +89,15 @@ func main() {
 		Kernel:        k.Name,
 		GPU:           g.Name,
 		Points:        len(space),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		Workers:       workers,
 		SeqSec:        seqSec,
 		ParSec:        parSec,
 		Speedup:       seqSec / parSec,
 		SeqPointsPerS: float64(len(space)) / seqSec,
 		ParPointsPerS: float64(len(space)) / parSec,
 		Identical:     identical,
-		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		Meta:          bench.NewMeta(workers),
 	}
-	buf, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+	if err := bench.WriteJSON(*outPath, r); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("sweepbench: %s on %s, %d points: j=1 %.2fs (%.0f pts/s) -> j=%d %.2fs (%.0f pts/s), %.2fx, identical=%t\n",

@@ -413,12 +413,13 @@ func TestReportAllChecksPass(t *testing.T) {
 		t.Skip("full evaluation run")
 	}
 	var buf strings.Builder
-	if err := Report(&buf); err != nil {
+	deviations, err := Report(&buf)
+	if err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if strings.Contains(out, "DEVIATION") {
-		t.Fatalf("report contains deviations:\n%s", out)
+	if deviations != 0 || strings.Contains(out, "DEVIATION") {
+		t.Fatalf("report contains %d deviations:\n%s", deviations, out)
 	}
 	if !strings.Contains(out, "shape checks pass") {
 		t.Fatalf("report incomplete:\n%s", out)

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func entryFor(t *testing.T, repoFile string) HistoryEntry {
+	t.Helper()
+	path := filepath.Join("..", "..", repoFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Skipf("no %s in repo root: %v", repoFile, err)
+	}
+	e, err := EntryFromReport(path, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestGuardPassesOnCurrentBenchFiles replays the repo's committed
+// BENCH_*.json values against a history made of the same values: the
+// gate must pass — a run identical to its baseline is never a
+// regression.
+func TestGuardPassesOnCurrentBenchFiles(t *testing.T) {
+	for _, file := range []string{"BENCH_analysis.json", "BENCH_sweep.json"} {
+		e := entryFor(t, file)
+		if n := guardedCount(e); n == 0 {
+			t.Errorf("%s: no guarded metrics recognized", file)
+		}
+		history := []HistoryEntry{e, e, e}
+		if regs := Guard(history, e, 0.15); len(regs) != 0 {
+			t.Errorf("%s: self-comparison regressed: %v", file, regs)
+		}
+	}
+}
+
+// TestGuardFailsOnInjectedRegression degrades every guarded metric of
+// the committed BENCH files by 20% — the gate (15% tolerance) must
+// fail, and must name the degraded metrics.
+func TestGuardFailsOnInjectedRegression(t *testing.T) {
+	for _, file := range []string{"BENCH_analysis.json", "BENCH_sweep.json"} {
+		base := entryFor(t, file)
+		history := []HistoryEntry{base, base, base}
+
+		bad := base
+		bad.Metrics = map[string]float64{}
+		injected := 0
+		for name, v := range base.Metrics {
+			switch metricDirection(name) {
+			case +1: // lower is better: 20% slower
+				bad.Metrics[name] = v * 1.20
+				injected++
+			case -1: // higher is better: 20% less throughput
+				bad.Metrics[name] = v / 1.20
+				injected++
+			default:
+				bad.Metrics[name] = v
+			}
+		}
+		if injected == 0 {
+			t.Fatalf("%s: nothing to inject", file)
+		}
+		regs := Guard(history, bad, 0.15)
+		if len(regs) != injected {
+			t.Fatalf("%s: injected %d regressions, guard caught %d: %v", file, injected, len(regs), regs)
+		}
+		for _, r := range regs {
+			if r.Ratio < 1.15 {
+				t.Errorf("%s: reported ratio %.3f below tolerance", file, r.Ratio)
+			}
+			if r.String() == "" {
+				t.Error("empty regression rendering")
+			}
+		}
+	}
+}
+
+// TestGuardIgnoresIncomparableHistory pins the trajectory identity: a
+// run on a different host (or point count) starts a fresh baseline and
+// passes trivially, however slow it is.
+func TestGuardIgnoresIncomparableHistory(t *testing.T) {
+	base := HistoryEntry{
+		File: "BENCH_x.json", Kernel: "gemm", GPU: "GA100",
+		Points: 512, GOMAXPROCS: 8, Host: "runner-a",
+		Metrics: map[string]float64{"fresh_per_point_us": 10},
+	}
+	slow := base
+	slow.Host = "runner-b"
+	slow.Metrics = map[string]float64{"fresh_per_point_us": 1000}
+	if regs := Guard([]HistoryEntry{base}, slow, 0.15); len(regs) != 0 {
+		t.Fatalf("cross-host comparison produced regressions: %v", regs)
+	}
+	slower := base
+	slower.Metrics = map[string]float64{"fresh_per_point_us": 1000}
+	if regs := Guard([]HistoryEntry{base}, slower, 0.15); len(regs) != 1 {
+		t.Fatalf("same-host 100x slowdown not caught: %v", regs)
+	}
+}
+
+// TestGuardUsesMedianBaseline checks the baseline is robust to one
+// outlier run in the history.
+func TestGuardUsesMedianBaseline(t *testing.T) {
+	mk := func(v float64) HistoryEntry {
+		return HistoryEntry{
+			File: "BENCH_x.json", Kernel: "gemm", GPU: "GA100",
+			Points: 512, GOMAXPROCS: 8, Host: "h",
+			Metrics: map[string]float64{"staged_per_point_us": v},
+		}
+	}
+	// One anomalously fast run must not drag the baseline down.
+	history := []HistoryEntry{mk(10), mk(10.2), mk(1)}
+	if regs := Guard(history, mk(11), 0.15); len(regs) != 0 {
+		t.Fatalf("median baseline corrupted by outlier: %v", regs)
+	}
+	if regs := Guard(history, mk(13), 0.15); len(regs) != 1 {
+		t.Fatalf("median baseline missed a real regression: %v", regs)
+	}
+}
+
+// TestHistoryRoundTrip exercises the JSONL append/read cycle, including
+// tolerance of a corrupt line.
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	e1 := HistoryEntry{File: "BENCH_a.json", Kernel: "gemm", Metrics: map[string]float64{"speedup": 2}}
+	e2 := HistoryEntry{File: "BENCH_b.json", Kernel: "2mm", Metrics: map[string]float64{"speedup": 3}}
+	if err := AppendHistory(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("not json\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := AppendHistory(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].File != "BENCH_a.json" || got[1].File != "BENCH_b.json" {
+		t.Fatalf("history round-trip: %+v", got)
+	}
+	if missing, err := ReadHistory(filepath.Join(t.TempDir(), "absent.jsonl")); err != nil || missing != nil {
+		t.Fatalf("missing history: %v %v", missing, err)
+	}
+}
+
+func guardedCount(e HistoryEntry) int {
+	n := 0
+	for name := range e.Metrics {
+		if GuardedMetric(name) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// SchemaVersion is the current version of the shared BENCH_*.json
+// envelope. Bump it when the meaning of a common field changes, so the
+// regression guard can refuse to compare across incompatible runs.
+const SchemaVersion = 1
+
+// Meta is the shared envelope every BENCH_*.json report embeds: the
+// schema version plus the run conditions a later reader needs to judge
+// comparability (parallelism, host, code version). The bench tools were
+// emitting ad-hoc subsets of this — BENCH_analysis.json lacked
+// gomaxprocs/workers entirely — which is what made their histories
+// incomparable.
+type Meta struct {
+	SchemaVersion int    `json:"schema_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Workers       int    `json:"workers"`
+	Host          string `json:"host,omitempty"`
+	GitCommit     string `json:"git_commit,omitempty"`
+	GeneratedAt   string `json:"generated_at"`
+}
+
+// NewMeta fills the envelope for a run using `workers` parallel workers
+// (pass 1 for single-threaded benchmarks). Host and git commit are
+// best-effort: empty when unavailable, never an error.
+func NewMeta(workers int) Meta {
+	m := Meta{
+		SchemaVersion: SchemaVersion,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workers:       workers,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+	}
+	if host, err := os.Hostname(); err == nil {
+		m.Host = host
+	}
+	m.GitCommit = gitCommit()
+	return m
+}
+
+// gitCommit returns the short HEAD hash, or "" outside a git checkout.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// WriteJSON writes a bench report as indented JSON with a trailing
+// newline — the one serialization every BENCH_*.json shares.
+func WriteJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}

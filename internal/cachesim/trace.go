@@ -34,6 +34,24 @@ type TraceResult struct {
 	Accesses int64
 	// Points is the number of iteration points executed by the block.
 	Points int64
+	// Arrays is the exact per-array split of the replayed activity, in
+	// sorted array-name order — the trace-driven counterpart of the
+	// analytic model's Traffic.Arrays attribution (and the oracle the
+	// profile layer's shares can be validated against).
+	Arrays []ArrayStats
+}
+
+// ArrayStats is one array's exact share of a block replay.
+type ArrayStats struct {
+	Array    string
+	Accesses int64
+	Hits     int64
+	Misses   int64
+	// L2ReadBytes is the array's L1 miss traffic at line granularity.
+	L2ReadBytes int64
+	// StagingBytes is the array's global->shared staging volume (shared
+	// arrays only; they bypass the L1 trace).
+	StagingBytes int64
 }
 
 // arrayLayout holds the virtual base address and dimension strides of one
@@ -133,8 +151,19 @@ func simulateOneBlock(m *codegen.MappedNest, linearBlock int64, l1 Config, l2 *C
 		n := s.hi - s.lo
 		steps *= (n + s.tile - 1) / s.tile
 	}
+	perArray := make(map[string]*ArrayStats)
+	arrayStats := func(name string) *ArrayStats {
+		as, ok := perArray[name]
+		if !ok {
+			as = &ArrayStats{Array: name}
+			perArray[name] = as
+		}
+		return as
+	}
 	for _, a := range sharedArrays(m) {
-		res.StagingBytes += m.ArrayStageElems(a) * steps * elemB
+		staged := m.ArrayStageElems(a) * steps * elemB
+		res.StagingBytes += staged
+		arrayStats(a).StagingBytes = staged
 	}
 
 	// Non-shared references, in statement order.
@@ -239,10 +268,15 @@ func simulateOneBlock(m *codegen.MappedNest, linearBlock int64, l1 Config, l2 *C
 						lines = append(lines, la)
 					}
 					sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+					h0, m0 := cache.Stats.Hits, cache.Stats.Misses
 					for _, la := range lines {
 						cache.Access(la*l1.LineBytes, tr.ref.Write)
 						res.Accesses++
 					}
+					as := arrayStats(tr.ref.Ref.Array)
+					as.Accesses += int64(len(lines))
+					as.Hits += cache.Stats.Hits - h0
+					as.Misses += cache.Stats.Misses - m0
 				}
 			}
 		}
@@ -265,6 +299,16 @@ func simulateOneBlock(m *codegen.MappedNest, linearBlock int64, l1 Config, l2 *C
 	res.L1 = cache.Stats
 	res.L2ReadBytes = cache.Stats.Misses * l1.LineBytes
 	res.WritebackBytes = cache.Stats.Writebacks * l1.LineBytes
+	names := make([]string, 0, len(perArray))
+	for n := range perArray {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		as := perArray[n]
+		as.L2ReadBytes = as.Misses * l1.LineBytes
+		res.Arrays = append(res.Arrays, *as)
+	}
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package cachesim
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/affine"
@@ -170,7 +171,7 @@ func TestDeterministicTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatal("trace simulation is not deterministic")
 	}
 }

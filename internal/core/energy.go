@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/profile"
+)
+
+// levelConstraint maps each attribution level onto the formulation
+// resource whose binding most directly caps the tile growth that would
+// shrink that level's energy: DRAM re-fetches fall when the per-SM L2
+// share covers the working set, L2 traffic falls when tiles grow within
+// the L1 budget, the liveness term is capped by the register file,
+// shared-bank energy by the carveout.
+var levelConstraint = map[string]string{
+	"dram":   "L2 share",
+	"l2":     "L1 capacity",
+	"l1":     "registers/SM",
+	"shared": "shared capacity",
+}
+
+// ExplainEnergy fuses a selection's constraint-slack view (why the
+// solver stopped growing tiles) with a run's energy attribution (where
+// the Joules actually went): it names the dominant component and, when
+// the formulation resource that governs it is binding, says so — the
+// "this tile choice is energy-limited by X" sentence the paper's
+// walkthroughs build by hand. Deterministic for fixed inputs.
+func ExplainEnergy(sel *Selection, slacks []ConstraintSlack, p *profile.Profile) string {
+	var b strings.Builder
+	dom, share := p.Dominant()
+	fmt.Fprintf(&b, "energy explanation for %s on %s (tiles %s):\n",
+		sel.Kernel, sel.GPU, tilesInline(sel.Tiles))
+	fmt.Fprintf(&b, "  dominant component: %s — %s of %s total (%.1f%%)\n",
+		dom, fmtJoules(p.Energy.Level(dom)), fmtJoules(p.EnergyJ), 100*share)
+
+	res, governed := levelConstraint[dom]
+	switch {
+	case !governed:
+		// Compute- or static-dominated: the lever is occupancy/time, not
+		// a capacity constraint.
+		fmt.Fprintf(&b, "  %s energy is not capacity-governed; the lever is execution time and DVFS residency\n", dom)
+	default:
+		binding := false
+		found := false
+		for _, c := range slacks {
+			if c.Resource != res {
+				continue
+			}
+			found = true
+			binding = binding || c.Binding
+		}
+		switch {
+		case !found:
+			fmt.Fprintf(&b, "  governing constraint %q is inactive in this formulation\n", res)
+		case binding:
+			fmt.Fprintf(&b, "  governing constraint %q is binding: the solver already grew tiles to this component's capacity wall\n", res)
+		default:
+			fmt.Fprintf(&b, "  governing constraint %q has slack: larger tiles could cut the %s component further\n", res, dom)
+		}
+	}
+	for _, l := range profile.Levels {
+		pct := 0.0
+		if p.EnergyJ != 0 {
+			pct = 100 * p.Energy.Level(l) / p.EnergyJ
+		}
+		fmt.Fprintf(&b, "    %-8s %10s  %5.1f%%\n", l, fmtJoules(p.Energy.Level(l)), pct)
+	}
+	return b.String()
+}
+
+func fmtJoules(j float64) string { return fmt.Sprintf("%.4g J", j) }

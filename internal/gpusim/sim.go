@@ -61,6 +61,13 @@ type Result struct {
 	// AvgPowerW = Power.Total()).
 	Power power.Breakdown
 
+	// Ramp is the measurement-ramp factor applied to the dynamic power
+	// components (1 when the device reaches steady state, <1 for short
+	// executions). Recorded so post-hoc attribution (internal/profile)
+	// can decompose each nest's observed EnergyJ without re-simulating:
+	// nest energy = (Constant + Static + Dynamic()*Ramp) * TimeSec.
+	Ramp float64
+
 	Nests []NestResult
 }
 
@@ -222,6 +229,7 @@ func SimulateCtx(ctx context.Context, mk *codegen.MappedKernel, g *arch.GPU) Res
 	if g.PowerRampTauSec > 0 {
 		ramp = res.TimeSec / (res.TimeSec + g.PowerRampTauSec)
 	}
+	res.Ramp = ramp
 	for i := range res.Nests {
 		nr := &res.Nests[i]
 		observed := nr.Power.Constant + nr.Power.Static + nr.Power.Dynamic()*ramp

@@ -42,6 +42,33 @@ type Traffic struct {
 	L1Bytes int64
 	// SerialSteps is the number of staging steps per block.
 	SerialSteps int64
+	// Arrays attributes the launch's traffic to the individual arrays,
+	// in sorted array-name order. The per-level sums match the totals
+	// above (DRAM exactly; L1 up to per-array rounding) — this is the
+	// breakdown internal/profile turns into per-array energy shares.
+	Arrays []ArrayTraffic
+}
+
+// ArrayTraffic is one array's share of a launch's memory-system traffic
+// (bytes per launch, across the whole grid), with the servicing class
+// the mapping chose for it.
+type ArrayTraffic struct {
+	Array string
+	// Class is how the array's references are serviced: "shared"
+	// (cooperatively staged), "register" (register-resident
+	// accumulator), "cached" (fits its L1 share), or "spilled"
+	// (L1-overflowing, re-fetching from L2).
+	Class string
+
+	L2ReadBytes  int64
+	L2WriteBytes int64
+	DRAMBytes    int64
+	SharedBytes  int64
+	StagingBytes int64
+	L1Bytes      int64
+	// LiveBytesPerThread is the array's contribution to the nest's
+	// thread-private liveness (the paper's energy lever).
+	LiveBytesPerThread int64
 }
 
 // arrayGroup aggregates all references to one array with their servicing
@@ -242,6 +269,7 @@ func ComputeTraffic(m *codegen.MappedNest, g *arch.GPU, occ Occupancy) Traffic {
 	// shared-memory reads do not use the L1 path (shared traffic is
 	// accounted separately).
 	l1BytesPerIter := float64(0)
+	l1PerIterByArray := make(map[string]float64, len(order))
 	for _, name := range order {
 		gr := groups[name]
 		for _, mr := range gr.refs {
@@ -251,17 +279,34 @@ func ComputeTraffic(m *codegen.MappedNest, g *arch.GPU, occ Occupancy) Traffic {
 				// register accumulator or shared-memory access
 			case mr.Coalesced:
 				l1BytesPerIter += float64(elemB) / amort
+				l1PerIterByArray[name] += float64(elemB) / amort
 			default:
 				l1BytesPerIter += float64(g.SectorBytes) / amort
+				l1PerIterByArray[name] += float64(g.SectorBytes) / amort
 			}
 		}
 	}
 
-	// Per-block traffic.
+	// Per-block traffic, attributed per array as it accrues.
 	blocks := m.TotalBlocks
+	byArray := make(map[string]*ArrayTraffic, len(order))
+	for _, name := range order {
+		gr := groups[name]
+		class := "cached"
+		switch {
+		case gr.shared:
+			class = "shared"
+		case gr.regResident:
+			class = "register"
+		case !cached[name]:
+			class = "spilled"
+		}
+		byArray[name] = &ArrayTraffic{Array: name, Class: class}
+	}
 	var l2ReadPerBlock, l2WritePerBlock, stagingPerBlock, sharedPerBlock int64
 	for _, name := range order {
 		gr := groups[name]
+		at := byArray[name]
 		switch {
 		case gr.shared:
 			// Cooperative staging: tile (+halo) per step, coalesced.
@@ -273,16 +318,23 @@ func ComputeTraffic(m *codegen.MappedNest, g *arch.GPU, occ Occupancy) Traffic {
 				bankReads += iterPerBlock * elemB * timeFuse / m.MicroReuse(mr)
 			}
 			sharedPerBlock += bankReads + staged
+			at.StagingBytes = staged * blocks
+			at.SharedBytes = (bankReads + staged) * blocks
 		case gr.regResident:
 			l2ReadPerBlock += gr.distBytes
 			l2WritePerBlock += gr.distBytes
+			at.L2ReadBytes = gr.distBytes * blocks
+			at.L2WriteBytes = gr.distBytes * blocks
 		case cached[name]:
 			l2ReadPerBlock += gr.distBytes
+			at.L2ReadBytes = gr.distBytes * blocks
 			if gr.write {
 				l2WritePerBlock += gr.distBytes
+				at.L2WriteBytes = gr.distBytes * blocks
 			}
 			if gr.usesSerial {
 				tr.LiveBytesPerThread += gr.serialBytes
+				at.LiveBytesPerThread = gr.serialBytes
 			}
 		default:
 			// L1-spilled array. Re-fetches only happen when the array
@@ -303,11 +355,14 @@ func ComputeTraffic(m *codegen.MappedNest, g *arch.GPU, occ Occupancy) Traffic {
 				}
 			}
 			l2ReadPerBlock += int64(float64(gr.distBytes) * refetch)
+			at.L2ReadBytes = int64(float64(gr.distBytes)*refetch) * blocks
 			if gr.write {
 				l2WritePerBlock += gr.distBytes
+				at.L2WriteBytes = gr.distBytes * blocks
 			}
 			if gr.usesSerial {
 				tr.LiveBytesPerThread += gr.serialBytes
+				at.LiveBytesPerThread = gr.serialBytes
 			}
 		}
 	}
@@ -323,6 +378,9 @@ func ComputeTraffic(m *codegen.MappedNest, g *arch.GPU, occ Occupancy) Traffic {
 	// are still served by it on their way to DRAM.
 	if !g.BypassL2ForShared {
 		tr.L2ReadBytes += tr.StagingBytes
+		for _, at := range byArray {
+			at.L2ReadBytes += at.StagingBytes
+		}
 	}
 	tr.L2Sectors = tr.L2ReadBytes / g.SectorBytes
 
@@ -340,9 +398,54 @@ func ComputeTraffic(m *codegen.MappedNest, g *arch.GPU, occ Occupancy) Traffic {
 	ws := wsPerBlock * occ.ActiveBlocks
 	inbound := tr.L2ReadBytes + tr.L2WriteBytes + tr.StagingBytes
 	tr.DRAMBytes = compulsory
+	spill := int64(0)
 	if ws > g.L2Bytes && inbound > compulsory {
 		missFrac := float64(ws-g.L2Bytes) / float64(ws)
-		tr.DRAMBytes += int64(float64(inbound-compulsory) * missFrac)
+		spill = int64(float64(inbound-compulsory) * missFrac)
+		tr.DRAMBytes += spill
+	}
+
+	// Per-array DRAM attribution: each array's compulsory bytes, plus the
+	// spill term distributed in proportion to how far the array's L2
+	// request stream exceeds its compulsory footprint. The last excess
+	// holder absorbs the integer-division remainder, so the per-array
+	// values sum exactly to tr.DRAMBytes.
+	var excessSum int64
+	excess := make(map[string]int64, len(order))
+	for _, name := range order {
+		gr := groups[name]
+		at := byArray[name]
+		at.DRAMBytes = gr.globalBytes
+		at.L1Bytes = int64(l1PerIterByArray[name] * float64(iterPerBlock*blocks*timeFuse))
+		if e := at.L2ReadBytes + at.L2WriteBytes + at.StagingBytes - gr.globalBytes; e > 0 {
+			excess[name] = e
+			excessSum += e
+		}
+	}
+	if spill > 0 && excessSum > 0 {
+		allocated := int64(0)
+		last := ""
+		for _, name := range order {
+			if excess[name] > 0 {
+				last = name
+			}
+		}
+		for _, name := range order {
+			e := excess[name]
+			if e == 0 {
+				continue
+			}
+			share := int64(float64(spill) * float64(e) / float64(excessSum))
+			if name == last {
+				share = spill - allocated
+			}
+			byArray[name].DRAMBytes += share
+			allocated += share
+		}
+	}
+	tr.Arrays = make([]ArrayTraffic, 0, len(order))
+	for _, name := range order {
+		tr.Arrays = append(tr.Arrays, *byArray[name])
 	}
 	return tr
 }

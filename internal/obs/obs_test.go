@@ -209,23 +209,44 @@ func TestHistogramBuckets(t *testing.T) {
 
 // TestObsOverhead is the benchmark guard the instrumented hot paths rely
 // on: with the layer disabled, a full span start/annotate/end cycle plus
-// a counter update must not allocate.
+// a counter, gauge and histogram update must not allocate.
 func TestObsOverhead(t *testing.T) {
 	Disable()
 	ctx := context.Background()
 	c := NewCounter("test.overhead")
+	g := NewGauge("test.overhead_gauge")
+	h := NewHistogram("test.overhead_hist", 1e-3, 1e-2, 0.1, 1)
 	allocs := testing.AllocsPerRun(1000, func() {
 		ctx2, sp := Start(ctx, "hot")
 		sp.SetInt("k", 1)
 		sp.SetFloat("f", 1.5)
 		sp.SetStr("s", "v")
 		c.Add(1)
+		g.Set(2.5)
+		h.Observe(0.02)
+		h.ObserveN(0.3, 4)
 		sp.End()
 		_ = ctx2
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled instrumentation allocates %.1f per span call, want 0", allocs)
 	}
+}
+
+// TestHistogramObserveEnabledDoesNotAllocate extends the guard to the
+// enabled path: a histogram observation is a bucket search plus atomic
+// updates — no allocation at any enablement state.
+func TestHistogramObserveEnabledDoesNotAllocate(t *testing.T) {
+	withEnabled(t, func() {
+		h := NewHistogram("test.enabled_hist", 1e-3, 1e-2, 0.1, 1)
+		allocs := testing.AllocsPerRun(1000, func() {
+			h.Observe(0.02)
+			h.ObserveN(0.3, 4)
+		})
+		if allocs != 0 {
+			t.Fatalf("enabled histogram observation allocates %.1f, want 0", allocs)
+		}
+	})
 }
 
 func TestSetClock(t *testing.T) {

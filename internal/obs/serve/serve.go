@@ -12,6 +12,9 @@
 //	           hit rate, and the solver's current incumbent objective
 //	/trace     Chrome-trace JSON of the span tree recorded so far
 //	/flight    flight-recorder ring buffer dump (JSON)
+//	/profile   latest published energy-attribution profile (JSON);
+//	           ?view=surface returns the latest sweep surface,
+//	           ?view=report the rendered attribution table
 //	/debug/pprof/...  the standard runtime profiles
 package serve
 
@@ -29,6 +32,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/profile"
 )
 
 // Handler returns the introspection mux.
@@ -39,6 +43,7 @@ func Handler() http.Handler {
 	mux.HandleFunc("/progress", handleProgress)
 	mux.HandleFunc("/trace", handleTrace)
 	mux.HandleFunc("/flight", handleFlight)
+	mux.HandleFunc("/profile", handleProfile)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -82,6 +87,7 @@ func handleIndex(w http.ResponseWriter, r *http.Request) {
 		"  /progress  live sweep/solve progress (JSON)\n"+
 		"  /trace     Chrome trace of recorded spans\n"+
 		"  /flight    flight-recorder dump (JSON)\n"+
+		"  /profile   latest energy-attribution profile (?view=surface|report)\n"+
 		"  /debug/pprof/  runtime profiles\n")
 }
 
@@ -101,6 +107,42 @@ func handleFlight(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := flight.Default.WriteJSON(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleProfile serves the most recently published energy-attribution
+// profile. 404 until something publishes — the endpoint is passive, it
+// never triggers a simulation.
+func handleProfile(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("view") {
+	case "surface":
+		s := profile.LatestSurface()
+		if s == nil {
+			http.Error(w, "no sweep surface published yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "report":
+		p := profile.Latest()
+		if p == nil {
+			http.Error(w, "no profile published yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, p.Render())
+	default:
+		p := profile.Latest()
+		if p == nil {
+			http.Error(w, "no profile published yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(p) //nolint:errcheck // best-effort response write
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/profile"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -176,6 +177,61 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
 		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+// TestProfileEndpoint drives the /profile views through the publish
+// cycle: 404 before anything is published, then JSON / rendered-report /
+// surface views once a profile and a surface land.
+func TestProfileEndpoint(t *testing.T) {
+	profile.Publish(nil)
+	profile.PublishSurface(nil)
+	t.Cleanup(func() {
+		profile.Publish(nil)
+		profile.PublishSurface(nil)
+	})
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := get("/profile"); code != 404 {
+		t.Fatalf("/profile before publish = %d, want 404", code)
+	}
+	if code, _ := get("/profile?view=surface"); code != 404 {
+		t.Fatalf("/profile?view=surface before publish = %d, want 404", code)
+	}
+
+	p := &profile.Profile{Kernel: "gemm", GPU: "GA100", TimeSec: 0.01, EnergyJ: 2}
+	p.Energy.Static = 2
+	profile.Publish(p)
+	profile.PublishSurface(&profile.Surface{Kernel: "gemm", GPU: "GA100", Dims: []string{"i"}})
+
+	code, body := get("/profile")
+	if code != 200 {
+		t.Fatalf("/profile = %d", code)
+	}
+	var got profile.Profile
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/profile not JSON: %v\n%s", err, body)
+	}
+	if got.Kernel != "gemm" || got.EnergyJ != 2 {
+		t.Fatalf("/profile round-trip = %+v", got)
+	}
+	if code, body := get("/profile?view=report"); code != 200 || !strings.Contains(body, "energy attribution: gemm on GA100") {
+		t.Fatalf("/profile?view=report = %d:\n%s", code, body)
+	}
+	if code, body := get("/profile?view=surface"); code != 200 || !strings.Contains(body, `"dims"`) {
+		t.Fatalf("/profile?view=surface = %d:\n%s", code, body)
 	}
 }
 

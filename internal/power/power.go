@@ -79,6 +79,45 @@ func Estimate(g *arch.GPU, a Activity) Breakdown {
 // Energy returns Joules for an average power over a duration in seconds.
 func Energy(avgWatts, seconds float64) float64 { return avgWatts * seconds }
 
+// EnergyBreakdown is a per-component energy attribution in Joules,
+// mirroring Breakdown's components. It is what the profiling layer
+// (internal/profile) aggregates per nest and per memory level.
+type EnergyBreakdown struct {
+	Constant  float64
+	Static    float64
+	DynSM     float64
+	DynL2     float64
+	DynDRAM   float64
+	DynShared float64
+	DynLive   float64
+}
+
+// Total returns the summed energy.
+func (e EnergyBreakdown) Total() float64 {
+	return e.Constant + e.Static + e.DynSM + e.DynL2 + e.DynDRAM + e.DynShared + e.DynLive
+}
+
+// Energy converts a power breakdown into a per-component energy
+// attribution over a duration, applying the measurement ramp to the
+// dynamic components only (the constant/static floor is always drawn).
+// By construction the components sum to
+//
+//	(Constant + Static + Dynamic()*ramp) * seconds
+//
+// which is exactly how the simulator computes a nest's observed EnergyJ —
+// the conservation invariant internal/profile's tests pin down.
+func (b Breakdown) Energy(ramp, seconds float64) EnergyBreakdown {
+	return EnergyBreakdown{
+		Constant:  b.Constant * seconds,
+		Static:    b.Static * seconds,
+		DynSM:     b.DynSM * ramp * seconds,
+		DynL2:     b.DynL2 * ramp * seconds,
+		DynDRAM:   b.DynDRAM * ramp * seconds,
+		DynShared: b.DynShared * ramp * seconds,
+		DynLive:   b.DynLive * ramp * seconds,
+	}
+}
+
 // PerfPerWatt returns the paper's PPW metric (Sec. V-B): floating-point
 // throughput divided by average power, reported as GFLOP/s per Watt.
 func PerfPerWatt(flops float64, seconds, avgWatts float64) float64 {

@@ -1,0 +1,430 @@
+// Package profile is the energy/traffic attribution layer: it decomposes
+// a simulated run's opaque Result.EnergyJ into per-nest × per-array ×
+// per-memory-level components, so a tile choice's win (or loss) can be
+// explained — DRAM traffic? L2 pressure? static power from a short,
+// low-occupancy launch? This is the per-level decomposition the Symbolic
+// Polyhedral Energy Analysis line of work uses, and the per-kernel static
+// attribution FlipFlop shows is the lever that makes energy optimization
+// actionable.
+//
+// The layer is conservation-checked: a Profile's components sum to the
+// simulator's EnergyJ (per nest and in total) within float rounding —
+// attribution never invents or loses energy. internal/gpusim records the
+// per-array traffic split (Traffic.Arrays) and the measurement-ramp
+// factor (Result.Ramp) precisely so this decomposition can run post-hoc
+// on any Result without re-simulating.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/gpusim"
+	"repro/internal/power"
+)
+
+// Components holds one energy value (Joules) per attribution level.
+//
+// The six levels mirror the power model's terms: DRAM and L2 are the
+// respective interconnect traffic terms, Shared is bank activity, L1 is
+// the SM-local liveness term (the residency pressure of thread-private
+// data — the paper's energy lever), Compute is the SM dynamic term, and
+// Static folds the constant board power and leakage floor together.
+type Components struct {
+	DRAM    float64 `json:"dram"`
+	L2      float64 `json:"l2"`
+	L1      float64 `json:"l1"`
+	Shared  float64 `json:"shared"`
+	Compute float64 `json:"compute"`
+	Static  float64 `json:"static"`
+}
+
+// Levels is the fixed rendering/iteration order of the attribution
+// levels.
+var Levels = []string{"dram", "l2", "l1", "shared", "compute", "static"}
+
+// Level returns the named component (one of Levels).
+func (c Components) Level(name string) float64 {
+	switch name {
+	case "dram":
+		return c.DRAM
+	case "l2":
+		return c.L2
+	case "l1":
+		return c.L1
+	case "shared":
+		return c.Shared
+	case "compute":
+		return c.Compute
+	case "static":
+		return c.Static
+	}
+	return 0
+}
+
+// Total returns the summed energy across all levels.
+func (c Components) Total() float64 {
+	return c.DRAM + c.L2 + c.L1 + c.Shared + c.Compute + c.Static
+}
+
+// Add returns the component-wise sum.
+func (c Components) Add(o Components) Components {
+	return Components{
+		DRAM: c.DRAM + o.DRAM, L2: c.L2 + o.L2, L1: c.L1 + o.L1,
+		Shared: c.Shared + o.Shared, Compute: c.Compute + o.Compute, Static: c.Static + o.Static,
+	}
+}
+
+// Sub returns the component-wise difference c - o.
+func (c Components) Sub(o Components) Components {
+	return Components{
+		DRAM: c.DRAM - o.DRAM, L2: c.L2 - o.L2, L1: c.L1 - o.L1,
+		Shared: c.Shared - o.Shared, Compute: c.Compute - o.Compute, Static: c.Static - o.Static,
+	}
+}
+
+// Dominant returns the level holding the largest component and its
+// share of the total (0 share for an all-zero breakdown). Ties resolve
+// to the first level in Levels order, so the answer is deterministic.
+func (c Components) Dominant() (level string, share float64) {
+	best, bestVal := "", 0.0
+	for _, l := range Levels {
+		if v := c.Level(l); best == "" || v > bestVal {
+			best, bestVal = l, v
+		}
+	}
+	if t := c.Total(); t != 0 {
+		share = bestVal / t
+	}
+	return best, share
+}
+
+// LevelBytes is the traffic counterpart of Components: bytes moved at
+// each memory level (whole nest, all launches). Compute and static have
+// no traffic; L1 counts SM-local L1/LSU pipe volume, Staging the
+// global→shared cooperative load volume (a subset of Shared's bank
+// traffic already counted there).
+type LevelBytes struct {
+	DRAM    int64 `json:"dram"`
+	L2      int64 `json:"l2"`
+	L1      int64 `json:"l1"`
+	Shared  int64 `json:"shared"`
+	Staging int64 `json:"staging"`
+}
+
+// Add returns the component-wise sum.
+func (b LevelBytes) Add(o LevelBytes) LevelBytes {
+	return LevelBytes{
+		DRAM: b.DRAM + o.DRAM, L2: b.L2 + o.L2, L1: b.L1 + o.L1,
+		Shared: b.Shared + o.Shared, Staging: b.Staging + o.Staging,
+	}
+}
+
+// ArrayProfile is one array's attributed share of a nest's energy and
+// traffic. Energy shares are proportional to the array's fraction of
+// the level's traffic (liveness bytes for the L1 term), so per level
+// the array shares sum to the nest's level component exactly (modulo
+// float rounding); Compute and Static are never array-attributed.
+type ArrayProfile struct {
+	Array string `json:"array"`
+	// Class is the servicing class the mapping chose: "shared",
+	// "register", "cached" or "spilled".
+	Class  string     `json:"class"`
+	Energy Components `json:"energy_j"`
+	Bytes  LevelBytes `json:"bytes"`
+}
+
+// NestProfile attributes one nest's energy and traffic.
+type NestProfile struct {
+	Name     string  `json:"name"`
+	Launches int64   `json:"launches"`
+	TimeSec  float64 `json:"time_sec"`
+	// EnergyJ is the simulator's observed energy for the nest; Energy
+	// decomposes it (conservation-checked).
+	EnergyJ float64        `json:"energy_j"`
+	Energy  Components     `json:"energy"`
+	Bytes   LevelBytes     `json:"bytes"`
+	Arrays  []ArrayProfile `json:"arrays"`
+}
+
+// Profile is the structured attribution of one simulated run.
+type Profile struct {
+	Kernel string `json:"kernel"`
+	GPU    string `json:"gpu"`
+	// Label identifies the configuration being profiled in diffs (set
+	// by the caller; defaults to the rendered tile map when Tiles is
+	// set).
+	Label string `json:"label,omitempty"`
+	// Tiles is the tile configuration that produced this run, when the
+	// caller knows it (FromResult cannot recover it from the Result).
+	Tiles   map[string]int64 `json:"tiles,omitempty"`
+	TimeSec float64          `json:"time_sec"`
+	// EnergyJ is the simulator's total; Energy decomposes it.
+	EnergyJ float64 `json:"energy_j"`
+	// Ramp is the measurement-ramp factor the simulator applied to the
+	// dynamic power components (short runs are observed below steady
+	// state — the static-dominated regime of the paper's Fig. 1).
+	Ramp   float64       `json:"ramp"`
+	Energy Components    `json:"energy"`
+	Bytes  LevelBytes    `json:"bytes"`
+	Nests  []NestProfile `json:"nests"`
+}
+
+// FromResult decomposes a simulated Result into its attribution
+// profile. It is a pure post-hoc computation — the Result already
+// carries the per-nest power breakdowns, the ramp factor and the
+// per-array traffic split.
+func FromResult(res *gpusim.Result) (*Profile, error) {
+	if res == nil {
+		return nil, fmt.Errorf("profile: nil result")
+	}
+	p := &Profile{
+		Kernel:  res.Kernel,
+		GPU:     res.GPU,
+		TimeSec: res.TimeSec,
+		EnergyJ: res.EnergyJ,
+		Ramp:    res.Ramp,
+	}
+	for i := range res.Nests {
+		nr := &res.Nests[i]
+		np := nestProfile(nr, res.Ramp)
+		p.Energy = p.Energy.Add(np.Energy)
+		p.Bytes = p.Bytes.Add(np.Bytes)
+		p.Nests = append(p.Nests, np)
+	}
+	return p, nil
+}
+
+// levelEnergy maps the power model's per-component energies onto the
+// attribution levels.
+func levelEnergy(eb power.EnergyBreakdown) Components {
+	return Components{
+		DRAM:    eb.DynDRAM,
+		L2:      eb.DynL2,
+		L1:      eb.DynLive,
+		Shared:  eb.DynShared,
+		Compute: eb.DynSM,
+		Static:  eb.Constant + eb.Static,
+	}
+}
+
+func nestProfile(nr *gpusim.NestResult, ramp float64) NestProfile {
+	tr := &nr.Traffic
+	launches := nr.Launches
+	np := NestProfile{
+		Name:     nr.Name,
+		Launches: launches,
+		TimeSec:  nr.TimeSec,
+		EnergyJ:  nr.EnergyJ,
+		Energy:   levelEnergy(nr.Power.Energy(ramp, nr.TimeSec)),
+		Bytes: LevelBytes{
+			DRAM:    tr.DRAMBytes * launches,
+			L2:      (tr.L2ReadBytes + tr.L2WriteBytes) * launches,
+			L1:      tr.L1Bytes * launches,
+			Shared:  tr.SharedBytes * launches,
+			Staging: tr.StagingBytes * launches,
+		},
+	}
+
+	// Per-level denominators for the array shares. The L1 (liveness)
+	// term is driven by thread-private residency, so it splits over
+	// LiveBytesPerThread rather than pipe traffic.
+	var dramSum, l2Sum, sharedSum, liveSum int64
+	for _, at := range tr.Arrays {
+		dramSum += at.DRAMBytes
+		l2Sum += at.L2ReadBytes + at.L2WriteBytes
+		sharedSum += at.SharedBytes
+		liveSum += at.LiveBytesPerThread
+	}
+	frac := func(part, whole int64) float64 {
+		if whole <= 0 {
+			return 0
+		}
+		return float64(part) / float64(whole)
+	}
+	for _, at := range tr.Arrays {
+		ap := ArrayProfile{
+			Array: at.Array,
+			Class: at.Class,
+			Energy: Components{
+				DRAM:   np.Energy.DRAM * frac(at.DRAMBytes, dramSum),
+				L2:     np.Energy.L2 * frac(at.L2ReadBytes+at.L2WriteBytes, l2Sum),
+				L1:     np.Energy.L1 * frac(at.LiveBytesPerThread, liveSum),
+				Shared: np.Energy.Shared * frac(at.SharedBytes, sharedSum),
+			},
+			Bytes: LevelBytes{
+				DRAM:    at.DRAMBytes * launches,
+				L2:      (at.L2ReadBytes + at.L2WriteBytes) * launches,
+				L1:      at.L1Bytes * launches,
+				Shared:  at.SharedBytes * launches,
+				Staging: at.StagingBytes * launches,
+			},
+		}
+		np.Arrays = append(np.Arrays, ap)
+	}
+	return np
+}
+
+// Check verifies the profile's invariants: no negative component
+// anywhere, per-nest components summing to the nest's EnergyJ, the
+// total summing to EnergyJ, and per-level array shares summing to the
+// nest's level component wherever the level has traffic. tol is the
+// relative tolerance (the tests use 1e-9).
+func (p *Profile) Check(tol float64) error {
+	within := func(got, want float64) bool {
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := want
+		if scale < 0 {
+			scale = -scale
+		}
+		if scale < 1e-30 {
+			scale = 1e-30
+		}
+		return diff <= tol*scale
+	}
+	checkNonNeg := func(where string, c Components) error {
+		for _, l := range Levels {
+			if c.Level(l) < 0 {
+				return fmt.Errorf("profile: negative %s component %g in %s", l, c.Level(l), where)
+			}
+		}
+		return nil
+	}
+	if err := checkNonNeg("total", p.Energy); err != nil {
+		return err
+	}
+	if !within(p.Energy.Total(), p.EnergyJ) {
+		return fmt.Errorf("profile: components sum to %.12g J, simulator reports %.12g J", p.Energy.Total(), p.EnergyJ)
+	}
+	var nestSum float64
+	for i := range p.Nests {
+		np := &p.Nests[i]
+		nestSum += np.EnergyJ
+		if err := checkNonNeg("nest "+np.Name, np.Energy); err != nil {
+			return err
+		}
+		if !within(np.Energy.Total(), np.EnergyJ) {
+			return fmt.Errorf("profile: nest %s components sum to %.12g J, simulator reports %.12g J",
+				np.Name, np.Energy.Total(), np.EnergyJ)
+		}
+		var arr Components
+		for _, ap := range np.Arrays {
+			if err := checkNonNeg("array "+ap.Array, ap.Energy); err != nil {
+				return err
+			}
+			arr = arr.Add(ap.Energy)
+		}
+		// Memory-level array shares must reproduce the nest component
+		// whenever any array carried that level's traffic.
+		for _, l := range []string{"dram", "l2", "l1", "shared"} {
+			if arr.Level(l) == 0 && np.Energy.Level(l) > 0 {
+				continue // level active but traffic attribution empty (e.g. liveness-free nest)
+			}
+			if !within(arr.Level(l), np.Energy.Level(l)) {
+				return fmt.Errorf("profile: nest %s level %s: array shares sum to %.12g J, component is %.12g J",
+					np.Name, l, arr.Level(l), np.Energy.Level(l))
+			}
+		}
+	}
+	if !within(nestSum, p.EnergyJ) {
+		return fmt.Errorf("profile: nest energies sum to %.12g J, total is %.12g J", nestSum, p.EnergyJ)
+	}
+	return nil
+}
+
+// Dominant returns the profile's dominant energy level and its share.
+func (p *Profile) Dominant() (string, float64) { return p.Energy.Dominant() }
+
+// Render writes the attribution report as a fixed-width table. The
+// output is deterministic for a fixed Result (values are rounded to 4
+// significant digits, below any cross-platform float divergence), so it
+// is golden-testable.
+func (p *Profile) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "energy attribution: %s on %s\n", p.Kernel, p.GPU)
+	fmt.Fprintf(&b, "  time %s  energy %s  ramp %.3f\n", fmtSec(p.TimeSec), fmtJ(p.EnergyJ), p.Ramp)
+	dom, share := p.Dominant()
+	fmt.Fprintf(&b, "  dominant component: %s (%.1f%% of total)\n", dom, 100*share)
+	b.WriteString("  level     energy       share   traffic\n")
+	for _, l := range Levels {
+		e := p.Energy.Level(l)
+		pct := 0.0
+		if p.EnergyJ != 0 {
+			pct = 100 * e / p.EnergyJ
+		}
+		fmt.Fprintf(&b, "  %-8s %10s %7.1f%%   %s\n", l, fmtJ(e), pct, fmtBytes(levelTraffic(p.Bytes, l)))
+	}
+	for i := range p.Nests {
+		np := &p.Nests[i]
+		dom, share := np.Energy.Dominant()
+		fmt.Fprintf(&b, "  nest %s: %s over %d launch(es), %s — dominant %s (%.1f%%)\n",
+			np.Name, fmtJ(np.EnergyJ), np.Launches, fmtSec(np.TimeSec), dom, 100*share)
+		for _, ap := range np.Arrays {
+			fmt.Fprintf(&b, "    %-10s %-8s dram %-10s l2 %-10s l1 %-10s shared %s\n",
+				ap.Array, ap.Class, fmtJ(ap.Energy.DRAM), fmtJ(ap.Energy.L2),
+				fmtJ(ap.Energy.L1), fmtJ(ap.Energy.Shared))
+		}
+	}
+	return b.String()
+}
+
+// levelTraffic maps a level name onto its byte counter (0 for the
+// traffic-free compute/static levels).
+func levelTraffic(b LevelBytes, level string) int64 {
+	switch level {
+	case "dram":
+		return b.DRAM
+	case "l2":
+		return b.L2
+	case "l1":
+		return b.L1
+	case "shared":
+		return b.Shared
+	}
+	return 0
+}
+
+func fmtJ(j float64) string { return fmt.Sprintf("%.4g J", j) }
+
+func fmtSec(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.4g s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.4g ms", s*1e3)
+	default:
+		return fmt.Sprintf("%.4g us", s*1e6)
+	}
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// sortedTileNames renders a tile map deterministically (used by the
+// diff report).
+func sortedTileNames(tiles map[string]int64) string {
+	names := make([]string, 0, len(tiles))
+	for n := range tiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%d", n, tiles[n])
+	}
+	return strings.Join(parts, " ")
+}

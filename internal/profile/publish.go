@@ -1,0 +1,24 @@
+package profile
+
+import "sync/atomic"
+
+// The live-introspection server (internal/obs/serve) exposes the most
+// recently computed profile and sweep surface on /profile. Publication
+// is lock-free and allocation-free on the hot path: a single pointer
+// swap per publish, nothing at all when no one publishes.
+var (
+	latestProfile atomic.Pointer[Profile]
+	latestSurface atomic.Pointer[Surface]
+)
+
+// Publish makes p the profile served by the /profile endpoint.
+func Publish(p *Profile) { latestProfile.Store(p) }
+
+// Latest returns the most recently published profile, or nil.
+func Latest() *Profile { return latestProfile.Load() }
+
+// PublishSurface makes s the sweep surface served by /profile?view=surface.
+func PublishSurface(s *Surface) { latestSurface.Store(s) }
+
+// LatestSurface returns the most recently published surface, or nil.
+func LatestSurface() *Surface { return latestSurface.Load() }

@@ -25,6 +25,10 @@ var (
 	// mSearchDepth profiles where the search spends its nodes; samples
 	// are batched per solve via ObserveN, never per node.
 	mSearchDepth = obs.NewHistogram("smt.search_depth", 1, 2, 3, 4, 6, 8, 12)
+	// mRoundSec distributes per-round solve latency (one Maximize
+	// iteration), the companion to eatss.sweep.point_seconds on /metrics.
+	mRoundSec = obs.NewHistogram("smt.round_seconds",
+		1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1)
 )
 
 // Stats records solver effort, mirroring the measurements of Sec. V-G
@@ -382,7 +386,9 @@ func (s *Solver) solveRound(ctx context.Context, obj Expr, round int) (Model, in
 	}
 	_, sp := obs.Start(ctx, "smt.round")
 	sp.SetInt("round", int64(round))
+	roundStart := obs.Now()
 	m, sat := s.SolveCtx(ctx)
+	mRoundSec.Observe(obs.Now().Sub(roundStart).Seconds())
 	sp.SetBool("sat", sat)
 	var val int64
 	if sat {

@@ -100,6 +100,18 @@ func TestRandomKernelsThroughPipeline(t *testing.T) {
 			res.AvgPowerW > g.TDPWatts*1.01 {
 			t.Fatalf("seed %d: unphysical result %+v for kernel:\n%s", seed, res, k)
 		}
+
+		// Attribution oracle: every successful run must decompose into a
+		// conservation-checked profile — components non-negative, summing
+		// to EnergyJ per nest and in total, per-array shares reproducing
+		// each level — on kernel shapes no catalog entry has.
+		p, err := eatss.ProfileOf(&res, tiles)
+		if err != nil {
+			t.Fatalf("seed %d: profile failed: %v\nkernel:\n%s", seed, err, k)
+		}
+		if err := p.Check(1e-9); err != nil {
+			t.Fatalf("seed %d: attribution broke conservation: %v\nkernel:\n%s", seed, err, k)
+		}
 	}
 	// The generator must actually exercise the pipeline, not just get
 	// rejected.

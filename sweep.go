@@ -22,6 +22,10 @@ var (
 	mSweepCacheHits   = obs.NewCounter("eatss.sweep.cache_hits")
 	mSweepCacheMisses = obs.NewCounter("eatss.sweep.cache_misses")
 	mSweepAborted     = obs.NewCounter("eatss.sweep.aborted")
+	// mSweepPointSec distributes fresh (cache-miss) per-point evaluation
+	// latency — the p99 the /metrics scrape watches during long sweeps.
+	mSweepPointSec = obs.NewHistogram("eatss.sweep.point_seconds",
+		1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1)
 )
 
 // SweepOptions configures the parallel sweep engine behind ExploreSpace
@@ -241,7 +245,9 @@ func exploreAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, space 
 				}
 				mSweepCacheMisses.Add(1)
 			}
+			evalStart := obs.Now()
 			res, err := runAnalyzed(wctx, prog, g, tiles, cfg)
+			mSweepPointSec.Observe(obs.Now().Sub(evalStart).Seconds())
 			o := sweepOutcome{res: res, ok: err == nil}
 			cache.put(key, evalEntry{res: o.res, ok: o.ok})
 			progress.PointDone(false, o.ok)

@@ -232,6 +232,33 @@ func TestEvalCacheMetricsConcurrentSweep(t *testing.T) {
 	}
 }
 
+// TestSweepPointLatencyHistogram: with observability on, every fresh
+// (cache-miss) evaluation lands one observation in the
+// eatss.sweep.point_seconds histogram, and cache hits land none — the
+// distribution measures evaluation cost, not lookup cost.
+func TestSweepPointLatencyHistogram(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() { obs.Disable(); obs.Reset() }()
+	k := eatss.MustKernel("gemm")
+	g := eatss.GA100()
+	space := eatss.PaperSpace(k)[:8]
+	cfg := eatss.RunConfig{UseShared: true, Precision: eatss.FP64}
+	cache := eatss.NewEvalCache()
+	eatss.ExploreSpaceOpt(context.Background(), k, g, space, cfg,
+		eatss.SweepOptions{Workers: 1, Cache: cache})
+	hs := obs.Snapshot().Histograms["eatss.sweep.point_seconds"]
+	if hs.Count != int64(len(space)) {
+		t.Fatalf("histogram count = %d, want %d (one per fresh point)", hs.Count, len(space))
+	}
+	// A fully cached second sweep must not add observations.
+	eatss.ExploreSpaceOpt(context.Background(), k, g, space, cfg,
+		eatss.SweepOptions{Workers: 1, Cache: cache})
+	if hs2 := obs.Snapshot().Histograms["eatss.sweep.point_seconds"]; hs2.Count != hs.Count {
+		t.Fatalf("cached sweep added observations: %d -> %d", hs.Count, hs2.Count)
+	}
+}
+
 // TestSweepPublishesLiveProgress: with observability on, a sweep
 // publishes a live progress handle whose counters add up and which is
 // marked finished when the sweep returns.
