@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race sweep-race sweep-bench analysis-bench obs-bench bench-guard profile-demo lint-gate selfcheck check clean
+.PHONY: all vet build test race sweep-race sweep-bench analysis-bench serve-bench obs-bench bench-guard profile-demo lint-gate selfcheck check clean
 
 all: check
 
@@ -16,13 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# sweep-race exercises the parallel sweep engine's concurrency surface
-# under the race detector: the worker pool, the shared evaluation cache,
-# concurrent obs producers, and the solver's cancellation polling. It is
-# a focused (fast) subset of `race` so the gate names the sweep paths
-# explicitly even when the full suite is skipped locally.
+# sweep-race exercises the concurrency surfaces under the race
+# detector: the sweep worker pool, the shared evaluation cache (and its
+# cancellation-poisoning regression test), concurrent obs producers, the
+# solver's cancellation polling, and the service layer's herd
+# coalescing / deadline / load-shedding paths. It is a focused (fast)
+# subset of `race` so the gate names the concurrent paths explicitly
+# even when the full suite is skipped locally.
 sweep-race:
-	$(GO) test -race -count=1 -run 'Sweep|Explore|Concurrent|SolveCtx|Cancel' . ./internal/sweep ./internal/smt ./internal/obs
+	$(GO) test -race -count=1 -run 'Sweep|Explore|Concurrent|SolveCtx|Cancel|Poison|Herd|Coalesc|Deadline|Shed' . ./internal/sweep ./internal/smt ./internal/obs ./internal/serve
 
 # sweep-bench records before/after sweep throughput (sequential j=1 vs
 # the worker pool) into BENCH_sweep.json via the bench runner's space.
@@ -35,6 +37,16 @@ sweep-bench:
 # diverge — a cheap end-to-end parity gate on the staging split.
 analysis-bench:
 	$(GO) run ./cmd/analysisbench -out BENCH_analysis.json
+
+# serve-bench load-tests the tile-selection service end to end: an
+# in-process eatssd served over loopback HTTP takes a cold-cache request
+# herd per catalog kernel plus a sustained mixed solve/simulate stream,
+# and BENCH_serve.json records p50/p99 latency, throughput and the
+# coalesce rate. The run itself fails on any unexpected error or if no
+# request coalesced — the daemon's acceptance bar, enforced on every
+# `make check`.
+serve-bench:
+	$(GO) run ./cmd/servebench -out BENCH_serve.json
 
 # obs-bench guards the observability layer's disabled-path cost: the
 # allocs/op checks proving that spans, metrics (counters, gauges and the
@@ -78,11 +90,12 @@ selfcheck:
 
 # check is the gate a change must pass before it lands: static analysis
 # (go vet plus the repo's own selfcheck analyzer), a full build, the
-# kernel lint gate, the sweep-engine race gate, the staged-compilation
-# parity/benchmark gate, the benchmark regression guard over the BENCH
-# history, the zero-cost-observability guard, the attribution-profiler
-# demo, and the full test suite under the race detector.
-check: vet build selfcheck lint-gate sweep-race analysis-bench bench-guard obs-bench profile-demo race
+# kernel lint gate, the concurrency race gate, the staged-compilation
+# parity/benchmark gate, the service load test, the benchmark
+# regression guard over the BENCH history, the zero-cost-observability
+# guard, the attribution-profiler demo, and the full test suite under
+# the race detector.
+check: vet build selfcheck lint-gate sweep-race analysis-bench serve-bench bench-guard obs-bench profile-demo race
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,319 @@
+// Command servebench load-tests the tile-selection service end to end
+// and records the result as BENCH_serve.json. It boots an in-process
+// eatssd server on a loopback port and drives it over real HTTP in two
+// phases:
+//
+//   - herd: for every catalog kernel, a burst of identical concurrent
+//     cold-cache solve requests — the coalescing contract under fire
+//     (one underlying solve per burst, the rest wait on it);
+//   - sustained: a mixed solve/simulate stream across the whole
+//     catalog, mostly cache hits — the steady-state latency profile.
+//
+// Kernels whose default formulation is unsatisfiable retry with finer
+// warp fractions, the paper's Sec. V-D fallback. The run fails (exit 1)
+// on any unexpected error and when no request coalesced — the same
+// acceptance bar the daemon itself is held to.
+//
+//	servebench                        # full catalog, herd of 8
+//	servebench -herd 16 -requests 400 -out BENCH_serve.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	eatss "repro"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+// report is the JSON schema of BENCH_serve.json: the shared bench
+// envelope plus the service-level load figures. Latency metric names
+// end in _ms (lower is better) and throughput in _per_sec (higher is
+// better) so the regression guard reads their directions from the
+// suffix.
+type report struct {
+	Kernel        string  `json:"kernel"` // always "catalog": the whole suite is the workload
+	GPU           string  `json:"gpu"`
+	Points        int     `json:"points"` // catalog kernels exercised
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	HerdRequests  int     `json:"herd_requests"`
+	Coalesced     int     `json:"coalesced"`
+	CoalesceRate  float64 `json:"coalesce_rate"`
+	Shed          int     `json:"shed"`
+	CacheHits     int     `json:"cache_hits"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+	RequestsPerS  float64 `json:"requests_per_sec"`
+	WallSec       float64 `json:"wall_sec"`
+	bench.Meta
+}
+
+// warpFracs is the paper's coarse-to-fine fallback ladder (Sec. V-D);
+// servebench walks it client-side like the end-to-end protocol does.
+var warpFracs = []float64{0.5, 0.25, 0.125}
+
+type client struct {
+	base string
+	http *http.Client
+
+	mu        sync.Mutex
+	latencies []float64 // ms
+	errors    int
+	coalesced int
+	cacheHits int
+	shed      int
+}
+
+// solve posts one solve request and records its latency and flags.
+// It reports whether the formulation was satisfiable at this warpfrac;
+// an unsatisfiable formulation at a coarse fraction is the protocol's
+// expected Sec. V-D fallback path, not a service error.
+func (c *client) solve(gpu, kernel string, warpFrac float64) (feasible bool) {
+	resp := c.post("/v1/solve", request(gpu, kernel, warpFrac))
+	if resp == nil {
+		return true // transport error, already counted
+	}
+	if resp.Status == serve.StatusError && strings.Contains(resp.Error, "unsatisfiable") &&
+		warpFrac > warpFracs[len(warpFracs)-1] {
+		c.mu.Lock()
+		c.errors--
+		c.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// simulate posts one tile-less simulate request (solve-then-run).
+func (c *client) simulate(gpu, kernel string, warpFrac float64) {
+	c.post("/v1/simulate", request(gpu, kernel, warpFrac))
+}
+
+// warmConnections opens n concurrent keep-alive connections via
+// /healthz so later bursts reuse them instead of dialling mid-burst.
+func (c *client) warmConnections(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := c.http.Get(c.base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func request(gpu, kernel string, warpFrac float64) map[string]any {
+	req := map[string]any{"kernel": kernel, "gpu": gpu}
+	if warpFrac != 0.5 {
+		req["warpfrac"] = warpFrac
+	}
+	return req
+}
+
+// post issues one request, folding the outcome into the shared tallies.
+func (c *client) post(path string, req map[string]any) *serve.Response {
+	body, err := json.Marshal(req)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	t0 := time.Now()
+	httpResp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	elapsed := float64(time.Since(t0)) / float64(time.Millisecond)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.latencies = append(c.latencies, elapsed)
+	if err != nil {
+		c.errors++
+		return nil
+	}
+	defer httpResp.Body.Close()
+	var resp serve.Response
+	if derr := json.NewDecoder(httpResp.Body).Decode(&resp); derr != nil {
+		c.errors++
+		return nil
+	}
+	switch resp.Status {
+	case serve.StatusOK:
+	case serve.StatusShed:
+		c.shed++
+	default:
+		c.errors++
+	}
+	if resp.Coalesced {
+		c.coalesced++
+	}
+	if resp.Cached {
+		c.cacheHits++
+	}
+	return &resp
+}
+
+func main() {
+	gpuName := flag.String("gpu", "ga100", "GPU: ga100 | xavier | v100")
+	herd := flag.Int("herd", 8, "concurrent identical solve requests per kernel in the herd phase")
+	requests := flag.Int("requests", 200, "requests in the sustained phase")
+	conc := flag.Int("conc", 16, "concurrent clients in the sustained phase")
+	outPath := flag.String("out", "BENCH_serve.json", "output JSON path")
+	cli.SetUsage("servebench", "load-test the tile-selection service and record BENCH_serve.json",
+		"servebench                        # full catalog, herd of 8",
+		"servebench -herd 16 -requests 400 -out BENCH_serve.json")
+	flag.Parse()
+
+	s := serve.New(serve.Config{})
+	srv, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		cli.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := &client{
+		base: "http://" + srv.Addr(),
+		http: &http.Client{
+			Timeout: 2 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        *herd + *conc,
+				MaxIdleConnsPerHost: *herd + *conc,
+			},
+		},
+	}
+	kernels := eatss.Kernels()
+
+	// Open the keep-alive connections before timing starts, so herd
+	// bursts measure the service, not TCP dials — and actually overlap.
+	c.warmConnections(max(*herd, *conc))
+	wall0 := time.Now()
+
+	// Phase 1 — herd: per kernel, *herd* identical cold-cache solves at
+	// once. Exactly one should execute; the rest coalesce onto it.
+	herdRequests := 0
+	feasibleFrac := make(map[string]float64, len(kernels))
+	for _, kernel := range kernels {
+		wf := warpFracs[0]
+		for {
+			var wg sync.WaitGroup
+			var infeasible atomic.Bool
+			start := make(chan struct{})
+			for i := 0; i < *herd; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start // barrier: the whole herd takes off at once
+					if !c.solve(*gpuName, kernel, wf) {
+						infeasible.Store(true)
+					}
+				}()
+			}
+			close(start)
+			wg.Wait()
+			herdRequests += *herd
+			if !infeasible.Load() {
+				feasibleFrac[kernel] = wf
+				break
+			}
+			// Sec. V-D: the formulation was unsatisfiable — retry the
+			// whole herd at the next finer warp fraction (a distinct
+			// cache key, so it is another cold burst).
+			next := -1.0
+			for j, f := range warpFracs {
+				if f == wf && j+1 < len(warpFracs) {
+					next = warpFracs[j+1]
+				}
+			}
+			if next < 0 {
+				cli.Fatalf("kernel %s unsatisfiable at every warp fraction", kernel)
+			}
+			wf = next
+		}
+	}
+
+	// Phase 2 — sustained: a mixed solve/simulate stream over the warm
+	// catalog from *conc* concurrent clients.
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				kernel := kernels[i%len(kernels)]
+				if i%2 == 0 {
+					c.solve(*gpuName, kernel, feasibleFrac[kernel])
+				} else {
+					c.simulate(*gpuName, kernel, feasibleFrac[kernel])
+				}
+			}
+		}()
+	}
+	for i := 0; i < *requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wallSec := time.Since(wall0).Seconds()
+
+	total := len(c.latencies)
+	sort.Float64s(c.latencies)
+	var sum float64
+	for _, l := range c.latencies {
+		sum += l
+	}
+	r := report{
+		Kernel:       "catalog",
+		GPU:          *gpuName,
+		Points:       len(kernels),
+		Requests:     total,
+		Errors:       c.errors,
+		HerdRequests: herdRequests,
+		Coalesced:    c.coalesced,
+		CoalesceRate: float64(c.coalesced) / float64(herdRequests),
+		Shed:         c.shed,
+		CacheHits:    c.cacheHits,
+		P50Ms:        percentile(c.latencies, 0.50),
+		P99Ms:        percentile(c.latencies, 0.99),
+		MeanMs:       sum / float64(total),
+		RequestsPerS: float64(total) / wallSec,
+		WallSec:      wallSec,
+		Meta:         bench.NewMeta(*conc),
+	}
+	if err := bench.WriteJSON(*outPath, r); err != nil {
+		cli.Fatal(err)
+	}
+	fmt.Printf("servebench: %d kernels, %d requests in %.2fs (%.0f req/s): p50 %.2fms p99 %.2fms, %d coalesced (%.0f%% of herd), %d cache hits, %d shed, %d errors\n",
+		r.Points, r.Requests, r.WallSec, r.RequestsPerS, r.P50Ms, r.P99Ms,
+		r.Coalesced, 100*r.CoalesceRate, r.CacheHits, r.Shed, r.Errors)
+
+	// The acceptance bar: the whole catalog served with zero unexpected
+	// errors, and the herd demonstrably coalesced.
+	if c.errors > 0 {
+		cli.Fatalf("%d requests failed", c.errors)
+	}
+	if c.coalesced == 0 {
+		cli.Fatalf("no request coalesced under a herd of %d — the singleflight layer is not working", *herd)
+	}
+}
+
+// percentile returns the p-quantile of sorted (ascending) samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

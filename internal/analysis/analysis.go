@@ -119,6 +119,19 @@ func (p *Program) Fingerprint() string {
 	return p.fp
 }
 
+// Fingerprint computes the fingerprint a Program built from the same
+// (kernel, params) pair would report, without performing the analysis:
+// a hash of the kernel's canonical DSL rendering and the resolved
+// params (nil params resolves to the kernel's own defaults, exactly
+// like Analyze). Callers that key caches of Program artifacts use it to
+// decide whether an artifact can be reused before paying for a build.
+func Fingerprint(k *affine.Kernel, params map[string]int64) string {
+	if params == nil {
+		params = k.Params
+	}
+	return fingerprint(k, params)
+}
+
 // Analyze computes the Program artifact for a kernel under the given
 // problem sizes (nil params uses the kernel's own defaults, unmerged —
 // exactly how the pre-staged pipeline resolved them).

@@ -40,13 +40,16 @@ func (e HistoryEntry) key() string {
 }
 
 // metricDirection says whether a guarded metric regresses by going up
-// (+1: lower is better) or down (-1: higher is better). Unlisted
-// metrics are recorded in the history but never gate.
+// (+1: lower is better) or down (-1: higher is better). The direction
+// is read from the name's unit suffix — latencies (_ms, _per_point_us)
+// regress upward, rates (_per_sec) regress downward — so new reports
+// opt into gating just by naming their metrics conventionally.
+// Unlisted metrics are recorded in the history but never gate.
 func metricDirection(name string) int {
 	switch {
-	case strings.HasSuffix(name, "_per_point_us"):
+	case strings.HasSuffix(name, "_per_point_us"), strings.HasSuffix(name, "_ms"):
 		return +1
-	case strings.HasSuffix(name, "_points_per_sec"):
+	case strings.HasSuffix(name, "_per_sec"):
 		return -1
 	case name == "speedup":
 		return -1

@@ -20,12 +20,37 @@ func entryFor(t *testing.T, repoFile string) HistoryEntry {
 	return e
 }
 
+// TestMetricDirection pins the unit-suffix convention the gate reads
+// directions from: latencies (_ms, _per_point_us) regress by going up,
+// rates (_per_sec, including the older _points_per_sec spelling) by
+// going down, and everything else is recorded but never gates.
+func TestMetricDirection(t *testing.T) {
+	cases := map[string]int{
+		"fresh_per_point_us":    +1,
+		"p50_ms":                +1,
+		"p99_ms":                +1,
+		"mean_ms":               +1,
+		"staged_points_per_sec": -1,
+		"requests_per_sec":      -1,
+		"speedup":               -1,
+		"wall_sec":              0, // duration of the run, not a latency
+		"coalesce_rate":         0,
+		"cache_hits":            0,
+		"errors":                0,
+	}
+	for name, want := range cases {
+		if got := metricDirection(name); got != want {
+			t.Errorf("metricDirection(%q) = %+d, want %+d", name, got, want)
+		}
+	}
+}
+
 // TestGuardPassesOnCurrentBenchFiles replays the repo's committed
 // BENCH_*.json values against a history made of the same values: the
 // gate must pass — a run identical to its baseline is never a
 // regression.
 func TestGuardPassesOnCurrentBenchFiles(t *testing.T) {
-	for _, file := range []string{"BENCH_analysis.json", "BENCH_sweep.json"} {
+	for _, file := range []string{"BENCH_analysis.json", "BENCH_sweep.json", "BENCH_serve.json"} {
 		e := entryFor(t, file)
 		if n := guardedCount(e); n == 0 {
 			t.Errorf("%s: no guarded metrics recognized", file)
@@ -41,7 +66,7 @@ func TestGuardPassesOnCurrentBenchFiles(t *testing.T) {
 // the committed BENCH files by 20% — the gate (15% tolerance) must
 // fail, and must name the degraded metrics.
 func TestGuardFailsOnInjectedRegression(t *testing.T) {
-	for _, file := range []string{"BENCH_analysis.json", "BENCH_sweep.json"} {
+	for _, file := range []string{"BENCH_analysis.json", "BENCH_sweep.json", "BENCH_serve.json"} {
 		base := entryFor(t, file)
 		history := []HistoryEntry{base, base, base}
 

@@ -7,12 +7,14 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
@@ -100,13 +102,24 @@ func Serve(addr string) (stop func()) {
 		}
 		Logger.Warn("interrupted, dumping flight recorder", "tool", tool, "signal", s.String())
 		dumpFlight(s.String())
-		srv.Close()
+		shutdown(srv)
 		os.Exit(130)
 	}()
 
 	return func() {
 		signal.Stop(sig)
 		close(sig)
+		shutdown(srv)
+	}
+}
+
+// shutdown drains the introspection server gracefully — an in-flight
+// /metrics scrape or /trace download finishes — and falls back to an
+// immediate Close when the drain does not complete in time.
+func shutdown(srv *serve.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
 		srv.Close()
 	}
 }

@@ -23,14 +23,32 @@ import (
 	"time"
 )
 
-// enabled gates both span recording and metric updates.
-var enabled atomic.Bool
+// enabled gates both span recording and metric updates; spanCapture
+// additionally gates span recording, so a long-lived process can keep
+// the (bounded) metrics registry hot without accumulating spans.
+var (
+	enabled     atomic.Bool
+	spanCapture atomic.Bool
+)
 
 // Enable turns span recording and metric updates on.
-func Enable() { enabled.Store(true) }
+func Enable() {
+	enabled.Store(true)
+	spanCapture.Store(true)
+}
+
+// EnableMetrics turns metric updates (and live sweep progress) on
+// without span recording. Spans accumulate in memory until Reset —
+// fine for one pipeline run under -trace, unbounded for a daemon.
+// cmd/eatssd runs under EnableMetrics so /metrics, /progress and the
+// flight recorder's bounded ring stay live while memory stays flat.
+func EnableMetrics() { enabled.Store(true) }
 
 // Disable turns the layer off again; already-recorded data is kept.
-func Disable() { enabled.Store(false) }
+func Disable() {
+	enabled.Store(false)
+	spanCapture.Store(false)
+}
 
 // Enabled reports whether the layer is recording.
 func Enabled() bool { return enabled.Load() }

@@ -19,6 +19,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -58,23 +59,47 @@ type Server struct {
 	srv *http.Server
 }
 
+// ReadHeaderTimeout bounds how long a connection may dribble its
+// request headers before the server drops it. Without it a handful of
+// slowloris connections can pin a long-lived process's listener
+// goroutines forever; with it they cost at most this much each.
+const ReadHeaderTimeout = 10 * time.Second
+
 // Start listens on addr (e.g. "127.0.0.1:0" or ":8080") and serves the
 // introspection handler in a background goroutine.
 func Start(addr string) (*Server, error) {
+	return StartHandler(addr, Handler())
+}
+
+// StartHandler is Start with a caller-supplied handler — cmd/eatssd
+// mounts its API mux on the same hardened listener lifecycle.
+func StartHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler()}}
-	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	s := &Server{ln: ln, srv: &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+	}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close/Shutdown
 	return s, nil
 }
 
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server immediately.
+// Close stops the server immediately, dropping in-flight requests. It
+// is the test-and-crash path; long-lived processes should prefer
+// Shutdown.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections and drains in-flight
+// handlers, waiting until they finish or ctx expires (then the
+// stragglers are dropped, like Close). The SIGINT/SIGTERM paths of
+// cmd/eatssd and internal/cli use it so a deploy never cuts a response
+// mid-body.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
 
 func handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
@@ -133,7 +158,7 @@ func handleProfile(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, p.Render())
-	default:
+	case "":
 		p := profile.Latest()
 		if p == nil {
 			http.Error(w, "no profile published yet", http.StatusNotFound)
@@ -143,6 +168,11 @@ func handleProfile(w http.ResponseWriter, r *http.Request) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(p) //nolint:errcheck // best-effort response write
+	default:
+		// A typo like ?view=suface must fail loudly, not silently fall
+		// back to the default JSON document.
+		http.Error(w, fmt.Sprintf("unknown view %q (valid: surface, report, or omit for JSON)",
+			r.URL.Query().Get("view")), http.StatusBadRequest)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
@@ -233,6 +234,13 @@ func TestProfileEndpoint(t *testing.T) {
 	if code, body := get("/profile?view=surface"); code != 200 || !strings.Contains(body, `"dims"`) {
 		t.Fatalf("/profile?view=surface = %d:\n%s", code, body)
 	}
+
+	// An unknown view is a client error that names the valid views — it
+	// must not silently fall back to the default JSON document.
+	if code, body := get("/profile?view=suface"); code != 400 ||
+		!strings.Contains(body, `"suface"`) || !strings.Contains(body, "surface, report") {
+		t.Fatalf("/profile?view=suface = %d:\n%s", code, body)
+	}
 }
 
 // TestProgressEmptyWhenIdle confirms /progress degrades to an empty
@@ -269,5 +277,55 @@ func TestServerStartClose(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
 		t.Fatal("server still reachable after Close")
+	}
+}
+
+// TestServerShutdown exercises the graceful path: Shutdown drains and
+// stops the listener, and repeated Shutdown stays safe.
+func TestServerShutdown(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still reachable after Shutdown")
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestStartHandlerServesCustomMux pins the seam cmd/eatssd mounts its
+// API on: StartHandler serves the caller's handler with the hardened
+// listener settings.
+func TestStartHandlerServesCustomMux(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/custom", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "custom ok")
+	})
+	s, err := StartHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || string(body) != "custom ok" {
+		t.Fatalf("custom handler = %d %q", resp.StatusCode, body)
 	}
 }

@@ -93,7 +93,7 @@ var tr struct {
 // layer is disabled it returns ctx unchanged and a nil span — the
 // zero-cost fast path; all Span methods accept a nil receiver.
 func Start(ctx context.Context, name string) (context.Context, *Span) {
-	if !enabled.Load() {
+	if !enabled.Load() || !spanCapture.Load() {
 		return ctx, nil
 	}
 	var parent uint64

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errShed is returned when admission control refuses a request because
+// both the in-flight slots and the wait queue are full. The HTTP layer
+// maps it to 429 Too Many Requests.
+var errShed = errors.New("serve: overloaded (in-flight and queue limits reached), request shed")
+
+// admission is the bounded-slot gate in front of heavy operations: at
+// most cap(slots) run at once, at most maxQueue wait for a slot, and
+// arrivals beyond that are shed immediately. Shedding at the door keeps
+// the daemon's latency distribution flat under overload instead of
+// letting an unbounded queue turn every response into a timeout.
+type admission struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+func newAdmission(inflight, maxQueue int) *admission {
+	if inflight < 1 {
+		inflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{slots: make(chan struct{}, inflight), maxQueue: int64(maxQueue)}
+}
+
+// acquire takes a slot, waiting in the bounded queue if none is free.
+// It returns errShed when the queue is full, or ctx.Err() when the
+// caller's deadline expires while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return errShed
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inFlight reports how many slots are currently held.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// queueDepth reports how many acquirers are waiting for a slot.
+func (a *admission) queueDepth() int64 { return a.queued.Load() }

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a mutex-guarded fixed-capacity least-recently-used cache. Both
+// service tiers use it: Program artifacts (immutable, rebuildable, so
+// eviction is always safe) and solved Selections (pure functions of
+// their key, likewise). Get refreshes recency; Put of a full cache
+// evicts the least recently used entry.
+type lru[V any] struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used
+	m      map[string]*list.Element
+	hits   int64
+	misses int64
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](max int) *lru[V] {
+	if max < 1 {
+		max = 1
+	}
+	return &lru[V]{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *lru[V]) get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+func (c *lru[V]) put(key string, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry[V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: v})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry[V]).key)
+	}
+}
+
+func (c *lru[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *lru[V]) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,60 @@
+package serve
+
+import "testing"
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRU[int](2)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.put("c", 3) // evicts a
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	if v, ok := c.get("b"); !ok || v != 2 {
+		t.Fatalf("b = %d, %t; want 2, true", v, ok)
+	}
+	if v, ok := c.get("c"); !ok || v != 3 {
+		t.Fatalf("c = %d, %t; want 3, true", v, ok)
+	}
+	if got := c.len(); got != 2 {
+		t.Fatalf("len = %d, want 2", got)
+	}
+}
+
+func TestLRUGetRefreshesRecency(t *testing.T) {
+	c := newLRU[int](2)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.get("a")    // a is now most recent
+	c.put("c", 3) // evicts b, not a
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived: it was touched most recently")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestLRUPutUpdatesInPlace(t *testing.T) {
+	c := newLRU[int](2)
+	c.put("a", 1)
+	c.put("a", 10)
+	if v, _ := c.get("a"); v != 10 {
+		t.Fatalf("a = %d, want 10", v)
+	}
+	if got := c.len(); got != 1 {
+		t.Fatalf("len = %d, want 1", got)
+	}
+}
+
+func TestLRUStats(t *testing.T) {
+	c := newLRU[string](4)
+	c.put("k", "v")
+	c.get("k")
+	c.get("k")
+	c.get("missing")
+	hits, misses := c.stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+}

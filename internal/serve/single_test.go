@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupCoalescesConcurrentCallers(t *testing.T) {
+	var g group
+	var calls atomic.Int64
+	const n = 8
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	var coalesced atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, co, err := g.do(context.Background(), "k", func() (any, error) {
+				calls.Add(1)
+				// Hold the flight open until every caller has attached,
+				// so the herd size is deterministic.
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("do: %v", err)
+			}
+			if v != 42 {
+				t.Errorf("v = %v, want 42", v)
+			}
+			if co {
+				coalesced.Add(1)
+			}
+		}()
+	}
+	waitFor(t, func() bool { return g.waiters("k") == n })
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	if got := coalesced.Load(); got != n-1 {
+		t.Fatalf("%d callers coalesced, want %d", got, n-1)
+	}
+}
+
+func TestGroupWaiterDeadlineDoesNotCancelWork(t *testing.T) {
+	var g group
+	release := make(chan struct{})
+	done := make(chan struct{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	go func() {
+		defer close(done)
+		_, _, err := g.do(ctx, "k", func() (any, error) {
+			<-release
+			return "late", nil
+		})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("err = %v, want DeadlineExceeded", err)
+		}
+	}()
+	<-done // the caller gave up...
+
+	// ...but the work is still in flight and completes once released.
+	if g.waiters("k") == 0 {
+		t.Fatal("flight should still be open after the waiter gave up")
+	}
+	close(release)
+	waitFor(t, func() bool { return g.waiters("k") == 0 })
+}
+
+func TestGroupDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g group
+	var calls atomic.Int64
+	fn := func() (any, error) { calls.Add(1); return nil, nil }
+	if _, co, _ := g.do(context.Background(), "a", fn); co {
+		t.Fatal("first caller of a key must lead, not coalesce")
+	}
+	if _, co, _ := g.do(context.Background(), "b", fn); co {
+		t.Fatal("distinct key must lead its own flight")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("fn ran %d times, want 2", got)
+	}
+}
+
+// waitFor polls cond until it holds or the test deadline budget runs out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

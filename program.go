@@ -59,6 +59,21 @@ func AnalyzeCtx(ctx context.Context, k *AffineKernel, params map[string]int64) (
 // frozen.
 func (p *Program) Kernel() *AffineKernel { return p.prog.Kernel }
 
+// FingerprintKernel computes the fingerprint a Program built by
+// Analyze(k, params) would report, without staging the analysis — a
+// hash of the kernel's canonical DSL text and the resolved problem
+// sizes. Services caching Program artifacts (cmd/eatssd) use it to
+// probe their cache before paying for the analysis; the invariant
+// FingerprintKernel(k, params) == must-Analyze(k, params).Fingerprint()
+// is pinned by a test.
+func FingerprintKernel(k *AffineKernel, params map[string]int64) string {
+	kk := k
+	if params != nil {
+		kk = k.WithParams(params)
+	}
+	return analysis.Fingerprint(kk, nil)
+}
+
 // Params returns a copy of the resolved problem sizes the Program was
 // analyzed under.
 func (p *Program) Params() map[string]int64 {
@@ -171,6 +186,12 @@ func (p *Program) Explain(g *GPU, sel *Selection) ([]ConstraintSlack, string) {
 // errors, but callers inspecting why a requested extension had no
 // effect need the count (cmd/eatss -summary prints it).
 func compileAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, tiles map[string]int64, cfg RunConfig) (*MappedKernel, error) {
+	// Poll the context before starting: sweeps with per-request deadlines
+	// (and the eatssd daemon) rely on a cancelled evaluation failing fast
+	// with a context error instead of running to completion.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("eatss: compile %s on %s: %w", prog.Kernel.Name, g.Name, err)
+	}
 	mk, err := ppcg.CompileAnalyzed(ctx, prog, cfg.Params, tiles, g, codegen.Options{
 		UseShared:   cfg.UseShared,
 		SharedQuota: cfg.SharedQuota,
@@ -208,6 +229,9 @@ func runAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, tiles map[
 	mk, err := compileAnalyzed(ctx, prog, g, tiles, cfg)
 	if err != nil {
 		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("eatss: simulate %s on %s: %w", prog.Kernel.Name, g.Name, err)
 	}
 	return gpusim.SimulateCtx(ctx, mk, g), nil
 }

@@ -2,6 +2,7 @@ package eatss
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -185,6 +186,22 @@ func copyTiles(tiles map[string]int64) map[string]int64 {
 	return cp
 }
 
+// cacheableOutcome reports whether one point's evaluation outcome may
+// be memoized. An evaluation cut short by cancellation (the worker's
+// context expired, or the error itself is a context error) says nothing
+// about the configuration — caching its spurious failure as a permanent
+// ok:false "failed to map" entry would poison the process-wide
+// DefaultEvalCache for every later sweep touching the same key. A
+// successful result computed under a just-cancelled context is equally
+// skipped: dropping a valid memoization is cheap, distinguishing it
+// from a torn one is not.
+func cacheableOutcome(wctx context.Context, err error) bool {
+	if wctx.Err() != nil {
+		return false
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
 // sweepOutcome is one point's evaluation as seen by the pool worker.
 type sweepOutcome struct {
 	res Result
@@ -249,7 +266,9 @@ func exploreAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, space 
 			res, err := runAnalyzed(wctx, prog, g, tiles, cfg)
 			mSweepPointSec.Observe(obs.Now().Sub(evalStart).Seconds())
 			o := sweepOutcome{res: res, ok: err == nil}
-			cache.put(key, evalEntry{res: o.res, ok: o.ok})
+			if cacheableOutcome(wctx, err) {
+				cache.put(key, evalEntry{res: o.res, ok: o.ok})
+			}
 			progress.PointDone(false, o.ok)
 			flight.Default.SweepPoint(prog.Kernel.Name, int64(i), o.ok, false)
 			return o

@@ -1,0 +1,38 @@
+package eatss
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestCacheableOutcome pins the memoization guard exactly: only
+// outcomes computed under a live context and free of context errors may
+// enter an EvalCache.
+func TestCacheableOutcome(t *testing.T) {
+	live := context.Background()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	cases := []struct {
+		name string
+		ctx  context.Context
+		err  error
+		want bool
+	}{
+		{"success on live ctx", live, nil, true},
+		{"real mapping failure on live ctx", live, errors.New("codegen: tile too large"), true},
+		{"cancelled ctx", cancelled, context.Canceled, false},
+		{"cancelled ctx, success raced in", cancelled, nil, false},
+		{"deadline error on live ctx", live, context.DeadlineExceeded, false},
+		{"wrapped cancellation on live ctx", live, fmt.Errorf("eatss: compile gemm: %w", context.Canceled), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cacheableOutcome(tc.ctx, tc.err); got != tc.want {
+				t.Fatalf("cacheableOutcome = %t, want %t", got, tc.want)
+			}
+		})
+	}
+}
