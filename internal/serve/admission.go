@@ -34,10 +34,13 @@ func newAdmission(inflight, maxQueue int) *admission {
 
 // acquire takes a slot, waiting in the bounded queue if none is free.
 // It returns errShed when the queue is full, or ctx.Err() when the
-// caller's deadline expires while queued.
+// caller's deadline expires while queued. acquire and release keep the
+// serve.inflight gauge current on both edges so /metrics reads 0 once
+// traffic drains, not the last post-acquire value.
 func (a *admission) acquire(ctx context.Context) error {
 	select {
 	case a.slots <- struct{}{}:
+		mInflight.Set(float64(len(a.slots)))
 		return nil
 	default:
 	}
@@ -48,13 +51,17 @@ func (a *admission) acquire(ctx context.Context) error {
 	defer a.queued.Add(-1)
 	select {
 	case a.slots <- struct{}{}:
+		mInflight.Set(float64(len(a.slots)))
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-func (a *admission) release() { <-a.slots }
+func (a *admission) release() {
+	<-a.slots
+	mInflight.Set(float64(len(a.slots)))
+}
 
 // inFlight reports how many slots are currently held.
 func (a *admission) inFlight() int { return len(a.slots) }

@@ -20,11 +20,17 @@ var ops = []string{"lint", "analyze", "solve", "best", "compile", "simulate"}
 
 // Response statuses.
 const (
-	StatusOK      = "ok"      // request succeeded
-	StatusError   = "error"   // the pipeline rejected the request (HTTP 400/422)
-	StatusTimeout = "timeout" // the request deadline expired (HTTP 504)
-	StatusShed    = "shed"    // admission control refused the request (HTTP 429)
+	StatusOK        = "ok"        // request succeeded
+	StatusError     = "error"     // the pipeline rejected the request (HTTP 400/422)
+	StatusTimeout   = "timeout"   // the request deadline expired (HTTP 504)
+	StatusCancelled = "cancelled" // the client went away mid-request (HTTP 499)
+	StatusShed      = "shed"      // admission control refused the request (HTTP 429)
 )
+
+// statusClientClosed is the nginx-convention transport code for "client
+// closed request"; net/http has no constant for it. The client never
+// reads it — it records the outcome for logs and in-process callers.
+const statusClientClosed = 499
 
 // batchLimit caps how many requests one /v1/batch call may carry.
 const batchLimit = 256
@@ -163,6 +169,10 @@ type ResultView struct {
 // caching policy and returns the response (never nil; errors are
 // encoded in Status/Error/HTTPStatus).
 func (s *Server) Do(ctx context.Context, req *Request) *Response {
+	if req == nil {
+		return fail(&Response{}, http.StatusBadRequest, StatusError,
+			errors.New("nil request"))
+	}
 	mRequests.Add(1)
 	start := obs.Now()
 	ctx, cancel := context.WithTimeout(ctx, s.timeout(req))
@@ -174,6 +184,8 @@ func (s *Server) Do(ctx context.Context, req *Request) *Response {
 	switch resp.Status {
 	case StatusTimeout:
 		mTimeouts.Add(1)
+	case StatusCancelled:
+		mCancelled.Add(1)
 	case StatusShed:
 		mShed.Add(1)
 	case StatusError:
@@ -423,13 +435,18 @@ func fail(resp *Response, httpStatus int, status string, err error) *Response {
 }
 
 // failFrom maps an execution error onto the right transport semantics:
-// shed -> 429, blown deadline -> 504, anything else -> 422.
+// shed -> 429, blown deadline -> 504, client cancellation -> 499,
+// anything else -> 422. Canceled is kept apart from DeadlineExceeded so
+// churny clients that disconnect mid-request don't inflate the timeout
+// metric.
 func failFrom(resp *Response, err error) *Response {
 	switch {
 	case errors.Is(err, errShed):
 		return fail(resp, http.StatusTooManyRequests, StatusShed, err)
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, context.DeadlineExceeded):
 		return fail(resp, http.StatusGatewayTimeout, StatusTimeout, err)
+	case errors.Is(err, context.Canceled):
+		return fail(resp, statusClientClosed, StatusCancelled, err)
 	default:
 		return fail(resp, http.StatusUnprocessableEntity, StatusError, err)
 	}
@@ -479,6 +496,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("batch of %d exceeds the %d-request limit",
 			len(batch.Requests), batchLimit), http.StatusBadRequest)
 		return
+	}
+	for i, req := range batch.Requests {
+		if req == nil {
+			http.Error(w, fmt.Sprintf("null request at index %d", i), http.StatusBadRequest)
+			return
+		}
 	}
 	out := batchResponse{Responses: make([]*Response, len(batch.Requests))}
 	var wg sync.WaitGroup

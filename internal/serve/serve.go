@@ -53,6 +53,7 @@ var (
 	mRequests   = obs.NewCounter("serve.requests")
 	mErrors     = obs.NewCounter("serve.errors")
 	mTimeouts   = obs.NewCounter("serve.timeouts")
+	mCancelled  = obs.NewCounter("serve.cancelled")
 	mShed       = obs.NewCounter("serve.shed")
 	mCoalesced  = obs.NewCounter("serve.coalesced")
 	mSolves     = obs.NewCounter("serve.solves")
@@ -252,7 +253,6 @@ func (s *Server) solved(ctx context.Context, key string, fn func(ctx context.Con
 			return nil, err
 		}
 		defer s.adm.release()
-		mInflight.Set(float64(s.adm.inFlight()))
 		if s.solveHook != nil {
 			s.solveHook(key)
 		}
@@ -277,6 +277,5 @@ func (s *Server) heavy(ctx context.Context, fn func() error) error {
 		return err
 	}
 	defer s.adm.release()
-	mInflight.Set(float64(s.adm.inFlight()))
 	return fn()
 }

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	eatss "repro"
+
+	"repro/internal/obs"
 )
 
 // --- concurrency contract -------------------------------------------------
@@ -296,6 +298,11 @@ func TestRequestValidation(t *testing.T) {
 		{"bad source", "/v1/analyze", `{"source":"not a kernel"}`, http.StatusBadRequest},
 		{"infeasible formulation", "/v1/solve", `{"kernel":"conv-2d"}`, http.StatusUnprocessableEntity},
 		{"empty batch", "/v1/batch", `{"requests":[]}`, http.StatusBadRequest},
+		// Regression: a null batch entry decoded to a nil *Request and
+		// panicked inside a handler-spawned goroutine, crashing the whole
+		// process (net/http's recover only covers the handler goroutine).
+		{"null entry in batch", "/v1/batch", `{"requests":[null]}`, http.StatusBadRequest},
+		{"null entry amid valid ones", "/v1/batch", `{"requests":[{"op":"lint","kernel":"gemm"},null]}`, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -331,6 +338,79 @@ func TestRequestValidation(t *testing.T) {
 			t.Fatalf("status = %d, want 400", resp.StatusCode)
 		}
 	})
+}
+
+// TestNilRequest: Do must never dereference a nil request (the /v1/batch
+// handler guards its entries, but Do is public API and must hold on its
+// own).
+func TestNilRequest(t *testing.T) {
+	s := New(Config{})
+	r := s.Do(context.Background(), nil)
+	if r == nil {
+		t.Fatal("Do(nil) returned nil response")
+	}
+	if r.Status != StatusError || r.HTTPStatus != http.StatusBadRequest {
+		t.Fatalf("Do(nil): status=%s http=%d, want %s/400", r.Status, r.HTTPStatus, StatusError)
+	}
+}
+
+// TestClientCancelIsNotATimeout: a client that disconnects mid-request
+// (context cancelled) gets the cancelled status, not 504/timeout, so
+// churny clients don't inflate the serve.timeouts metric.
+func TestClientCancelIsNotATimeout(t *testing.T) {
+	obs.EnableMetrics()
+	defer obs.Disable()
+	s := New(Config{})
+	release := make(chan struct{})
+	s.solveHook = func(string) { <-release }
+	timeoutsBefore := mTimeouts.Value()
+	cancelledBefore := mCancelled.Value()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *Response, 1)
+	go func() {
+		done <- s.Do(ctx, &Request{Op: "solve", Kernel: "gemm"})
+	}()
+	spinUntil(t, func() bool { return s.adm.inFlight() == 1 })
+	cancel()
+	r := <-done
+
+	if r.Status != StatusCancelled {
+		t.Fatalf("status = %s (%s), want %s", r.Status, r.Error, StatusCancelled)
+	}
+	if r.HTTPStatus != statusClientClosed {
+		t.Fatalf("http status = %d, want %d", r.HTTPStatus, statusClientClosed)
+	}
+	if got := mTimeouts.Value(); got != timeoutsBefore {
+		t.Fatalf("serve.timeouts moved %d -> %d on a client cancel", timeoutsBefore, got)
+	}
+	if got := mCancelled.Value(); got != cancelledBefore+1 {
+		t.Fatalf("serve.cancelled moved %d -> %d, want +1", cancelledBefore, got)
+	}
+
+	// The detached solve is unaffected: release it and it caches.
+	close(release)
+	spinUntil(t, func() bool { return s.selections.len() == 1 })
+}
+
+// TestInflightGaugeDrains: serve.inflight must track both edges of the
+// admission gate — >=1 while a solve holds a slot, back to 0 once
+// traffic drains (it used to stick at the last post-acquire value).
+func TestInflightGaugeDrains(t *testing.T) {
+	obs.EnableMetrics()
+	defer obs.Disable()
+	s := New(Config{})
+	release := make(chan struct{})
+	s.solveHook = func(string) { <-release }
+
+	done := make(chan *Response, 1)
+	go func() {
+		done <- s.Do(context.Background(), &Request{Op: "solve", Kernel: "gemm"})
+	}()
+	spinUntil(t, func() bool { return mInflight.Value() >= 1 })
+	close(release)
+	<-done
+	spinUntil(t, func() bool { return mInflight.Value() == 0 })
 }
 
 // TestProgramCacheSharedAcrossOps: analyze then solve then lint on the
