@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race sweep-race sweep-bench analysis-bench serve-bench obs-bench bench-guard profile-demo lint-gate selfcheck check clean
+.PHONY: all vet build test race sweep-race sweep-bench analysis-bench serve-bench obs-bench bench-guard profile-demo lint-gate selfcheck symbolic-parity symbolic-bench check clean
 
 all: check
 
@@ -58,12 +58,28 @@ serve-bench:
 obs-bench:
 	$(GO) test -count=1 -run 'TestObsOverhead|TestHistogramObserveEnabledDoesNotAllocate|TestLiveObsOverheadDisabled|TestDisabledRecorderDropsAndDoesNotAllocate|TestEnabledRecordDoesNotAllocate' ./internal/obs ./internal/obs/flight
 
+# symbolic-parity pins the pluggable-backend contract: the closed-form
+# symbolic evaluator must reproduce compile+simulate point-by-point —
+# same valid set, exact integer counters, energies to float noise, same
+# argmin — over the paper's full gemm space, a reduced space of every
+# catalog kernel on both GPUs, and the SelectBest protocol.
+symbolic-parity:
+	$(GO) test -count=1 -run 'TestSymbolicSweepParity|TestSelectBestEvalParity|TestEvaluatorBackendParity' . ./internal/serve
+
+# symbolic-bench measures what the closed-form evaluator buys per sweep
+# evaluation (BENCH_symbolic.json), re-verifies parity along the way,
+# and exits nonzero if the per-point speedup over compile+simulate falls
+# under symbench's 10x floor — the backend's reason to exist, enforced
+# on every `make check`.
+symbolic-bench:
+	$(GO) run ./cmd/symbench -out BENCH_symbolic.json
+
 # bench-guard replays the BENCH_*.json files just written by the bench
 # targets against BENCH_history.jsonl: a guarded metric (per-point
 # latency, points/sec, speedup) regressing more than 15% against the
-# median of comparable history (same file/kernel/points/GOMAXPROCS/host)
-# fails the gate. Passing runs are appended to the history so the
-# baseline tracks the trajectory.
+# median of recent comparable history (the last 8 runs with the same
+# file/kernel/points/GOMAXPROCS/host) fails the gate. Runs are appended
+# to the history so the baseline tracks the trajectory.
 bench-guard:
 	$(GO) run ./cmd/benchguard
 
@@ -91,11 +107,11 @@ selfcheck:
 # check is the gate a change must pass before it lands: static analysis
 # (go vet plus the repo's own selfcheck analyzer), a full build, the
 # kernel lint gate, the concurrency race gate, the staged-compilation
-# parity/benchmark gate, the service load test, the benchmark
-# regression guard over the BENCH history, the zero-cost-observability
-# guard, the attribution-profiler demo, and the full test suite under
-# the race detector.
-check: vet build selfcheck lint-gate sweep-race analysis-bench serve-bench bench-guard obs-bench profile-demo race
+# parity/benchmark gate, the symbolic-backend parity and speedup gates,
+# the service load test, the benchmark regression guard over the BENCH
+# history, the zero-cost-observability guard, the attribution-profiler
+# demo, and the full test suite under the race detector.
+check: vet build selfcheck lint-gate sweep-race analysis-bench symbolic-parity symbolic-bench serve-bench bench-guard obs-bench profile-demo race
 
 clean:
 	$(GO) clean ./...

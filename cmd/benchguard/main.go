@@ -1,9 +1,11 @@
 // Command benchguard is the benchmark regression gate: it reads the
 // repo's BENCH_*.json reports, compares each against the median of its
-// comparable history in BENCH_history.jsonl (same file, kernel, GPU,
-// point count, GOMAXPROCS and host), appends the new runs to the
-// history, and exits non-zero when a guarded metric — per-point time,
-// speedup, points/sec — regressed beyond the noise threshold. The
+// recent comparable history in BENCH_history.jsonl (the last 8 runs
+// with the same file, kernel, GPU, point count, GOMAXPROCS and host —
+// a sliding window, so the baseline tracks machine drift), appends the
+// new runs to the history, and exits non-zero when a guarded metric —
+// per-point time, speedup, points/sec — regressed beyond the noise
+// threshold. The
 // Makefile's `bench-guard` target runs it after the bench tools, so
 // `make check` (and CI) fails when a hot path gets slower.
 //

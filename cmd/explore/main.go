@@ -28,11 +28,13 @@ func main() {
 	top := flag.Int("top", 10, "how many top variants to print")
 	paper15 := flag.Bool("paper15", false, "force the 15-sizes-per-dim space for 3D kernels")
 	j := flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = sequential)")
+	evalName := flag.String("evaluator", "simulate", "evaluation backend: simulate | symbolic | auto")
 	listen := cli.ListenFlag()
 	cli.SetUsage("explore", "evaluate a kernel's full tile space on the simulated GPU",
 		"explore -kernel 2mm                  # the paper's 3,375-variant space",
 		"explore -kernel mvt -gpu xavier",
 		"explore -kernel 2mm -j 8             # sweep with 8 parallel workers",
+		"explore -kernel 2mm -evaluator auto  # closed-form evaluation with fallback",
 		"explore -kernel 2mm -listen :8080    # watch the sweep at /progress")
 	flag.Parse()
 	defer cli.Serve(*listen)()
@@ -51,7 +53,11 @@ func main() {
 			params = std
 		}
 	}
-	cfg := eatss.RunConfig{Params: params, UseShared: true, Precision: eatss.FP64}
+	evaluator, err := eatss.ParseEvaluator(*evalName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := eatss.RunConfig{Params: params, UseShared: true, Precision: eatss.FP64, Evaluator: evaluator}
 
 	// One staged analysis serves the whole sweep, the default-PPCG
 	// evaluation and the EATSS protocol below.
@@ -88,7 +94,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("kernel %s on %s: %d/%d valid variants\n", k.Name, g.Name, len(pts), len(space))
+	fmt.Printf("kernel %s on %s: %d/%d valid variants (evaluator %s, %d symbolic / %d residual)\n",
+		k.Name, g.Name, len(pts), len(space), evaluator, stats.Symbolic, stats.Residual)
 	fmt.Printf("P (default PPCG 32^d): %.1f GFLOP/s  %.3f J  PPW %.2f\n", def.GFLOPS, def.EnergyJ, def.PPW)
 	fmt.Printf("variants beating default: %.1f%% on perf, %.1f%% on energy\n",
 		100*float64(beatPerf)/float64(len(pts)), 100*float64(beatEnergy)/float64(len(pts)))

@@ -1,0 +1,234 @@
+// Command symbench measures what the closed-form symbolic evaluator
+// buys per sweep evaluation, and proves it safe: it walks the same tile
+// space twice — once through the staged compile+simulate pipeline and
+// once through the symbolic plan derived from the same analysis
+// artifact — then checks point-by-point parity (identical failure set,
+// matching energies, same argmin-energy configuration) before writing
+// the before/after numbers to a JSON file. Both walks are
+// single-threaded so the ratio isolates the per-point evaluation cost.
+// The Makefile's `symbolic-bench` target uses it to keep
+// BENCH_symbolic.json current, and exits nonzero when the speedup falls
+// under the 10x floor or parity breaks.
+//
+//	symbench                            # gemm 15^3 space
+//	symbench -points 512 -out BENCH_symbolic.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/affine"
+	"repro/internal/analysis"
+	"repro/internal/arch"
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/codegen"
+	"repro/internal/gpusim"
+	"repro/internal/ppcg"
+	"repro/internal/symbolic"
+)
+
+// minSpeedup is the per-point win the symbolic backend must deliver
+// over compile+simulate for the run to pass.
+const minSpeedup = 10.0
+
+// energyTolerance bounds the relative energy disagreement between the
+// backends. They share the same model functions, so the honest budget
+// is float noise, not modeling error.
+const energyTolerance = 1e-9
+
+// report is the JSON schema of BENCH_symbolic.json: the shared bench
+// envelope plus the backend-comparison figures. The *_per_point_us
+// suffixes put both walks under the regression guard's lower-is-better
+// rule.
+type report struct {
+	Kernel             string  `json:"kernel"`
+	GPU                string  `json:"gpu"`
+	Points             int     `json:"points"`
+	SimulateSec        float64 `json:"simulate_sec"`
+	SymbolicSec        float64 `json:"symbolic_sec"`
+	Speedup            float64 `json:"speedup"`
+	SimulatePerPointUS float64 `json:"simulate_per_point_us"`
+	SymbolicPerPointUS float64 `json:"symbolic_per_point_us"`
+	// DeriveUS is the one-time plan-derivation cost, amortized over the
+	// whole sweep (it is included in SymbolicSec).
+	DeriveUS float64 `json:"derive_us"`
+	// ArgminAgree reports that both backends pick the same
+	// minimum-energy configuration; MaxEnergyRelDiff is the largest
+	// per-point relative energy disagreement.
+	ArgminAgree      bool    `json:"argmin_agree"`
+	MaxEnergyRelDiff float64 `json:"max_energy_rel_diff"`
+	ResidualPoints   int     `json:"residual_points"`
+	bench.Meta
+}
+
+func main() {
+	kernel := flag.String("kernel", "gemm", "kernel to sweep")
+	gpuName := flag.String("gpu", "ga100", "GPU: ga100 | xavier | v100")
+	points := flag.Int("points", 0, "limit the space to the first N points (0 = full 15^d space)")
+	outPath := flag.String("out", "BENCH_symbolic.json", "output JSON path")
+	listen := cli.ListenFlag()
+	cli.SetUsage("symbench", "measure and verify the closed-form symbolic evaluator against compile+simulate",
+		"symbench                            # gemm 15^3 space",
+		"symbench -points 512 -out BENCH_symbolic.json",
+		"symbench -listen :8080              # live metrics at /metrics")
+	flag.Parse()
+	defer cli.Serve(*listen)()
+
+	k, err := affine.Lookup(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+	g, ok := arch.ByName(*gpuName)
+	if !ok {
+		fatal(fmt.Errorf("unknown GPU %q", *gpuName))
+	}
+	space := ppcg.Space(k, ppcg.PaperSpaceSizes())
+	if *points > 0 && *points < len(space) {
+		space = space[:*points]
+	}
+	opts := codegen.Options{UseShared: true, Precision: affine.FP64}
+	ctx := context.Background()
+	prog := analysis.Analyze(k, nil)
+
+	// A single walk of a small space finishes in milliseconds — far too
+	// short to time stably against scheduler noise — so each side repeats
+	// its walk until it has accumulated this much wall-clock and reports
+	// its fastest pass (noise only ever inflates a pass, so the minimum
+	// is the cleanest estimate of the true cost).
+	const minWallSec = 0.25
+
+	// Baseline: the staged compile+simulate pipeline (the sweep engine's
+	// pre-symbolic fast path), one artifact shared by every compile.
+	simRes := make([]gpusim.Result, len(space))
+	simOK := make([]bool, len(space))
+	simulateSec := math.Inf(1)
+	for t0 := time.Now(); time.Since(t0).Seconds() < minWallSec; {
+		p0 := time.Now()
+		for i, tiles := range space {
+			mk, err := ppcg.CompileAnalyzed(ctx, prog, nil, tiles, g, opts)
+			if err != nil {
+				simOK[i] = false
+				continue
+			}
+			simRes[i] = gpusim.Simulate(mk, g)
+			simOK[i] = true
+		}
+		simulateSec = math.Min(simulateSec, time.Since(p0).Seconds())
+	}
+
+	// Symbolic: derive once per sweep, evaluate the closed form per
+	// point. The derivation cost is charged to every pass, as a real
+	// sweep would pay it.
+	t1 := time.Now()
+	plan, err := symbolic.Derive(prog, g, symbolic.Config{
+		UseShared: opts.UseShared,
+		Precision: opts.Precision,
+	}, nil)
+	if err != nil {
+		fatal(fmt.Errorf("symbolic derivation failed for %s: %w", k.Name, err))
+	}
+	deriveSec := time.Since(t1).Seconds()
+	symRes := make([]gpusim.Result, len(space))
+	symOK := make([]bool, len(space))
+	residual := 0
+	symbolicSec := math.Inf(1)
+	for t2 := time.Now(); time.Since(t2).Seconds() < minWallSec; {
+		p0 := time.Now()
+		residual = 0
+		for i, tiles := range space {
+			res, err := plan.Eval(tiles)
+			if errors.Is(err, symbolic.ErrResidual) {
+				residual++
+				mk, cerr := ppcg.CompileAnalyzed(ctx, prog, nil, tiles, g, opts)
+				if cerr != nil {
+					symOK[i] = false
+					continue
+				}
+				symRes[i] = gpusim.Simulate(mk, g)
+				symOK[i] = true
+				continue
+			}
+			if err != nil {
+				symOK[i] = false
+				continue
+			}
+			symRes[i] = res
+			symOK[i] = true
+		}
+		symbolicSec = math.Min(symbolicSec, time.Since(p0).Seconds())
+	}
+	// A sweep pays derivation once; charge it to the reported walk.
+	symbolicSec += deriveSec
+
+	// Parity: identical failure set, bounded energy disagreement, same
+	// argmin-energy pick.
+	maxRel := 0.0
+	simBest, symBest := -1, -1
+	for i := range space {
+		if simOK[i] != symOK[i] {
+			fatal(fmt.Errorf("point %d: simulate ok=%t but symbolic ok=%t", i, simOK[i], symOK[i]))
+		}
+		if !simOK[i] {
+			continue
+		}
+		if rel := relDiff(simRes[i].EnergyJ, symRes[i].EnergyJ); rel > maxRel {
+			maxRel = rel
+		}
+		if simBest < 0 || simRes[i].EnergyJ < simRes[simBest].EnergyJ {
+			simBest = i
+		}
+		if symBest < 0 || symRes[i].EnergyJ < symRes[symBest].EnergyJ {
+			symBest = i
+		}
+	}
+
+	r := report{
+		Kernel:             k.Name,
+		GPU:                g.Name,
+		Points:             len(space),
+		SimulateSec:        simulateSec,
+		SymbolicSec:        symbolicSec,
+		Speedup:            simulateSec / symbolicSec,
+		SimulatePerPointUS: 1e6 * simulateSec / float64(len(space)),
+		SymbolicPerPointUS: 1e6 * symbolicSec / float64(len(space)),
+		DeriveUS:           1e6 * deriveSec,
+		ArgminAgree:        simBest == symBest,
+		MaxEnergyRelDiff:   maxRel,
+		ResidualPoints:     residual,
+		Meta:               bench.NewMeta(1),
+	}
+	if err := bench.WriteJSON(*outPath, r); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("symbench: %s on %s, %d points: simulate %.2fs (%.1fus/pt) -> symbolic %.3fs (%.2fus/pt), %.1fx, argmin_agree=%t max_rel=%.2e residual=%d\n",
+		r.Kernel, r.GPU, r.Points, r.SimulateSec, r.SimulatePerPointUS, r.SymbolicSec, r.SymbolicPerPointUS,
+		r.Speedup, r.ArgminAgree, r.MaxEnergyRelDiff, r.ResidualPoints)
+	if !r.ArgminAgree {
+		fatal(fmt.Errorf("backends disagree on the minimum-energy configuration (simulate %d vs symbolic %d)", simBest, symBest))
+	}
+	if r.MaxEnergyRelDiff > energyTolerance {
+		fatal(fmt.Errorf("energy disagreement %.3e exceeds the %.0e tolerance", r.MaxEnergyRelDiff, energyTolerance))
+	}
+	if r.Speedup < minSpeedup {
+		fatal(fmt.Errorf("symbolic speedup %.2fx under the %.0fx floor", r.Speedup, minSpeedup))
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+func fatal(err error) { cli.Fatal(err) }

@@ -35,6 +35,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/ppcg"
 	"repro/internal/sched"
+	"repro/internal/symbolic"
 )
 
 // Protocol-level telemetry: how many configurations the end-to-end
@@ -73,6 +74,29 @@ const (
 	FP32 = affine.FP32
 	FP64 = affine.FP64
 )
+
+// Evaluator selects the evaluation backend for tile points: the
+// per-point compile+simulate path, the closed-form symbolic plans of
+// internal/symbolic (with simulator fallback for residual points), or
+// an automatic choice. The zero value is EvalSimulate, so existing
+// RunConfigs keep their behaviour.
+type Evaluator = symbolic.Evaluator
+
+// Evaluation backends.
+const (
+	// EvalSimulate compiles and simulates every point (the default).
+	EvalSimulate = symbolic.EvalSimulate
+	// EvalSymbolic evaluates through the once-per-Program closed-form
+	// plan, falling back to simulation only for residual points.
+	EvalSymbolic = symbolic.EvalSymbolic
+	// EvalAuto lets the library pick the fastest exact backend.
+	EvalAuto = symbolic.EvalAuto
+)
+
+// ParseEvaluator parses "simulate", "symbolic" or "auto" (the empty
+// string means EvalSimulate), as accepted by CLI flags and the eatssd
+// request field.
+func ParseEvaluator(s string) (Evaluator, error) { return symbolic.ParseEvaluator(s) }
 
 // Kernels returns the names of the built-in benchmark kernels.
 func Kernels() []string { return affine.Catalog() }
@@ -197,6 +221,15 @@ type RunConfig struct {
 	// (launch geometry, staging footprint, register budget — see
 	// CertifyMapped). A failed certification is a hard compile error.
 	Verify VerifyMode
+	// Evaluator selects the evaluation backend for Run/ExploreSpace/
+	// SelectBest (and, through them, autotune and the eatssd service):
+	// EvalSimulate (default) compiles and simulates each point;
+	// EvalSymbolic and EvalAuto evaluate through a closed-form plan
+	// derived once per Program, falling back to simulation for residual
+	// points (configurations using TimeTileFuse, RegTile or Verify are
+	// outside the closed-form domain and always simulate). Compile
+	// ignores it — a MappedKernel is inherently a compile artifact.
+	Evaluator Evaluator
 }
 
 // Compile maps a kernel with the given tiles onto the GPU (the PPCG step).
@@ -221,7 +254,8 @@ func Run(k *AffineKernel, g *GPU, tiles map[string]int64, cfg RunConfig) (Result
 // It stages the analysis fresh; callers evaluating more than one tile
 // configuration should Analyze once and use Program.Run.
 func RunCtx(ctx context.Context, k *AffineKernel, g *GPU, tiles map[string]int64, cfg RunConfig) (Result, error) {
-	return runAnalyzed(ctx, analysis.AnalyzeCtx(ctx, k, cfg.Params), g, tiles, cfg)
+	res, _, err := evalAnalyzed(ctx, analysis.AnalyzeCtx(ctx, k, cfg.Params), g, tiles, cfg)
+	return res, err
 }
 
 // Candidate is one (EATSS configuration, simulated outcome) pair from
@@ -278,10 +312,18 @@ func SelectBestCtx(ctx context.Context, k *AffineKernel, g *GPU, prec Precision,
 	// under the caller's params override — the pre-staged protocol's
 	// semantics. The reuse analysis is size-independent, so one artifact
 	// serves both.
-	return selectBestAnalyzed(ctx, analysis.AnalyzeCtx(ctx, k, nil), g, prec, params)
+	return selectBestAnalyzed(ctx, analysis.AnalyzeCtx(ctx, k, nil), g, prec, params, EvalSimulate)
 }
 
-func selectBestAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GPU, prec Precision, params map[string]int64) (*Best, error) {
+// SelectBestEval is SelectBestCtx with an explicit evaluation backend:
+// under EvalSymbolic/EvalAuto each candidate is evaluated through the
+// Program's closed-form plan (with simulator fallback for residual
+// configurations) instead of being compiled and simulated.
+func SelectBestEval(ctx context.Context, k *AffineKernel, g *GPU, prec Precision, params map[string]int64, eval Evaluator) (*Best, error) {
+	return selectBestAnalyzed(ctx, analysis.AnalyzeCtx(ctx, k, nil), g, prec, params, eval)
+}
+
+func selectBestAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GPU, prec Precision, params map[string]int64, eval Evaluator) (*Best, error) {
 	k := prog.Kernel
 	ctx, root := obs.Start(ctx, "eatss.select_best")
 	defer root.End()
@@ -316,11 +358,13 @@ func selectBestAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GPU
 		}
 		best.SolverCalls += sel.SolverCalls
 		best.SolveTime += sel.SolveTime
-		res, err := runAnalyzed(cctx, prog, g, sel.Tiles, RunConfig{
+		res, info, err := evalAnalyzed(cctx, prog, g, sel.Tiles, RunConfig{
 			Params:    params,
 			UseShared: split > 0,
 			Precision: prec,
+			Evaluator: eval,
 		})
+		csp.SetBool("symbolic", info.symbolic)
 		if err != nil {
 			// Feasible formulation, but the chosen tiles did not map.
 			best.Skipped++
@@ -367,6 +411,12 @@ type ExploreStats struct {
 	// CacheHits counts configurations served from the memoizing
 	// evaluation cache instead of being compiled and simulated.
 	CacheHits int
+	// Symbolic counts fresh evaluations served by the closed-form
+	// backend; Residual counts the points that fell back to per-point
+	// simulation although a symbolic evaluator was requested. Both stay
+	// zero under EvalSimulate.
+	Symbolic int
+	Residual int
 	// Aborted reports that the context was cancelled before the sweep
 	// finished: the returned points cover only the configurations
 	// dispatched before cancellation.

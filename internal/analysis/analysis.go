@@ -105,6 +105,40 @@ type Program struct {
 
 	fpOnce sync.Once
 	fp     string
+
+	stashMu sync.Mutex
+	stash   map[string]any
+}
+
+// Memo returns the value stashed under key, building and caching it on
+// first use. It is the staging hook derived artifacts hang off the
+// Program the way the per-nest skeletons do: internal/symbolic memoizes
+// one closed-form plan per (GPU, options) here, so every sweep worker
+// sharing the Program shares the plan. build must be pure — the stash
+// does not change the Program's observable immutability, it only caches
+// functions of it. Safe for concurrent use; concurrent first calls for
+// the same key may run build more than once, and the first stored value
+// wins (all callers then observe the same value).
+func (p *Program) Memo(key string, build func() any) any {
+	p.stashMu.Lock()
+	if v, ok := p.stash[key]; ok {
+		p.stashMu.Unlock()
+		return v
+	}
+	p.stashMu.Unlock()
+	// Build outside the lock: a derive can be long, and blocking every
+	// other key's readers behind it would serialize sweep startup.
+	v := build()
+	p.stashMu.Lock()
+	defer p.stashMu.Unlock()
+	if prev, ok := p.stash[key]; ok {
+		return prev
+	}
+	if p.stash == nil {
+		p.stash = make(map[string]any)
+	}
+	p.stash[key] = v
+	return v
 }
 
 // Fingerprint identifies the (kernel, params) pair: a hash of the

@@ -28,6 +28,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/ppcg"
 	"repro/internal/sweep"
+	"repro/internal/symbolic"
 
 	"repro/internal/codegen"
 )
@@ -61,6 +62,13 @@ type Config struct {
 	// worker count. The surrogate rounds stay sequential: each choice
 	// depends on all prior observations.
 	Workers int
+	// Evaluator picks the backend that scores configurations: the full
+	// simulator (EvalSimulate, the default) or the closed-form symbolic
+	// plan with simulator fallback on residual configurations
+	// (EvalSymbolic / EvalAuto). The backends are parity-tested, so the
+	// tuner's decision sequence is identical either way; symbolic just
+	// makes each evaluation far cheaper.
+	Evaluator symbolic.Evaluator
 }
 
 // DefaultConfig mirrors the paper's ytopt setup.
@@ -98,21 +106,24 @@ func Tune(k *affine.Kernel, g *arch.GPU, space []map[string]int64, cfg Config) O
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	names := ppcg.LoopNames(k)
 
+	plan := planFor(k, nil, g, cfg)
 	evaluate := func(tiles map[string]int64) (Observation, bool) {
-		mk, err := codegen.MapKernel(k, nil, tiles, g, codegen.Options{
-			UseShared: cfg.UseShared,
-			Precision: cfg.Precision,
+		res, ok := evalPoint(plan, tiles, func() (gpusim.Result, bool) {
+			mk, err := codegen.MapKernel(k, nil, tiles, g, codegen.Options{
+				UseShared: cfg.UseShared,
+				Precision: cfg.Precision,
+			})
+			if err != nil {
+				return gpusim.Result{}, false
+			}
+			return gpusim.Simulate(mk, g), true
 		})
-		if err != nil {
+		if !ok {
 			return Observation{}, false
 		}
-		res := gpusim.Simulate(mk, g)
 		// The OpenMP offload backend achieves a fraction of the CUDA
 		// throughput; energy scales with the longer runtime.
-		res.GFLOPS *= OpenMPPenalty
-		res.TimeSec /= OpenMPPenalty
-		res.EnergyJ = res.AvgPowerW * res.TimeSec
-		res.PPW = res.GFLOPS / res.AvgPowerW
+		penalize(&res)
 		return Observation{Tiles: tiles, Result: res, Objective: res.GFLOPS}, true
 	}
 

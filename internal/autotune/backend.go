@@ -1,0 +1,63 @@
+package autotune
+
+import (
+	"errors"
+
+	"repro/internal/affine"
+	"repro/internal/analysis"
+	"repro/internal/arch"
+	"repro/internal/gpusim"
+	"repro/internal/symbolic"
+)
+
+// planFor derives the closed-form evaluation plan when the config asks
+// for a symbolic backend. A nil return means "use the simulator": either
+// the config chose it, or derivation failed and the whole kernel is
+// residual. prog may be nil when the caller has no staged analysis; the
+// kernel is analyzed here (once per run, not per evaluation).
+func planFor(k *affine.Kernel, prog *analysis.Program, g *arch.GPU, cfg Config) *symbolic.Plan {
+	if cfg.Evaluator == symbolic.EvalSimulate {
+		return nil
+	}
+	if prog == nil {
+		prog = analysis.Analyze(k, nil)
+	}
+	plan, err := symbolic.Derive(prog, g, symbolic.Config{
+		UseShared: cfg.UseShared,
+		Precision: cfg.Precision,
+	}, nil)
+	if err != nil {
+		return nil
+	}
+	return plan
+}
+
+// evalPoint scores one configuration on the chosen backend: the derived
+// plan when available, sim (the compile+simulate path) otherwise — and
+// also for plan points that report ErrResidual. A non-residual plan
+// error is a mapping failure and matches the simulator path's failure
+// for the same tiles (the backends are parity-tested down to the error
+// text), so the configuration is rejected without re-running it.
+func evalPoint(plan *symbolic.Plan, tiles map[string]int64, sim func() (gpusim.Result, bool)) (gpusim.Result, bool) {
+	if plan != nil {
+		res, err := plan.Eval(tiles)
+		if err == nil {
+			return res, true
+		}
+		if !errors.Is(err, symbolic.ErrResidual) {
+			return gpusim.Result{}, false
+		}
+	}
+	return sim()
+}
+
+// penalize applies the OpenMP-offload quality model to a raw result:
+// throughput scales down by OpenMPPenalty, runtime (and therefore
+// energy) up by the same factor. Both backends produce identical raw
+// results, so the penalized objective is backend-independent too.
+func penalize(res *gpusim.Result) {
+	res.GFLOPS *= OpenMPPenalty
+	res.TimeSec /= OpenMPPenalty
+	res.EnergyJ = res.AvgPowerW * res.TimeSec
+	res.PPW = res.GFLOPS / res.AvgPowerW
+}

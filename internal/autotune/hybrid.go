@@ -61,20 +61,23 @@ func HybridTune(k *affine.Kernel, g *arch.GPU, space []map[string]int64, cfg Con
 	}
 
 	var out Outcome
+	plan := planFor(k, prog, g, cfg)
 	evaluateOne := func(tiles map[string]int64) (Observation, bool) {
-		analysis.CountReuseHits(len(prog.Nests))
-		mk, err := codegen.MapKernelReuse(context.Background(), k, prog.NestReuses(), nil, tiles, g, codegen.Options{
-			UseShared: cfg.UseShared,
-			Precision: cfg.Precision,
+		res, ok := evalPoint(plan, tiles, func() (gpusim.Result, bool) {
+			analysis.CountReuseHits(len(prog.Nests))
+			mk, err := codegen.MapKernelReuse(context.Background(), k, prog.NestReuses(), nil, tiles, g, codegen.Options{
+				UseShared: cfg.UseShared,
+				Precision: cfg.Precision,
+			})
+			if err != nil {
+				return gpusim.Result{}, false
+			}
+			return gpusim.Simulate(mk, g), true
 		})
-		if err != nil {
+		if !ok {
 			return Observation{}, false
 		}
-		res := gpusim.Simulate(mk, g)
-		res.GFLOPS *= OpenMPPenalty
-		res.TimeSec /= OpenMPPenalty
-		res.EnergyJ = res.AvgPowerW * res.TimeSec
-		res.PPW = res.GFLOPS / res.AvgPowerW
+		penalize(&res)
 		return Observation{Tiles: tiles, Result: res, Objective: res.GFLOPS}, true
 	}
 	record := func(obs Observation, ok bool) {

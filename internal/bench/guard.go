@@ -160,11 +160,18 @@ func AppendHistory(path string, e HistoryEntry) error {
 	return err
 }
 
-// Guard compares a new run against the median of its comparable history
-// and returns every guarded metric that regressed beyond tol (relative;
-// 0.15 means "15% worse than baseline fails"). An entry with no
-// comparable history passes trivially — the first run on a machine
-// starts the trajectory it will be judged against.
+// baselineWindow bounds how much history feeds the baseline: the
+// median is taken over the most recent runs only, so the gate tracks
+// the trajectory (including machine-speed drift on a shared box)
+// instead of judging today's run against conditions from weeks ago.
+const baselineWindow = 8
+
+// Guard compares a new run against the median of its recent comparable
+// history (the last baselineWindow runs) and returns every guarded
+// metric that regressed beyond tol (relative; 0.15 means "15% worse
+// than baseline fails"). An entry with no comparable history passes
+// trivially — the first run on a machine starts the trajectory it will
+// be judged against.
 func Guard(history []HistoryEntry, e HistoryEntry, tol float64) []Regression {
 	var comparable []HistoryEntry
 	for _, h := range history {
@@ -174,6 +181,9 @@ func Guard(history []HistoryEntry, e HistoryEntry, tol float64) []Regression {
 	}
 	if len(comparable) == 0 {
 		return nil
+	}
+	if len(comparable) > baselineWindow {
+		comparable = comparable[len(comparable)-baselineWindow:]
 	}
 	var regs []Regression
 	names := make([]string, 0, len(e.Metrics))

@@ -145,6 +145,32 @@ func TestGuardUsesMedianBaseline(t *testing.T) {
 	}
 }
 
+// TestGuardBaselineWindowTracksDrift pins the sliding window: once the
+// recent trajectory has settled at a slower level (machine drift, not a
+// code change), runs matching that level pass — fast runs older than
+// the window no longer gate — while a genuine regression against the
+// recent level still fails.
+func TestGuardBaselineWindowTracksDrift(t *testing.T) {
+	mk := func(v float64) HistoryEntry {
+		return HistoryEntry{
+			File: "BENCH_x.json", Kernel: "gemm", GPU: "GA100",
+			Points: 512, GOMAXPROCS: 8, Host: "h",
+			Metrics: map[string]float64{"staged_per_point_us": v},
+		}
+	}
+	// Ancient fast epoch, then a full window at the slower level.
+	history := []HistoryEntry{mk(1), mk(1), mk(1)}
+	for i := 0; i < baselineWindow; i++ {
+		history = append(history, mk(10))
+	}
+	if regs := Guard(history, mk(10.5), 0.15); len(regs) != 0 {
+		t.Fatalf("stale fast epoch outside the window still gates: %v", regs)
+	}
+	if regs := Guard(history, mk(13), 0.15); len(regs) != 1 {
+		t.Fatalf("windowed baseline missed a real regression: %v", regs)
+	}
+}
+
 // TestHistoryRoundTrip exercises the JSONL append/read cycle, including
 // tolerance of a corrupt line.
 func TestHistoryRoundTrip(t *testing.T) {

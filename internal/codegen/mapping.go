@@ -123,8 +123,6 @@ func MapNest(n *affine.Nest, params map[string]int64, tiles map[string]int64, g 
 // caller instead of re-derived, so a sweep evaluating thousands of tile
 // configurations pays the dependence/reuse analysis once.
 func MapNestReuse(n *affine.Nest, reuse *deps.NestReuse, params map[string]int64, tiles map[string]int64, g *arch.GPU, opts Options) (*MappedNest, error) {
-	info := reuse.Info
-
 	m := &MappedNest{
 		Nest:      n,
 		Reuse:     reuse,
@@ -136,15 +134,9 @@ func MapNestReuse(n *affine.Nest, reuse *deps.NestReuse, params map[string]int64
 
 	// Clamp tile sizes to loop extents.
 	for _, l := range n.Loops {
-		t := tiles[l.Name]
-		if t < 0 {
-			return nil, fmt.Errorf("codegen: nest %q loop %q: %w (%d)", n.Name, l.Name, ErrNegativeTile, t)
-		}
-		if t == 0 {
-			t = 32
-		}
-		if ext := l.Extent(params); t > ext && ext > 0 {
-			t = ext
+		t, err := ClampTile(tiles[l.Name], l.Extent(params))
+		if err != nil {
+			return nil, fmt.Errorf("codegen: nest %q loop %q: %w (%d)", n.Name, l.Name, err, tiles[l.Name])
 		}
 		m.Tiles[l.Name] = t
 	}
@@ -152,28 +144,10 @@ func MapNestReuse(n *affine.Nest, reuse *deps.NestReuse, params map[string]int64
 	// Choose mapped (parallel) loops: thread-x is the CMA loop when
 	// parallel, otherwise the innermost parallel loop; y and z follow
 	// outside-in. At most 3 dimensions (Sec. IV-F).
-	var parallel []int
-	for d := range n.Loops {
-		if info.Parallel[d] {
-			parallel = append(parallel, d)
-		}
-	}
-	if len(parallel) == 0 {
-		return nil, fmt.Errorf("codegen: nest %q has no parallel loop to map", n.Name)
-	}
-	xIdx := -1
-	if nCMA := n.LoopIndex(reuse.CMALoop); nCMA >= 0 && info.Parallel[nCMA] {
-		xIdx = nCMA
-	} else {
-		xIdx = parallel[len(parallel)-1] // innermost parallel loop
-	}
-	m.MappedLoops = append(m.MappedLoops, n.Loops[xIdx].Name)
-	for i := len(parallel) - 1; i >= 0 && len(m.MappedLoops) < 3; i-- {
-		d := parallel[i]
-		if d == xIdx {
-			continue
-		}
-		m.MappedLoops = append(m.MappedLoops, n.Loops[d].Name)
+	var err error
+	m.MappedLoops, err = MappedLoopNames(n, reuse)
+	if err != nil {
+		return nil, err
 	}
 
 	mapped := make(map[string]bool, len(m.MappedLoops))
@@ -200,48 +174,22 @@ func MapNestReuse(n *affine.Nest, reuse *deps.NestReuse, params map[string]int64
 		}
 	}
 
-	// Geometry.
-	m.ThreadsPerBlock = 1
-	m.TotalBlocks = 1
-	for _, name := range m.MappedLoops {
-		t := m.Tiles[name]
-		ext := n.Loops[n.LoopIndex(name)].Extent(params)
-		blocks := (ext + t - 1) / t
-		if blocks < 1 {
-			blocks = 1
-		}
-		m.BlockDims = append(m.BlockDims, t)
-		m.Coarsen = append(m.Coarsen, 1)
-		m.GridDims = append(m.GridDims, blocks)
-		m.ThreadsPerBlock *= t
-		m.TotalBlocks *= blocks
-	}
-	// Tiles with more points than the block limit are thread-coarsened
-	// the way PPCG's point-loop strip-mining does: cap the block extent
-	// and let each thread walk several points. Outer mapped dimensions
-	// (z, then y) are shrunk first so thread-x keeps coalescing width.
-	for m.ThreadsPerBlock > g.ThreadsPerBlock {
-		idx := -1
-		for i := len(m.BlockDims) - 1; i >= 0; i-- {
-			if m.BlockDims[i] > 1 {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			return nil, fmt.Errorf("codegen: cannot fit block of %d threads under limit %d",
-				m.ThreadsPerBlock, g.ThreadsPerBlock)
-		}
-		m.BlockDims[idx] = (m.BlockDims[idx] + 1) / 2
-		m.ThreadsPerBlock = 1
-		for _, b := range m.BlockDims {
-			m.ThreadsPerBlock *= b
-		}
-	}
+	// Geometry: block/grid extents with PPCG-style thread coarsening.
+	mtiles := make([]int64, len(m.MappedLoops))
+	mexts := make([]int64, len(m.MappedLoops))
 	for i, name := range m.MappedLoops {
-		t := m.Tiles[name]
-		m.Coarsen[i] = (t + m.BlockDims[i] - 1) / m.BlockDims[i]
+		mtiles[i] = m.Tiles[name]
+		mexts[i] = n.Loops[n.LoopIndex(name)].Extent(params)
 	}
+	geo, err := ComputeGeometry(mtiles, mexts, g.ThreadsPerBlock)
+	if err != nil {
+		return nil, fmt.Errorf("codegen: %w", err)
+	}
+	m.BlockDims = geo.BlockDims
+	m.Coarsen = geo.Coarsen
+	m.GridDims = geo.GridDims
+	m.ThreadsPerBlock = geo.ThreadsPerBlock
+	m.TotalBlocks = geo.TotalBlocks
 
 	// Reference servicing. An access is warp-efficient when thread-x
 	// walks its fastest dimension (coalesced) or when it does not use
@@ -260,10 +208,7 @@ func MapNestReuse(n *affine.Nest, reuse *deps.NestReuse, params map[string]int64
 
 	// Shared-memory footprint: one staging buffer per distinct array in
 	// shared memory, sized tile-extent (+halo) per dimension.
-	quota := opts.SharedQuota
-	if quota <= 0 || quota > g.SharedPerBlock {
-		quota = g.SharedPerBlock
-	}
+	quota := SharedQuotaOf(opts.SharedQuota, g)
 	m.SharedBytesPerBlock = m.sharedFootprint(opts.Precision)
 	// PPCG falls back to global memory when the staging buffers exceed
 	// the budget: demote the largest arrays until the rest fit.
@@ -285,71 +230,25 @@ func MapNestReuse(n *affine.Nest, reuse *deps.NestReuse, params map[string]int64
 	// clamped (spilled) to what the per-thread and per-block register
 	// files allow rather than rejecting the block.
 	uniq := deps.UniqueArrayRefs(reuse.Refs)
-	m.RegsPerThread = 14 + int64(len(uniq))*3*opts.Precision.Factor() + int64(len(m.SerialLoops))*2
-	if m.RegsPerThread > g.RegsPerThread {
-		m.RegsPerThread = g.RegsPerThread
-	}
-	if byBlock := g.RegsPerBlock / m.ThreadsPerBlock; m.RegsPerThread > byBlock {
-		m.RegsPerThread = byBlock
-	}
-	if m.RegsPerThread < 1 {
-		m.RegsPerThread = 1
-	}
+	m.RegsPerThread = EstimateRegs(len(uniq), len(m.SerialLoops), opts.Precision, m.ThreadsPerBlock, g)
 
 	return m, nil
 }
 
-// arrayTileExtent returns the per-dimension staging extents (tile + halo)
-// of an array across all its shared-memory references.
+// ArrayStageElems returns the element count of an array's shared-memory
+// staging buffer: per subscript position, extent = tile(iter) + halo
+// spread across the array's shared references.
 func (m *MappedNest) ArrayStageElems(array string) int64 {
-	// Gather min/max constant offset per subscript position across the
-	// array's shared references, then extent = tile(iter) + spread.
-	type span struct {
-		iter       string
-		minC, maxC int64
-		set        bool
-	}
-	var spans []span
+	var refs []affine.Ref
 	for _, mr := range m.Refs {
-		if !mr.Shared || mr.Ref.Array != array {
-			continue
-		}
-		for p, s := range mr.Ref.Subscripts {
-			for len(spans) <= p {
-				spans = append(spans, span{})
-			}
-			iters := s.IterNames()
-			it := ""
-			if len(iters) > 0 {
-				it = iters[0]
-			}
-			sp := &spans[p]
-			if !sp.set {
-				sp.iter, sp.minC, sp.maxC, sp.set = it, s.Const, s.Const, true
-				continue
-			}
-			if s.Const < sp.minC {
-				sp.minC = s.Const
-			}
-			if s.Const > sp.maxC {
-				sp.maxC = s.Const
-			}
+		if mr.Shared && mr.Ref.Array == array {
+			refs = append(refs, mr.Ref)
 		}
 	}
-	elems := int64(1)
-	for _, sp := range spans {
-		if !sp.set {
-			continue
-		}
-		ext := int64(1)
-		if sp.iter != "" {
-			if t, ok := m.Tiles[sp.iter]; ok {
-				ext = t
-			}
-		}
-		elems *= ext + (sp.maxC - sp.minC)
-	}
-	return elems
+	return StageElems(StageSpans(refs), func(iter string) (int64, bool) {
+		t, ok := m.Tiles[iter]
+		return t, ok
+	})
 }
 
 // sharedArrays returns the distinct arrays currently staged in shared
@@ -384,12 +283,11 @@ func (m *MappedNest) demoteLargestShared(prec affine.Precision) bool {
 	if len(arrays) == 0 {
 		return false
 	}
-	worst, worstSize := "", int64(-1)
-	for _, a := range arrays {
-		if s := m.ArrayStageElems(a) * prec.Bytes(); s > worstSize {
-			worst, worstSize = a, s
-		}
+	sizes := make([]int64, len(arrays))
+	for i, a := range arrays {
+		sizes[i] = m.ArrayStageElems(a) * prec.Bytes()
 	}
+	worst := arrays[DemoteIndex(sizes)]
 	for i := range m.Refs {
 		if m.Refs[i].Ref.Array == worst {
 			m.Refs[i].Shared = false

@@ -1,0 +1,243 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/affine"
+	"repro/internal/arch"
+	"repro/internal/deps"
+)
+
+// This file holds the pure, tile-dependent pieces of the PPCG mapping
+// decision, factored out of MapNestReuse so the closed-form evaluator
+// (internal/symbolic) can replay exactly the same arithmetic per tile
+// point without building a MappedNest: tile clamping, launch geometry
+// with thread coarsening, shared-staging footprints and demotion order,
+// and the register estimate. MapNestReuse itself is a thin composition
+// of these helpers, so there is a single source of truth for every
+// decision.
+
+// ClampTile applies PPCG's tile-size normalization for one loop:
+// negative sizes are rejected (wrapping ErrNegativeTile), zero means
+// the default 32, and a tile larger than a positive loop extent is
+// clamped to the extent.
+func ClampTile(t, ext int64) (int64, error) {
+	if t < 0 {
+		return 0, ErrNegativeTile
+	}
+	if t == 0 {
+		t = 32
+	}
+	if t > ext && ext > 0 {
+		t = ext
+	}
+	return t, nil
+}
+
+// MappedLoopNames picks the grid-mapped loops for a nest the way PPCG
+// does: thread-x is the CMA loop when parallel, otherwise the innermost
+// parallel loop; y and z follow outside-in, at most 3 dimensions
+// (Sec. IV-F). It depends only on the reuse analysis — never on tile
+// sizes — so the choice is a derive-time constant for a program.
+func MappedLoopNames(n *affine.Nest, reuse *deps.NestReuse) ([]string, error) {
+	info := reuse.Info
+	var parallel []int
+	for d := range n.Loops {
+		if info.Parallel[d] {
+			parallel = append(parallel, d)
+		}
+	}
+	if len(parallel) == 0 {
+		return nil, fmt.Errorf("codegen: nest %q has no parallel loop to map", n.Name)
+	}
+	xIdx := -1
+	if nCMA := n.LoopIndex(reuse.CMALoop); nCMA >= 0 && info.Parallel[nCMA] {
+		xIdx = nCMA
+	} else {
+		xIdx = parallel[len(parallel)-1] // innermost parallel loop
+	}
+	names := []string{n.Loops[xIdx].Name}
+	for i := len(parallel) - 1; i >= 0 && len(names) < 3; i-- {
+		d := parallel[i]
+		if d == xIdx {
+			continue
+		}
+		names = append(names, n.Loops[d].Name)
+	}
+	return names, nil
+}
+
+// Geometry is the PPCG launch shape for the mapped dimensions of one
+// nest: block/grid extents, per-thread coarsening factors, and their
+// products.
+type Geometry struct {
+	BlockDims, Coarsen, GridDims []int64
+	ThreadsPerBlock, TotalBlocks int64
+}
+
+// ComputeGeometry derives the launch geometry for the mapped loops'
+// (clamped) tile sizes and extents, aligned index-by-index in x, y, z
+// order. Tiles with more points than maxThreads are thread-coarsened
+// the way PPCG's point-loop strip-mining does: block extents are capped
+// (outer dimensions shrunk first, so thread-x keeps coalescing width)
+// and each thread walks Coarsen[i] points.
+func ComputeGeometry(tiles, exts []int64, maxThreads int64) (Geometry, error) {
+	var geo Geometry
+	err := ComputeGeometryInto(&geo, tiles, exts, maxThreads)
+	return geo, err
+}
+
+// ComputeGeometryInto is ComputeGeometry reusing geo's slice capacity.
+// The closed-form evaluator calls it once per point per nest with a
+// per-plan scratch Geometry, so the steady state allocates nothing.
+func ComputeGeometryInto(geo *Geometry, tiles, exts []int64, maxThreads int64) error {
+	geo.BlockDims = geo.BlockDims[:0]
+	geo.Coarsen = geo.Coarsen[:0]
+	geo.GridDims = geo.GridDims[:0]
+	geo.ThreadsPerBlock, geo.TotalBlocks = 1, 1
+	for i, t := range tiles {
+		blocks := (exts[i] + t - 1) / t
+		if blocks < 1 {
+			blocks = 1
+		}
+		geo.BlockDims = append(geo.BlockDims, t)
+		geo.Coarsen = append(geo.Coarsen, 1)
+		geo.GridDims = append(geo.GridDims, blocks)
+		geo.ThreadsPerBlock *= t
+		geo.TotalBlocks *= blocks
+	}
+	for geo.ThreadsPerBlock > maxThreads {
+		idx := -1
+		for i := len(geo.BlockDims) - 1; i >= 0; i-- {
+			if geo.BlockDims[i] > 1 {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("cannot fit block of %d threads under limit %d",
+				geo.ThreadsPerBlock, maxThreads)
+		}
+		geo.BlockDims[idx] = (geo.BlockDims[idx] + 1) / 2
+		geo.ThreadsPerBlock = 1
+		for _, b := range geo.BlockDims {
+			geo.ThreadsPerBlock *= b
+		}
+	}
+	for i, t := range tiles {
+		geo.Coarsen[i] = (t + geo.BlockDims[i] - 1) / geo.BlockDims[i]
+	}
+	return nil
+}
+
+// StageSpan is one subscript position of a shared-memory staging
+// buffer: the position's leading iterator (the first reference's first
+// iterator; "" when the position is iterator-free) and the
+// constant-offset spread (halo) across the array's staged references.
+type StageSpan struct {
+	Iter   string
+	Spread int64
+}
+
+// StageSpans computes the staging-extent structure of an array's
+// shared-class references: per subscript position, which iterator sizes
+// the buffer and how wide the halo is. Tile-independent, so
+// internal/symbolic derives it once and re-evaluates per point.
+func StageSpans(refs []affine.Ref) []StageSpan {
+	type span struct {
+		iter       string
+		minC, maxC int64
+		set        bool
+	}
+	var spans []span
+	for _, r := range refs {
+		for p, s := range r.Subscripts {
+			for len(spans) <= p {
+				spans = append(spans, span{})
+			}
+			iters := s.IterNames()
+			it := ""
+			if len(iters) > 0 {
+				it = iters[0]
+			}
+			sp := &spans[p]
+			if !sp.set {
+				sp.iter, sp.minC, sp.maxC, sp.set = it, s.Const, s.Const, true
+				continue
+			}
+			if s.Const < sp.minC {
+				sp.minC = s.Const
+			}
+			if s.Const > sp.maxC {
+				sp.maxC = s.Const
+			}
+		}
+	}
+	var out []StageSpan
+	for _, sp := range spans {
+		if !sp.set {
+			continue
+		}
+		out = append(out, StageSpan{Iter: sp.iter, Spread: sp.maxC - sp.minC})
+	}
+	return out
+}
+
+// StageElems evaluates a staging buffer's element count under a tile
+// lookup: per span, extent = tile(Iter) + Spread, with iterator-free
+// (or unknown-iterator) positions contributing 1 + Spread.
+func StageElems(spans []StageSpan, tile func(iter string) (int64, bool)) int64 {
+	elems := int64(1)
+	for _, sp := range spans {
+		ext := int64(1)
+		if sp.Iter != "" {
+			if t, ok := tile(sp.Iter); ok {
+				ext = t
+			}
+		}
+		elems *= ext + sp.Spread
+	}
+	return elems
+}
+
+// DemoteIndex picks which staging buffer PPCG demotes next when the
+// shared-memory footprint exceeds the quota: the first (in the given
+// order — callers pass sorted array names) of the largest sizes.
+// Returns -1 for empty input.
+func DemoteIndex(sizes []int64) int {
+	worst, worstSize := -1, int64(-1)
+	for i, s := range sizes {
+		if s > worstSize {
+			worst, worstSize = i, s
+		}
+	}
+	return worst
+}
+
+// SharedQuotaOf resolves the effective shared-memory budget per block:
+// a non-positive or over-limit requested quota means the architecture
+// limit.
+func SharedQuotaOf(requested int64, g *arch.GPU) int64 {
+	if requested <= 0 || requested > g.SharedPerBlock {
+		return g.SharedPerBlock
+	}
+	return requested
+}
+
+// EstimateRegs mirrors the mapping's register-pressure estimate: base
+// context plus accumulators and address arithmetic per distinct
+// reference (doubled for FP64), plus serial-loop bookkeeping, clamped
+// (spilled) to what the per-thread and per-block register files allow.
+func EstimateRegs(uniqRefs, serialLoops int, prec affine.Precision, threadsPerBlock int64, g *arch.GPU) int64 {
+	regs := 14 + int64(uniqRefs)*3*prec.Factor() + int64(serialLoops)*2
+	if regs > g.RegsPerThread {
+		regs = g.RegsPerThread
+	}
+	if byBlock := g.RegsPerBlock / threadsPerBlock; regs > byBlock {
+		regs = byBlock
+	}
+	if regs < 1 {
+		regs = 1
+	}
+	return regs
+}

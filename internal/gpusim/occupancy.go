@@ -43,23 +43,44 @@ type Occupancy struct {
 // aw / (aw + issueLatencyWarps).
 const issueLatencyWarps = 16.0
 
-// ComputeOccupancy derives the occupancy of a mapped nest on g.
-func ComputeOccupancy(m *codegen.MappedNest, g *arch.GPU) Occupancy {
+// OccDim is one grid-mapped dimension's shape as OccupancyOf consumes
+// it: the loop extent, the (clamped) tile size, and the block count
+// along the dimension.
+type OccDim struct {
+	Ext, Tile, Grid int64
+}
+
+// OccInputs is a launch shape reduced to the plain integers the
+// occupancy model reads, so both evaluation backends — the per-point
+// simulator walking a MappedNest and the closed-form plans of
+// internal/symbolic — feed the same function.
+type OccInputs struct {
+	ThreadsPerBlock     int64
+	TotalBlocks         int64
+	RegsPerThread       int64
+	SharedBytesPerBlock int64
+	// Dims are the grid-mapped dimensions in x, y, z order.
+	Dims []OccDim
+}
+
+// OccupancyOf derives the occupancy of a launch shape on g. Pure
+// function of its inputs.
+func OccupancyOf(in OccInputs, g *arch.GPU) Occupancy {
 	var o Occupancy
-	o.WarpsPerBlock = g.WarpsPerBlock(m.ThreadsPerBlock)
+	o.WarpsPerBlock = g.WarpsPerBlock(in.ThreadsPerBlock)
 
 	// Resident blocks per SM, limited by four resources.
 	o.BlocksPerSM, o.LimitedBy = g.MaxBlocksPerSM, "blocks"
 	if byWarps := g.MaxWarpsPerSM / o.WarpsPerBlock; byWarps < o.BlocksPerSM {
 		o.BlocksPerSM, o.LimitedBy = byWarps, "warps"
 	}
-	if regsPerBlock := m.RegsPerThread * m.ThreadsPerBlock; regsPerBlock > 0 {
+	if regsPerBlock := in.RegsPerThread * in.ThreadsPerBlock; regsPerBlock > 0 {
 		if byRegs := g.RegsPerSM / regsPerBlock; byRegs < o.BlocksPerSM {
 			o.BlocksPerSM, o.LimitedBy = byRegs, "registers"
 		}
 	}
-	if m.SharedBytesPerBlock > 0 {
-		if byShared := g.SharedPerSM / m.SharedBytesPerBlock; byShared < o.BlocksPerSM {
+	if in.SharedBytesPerBlock > 0 {
+		if byShared := g.SharedPerSM / in.SharedBytesPerBlock; byShared < o.BlocksPerSM {
 			o.BlocksPerSM, o.LimitedBy = byShared, "shared"
 		}
 	}
@@ -72,31 +93,46 @@ func ComputeOccupancy(m *codegen.MappedNest, g *arch.GPU) Occupancy {
 	}
 
 	slots := o.BlocksPerSM * g.SMCount
-	o.ActiveBlocks = m.TotalBlocks
+	o.ActiveBlocks = in.TotalBlocks
 	if o.ActiveBlocks > slots {
 		o.ActiveBlocks = slots
 	}
-	o.Waves = (m.TotalBlocks + slots - 1) / slots
+	o.Waves = (in.TotalBlocks + slots - 1) / slots
 	if o.Waves < 1 {
 		o.Waves = 1
 	}
-	o.GridEff = float64(m.TotalBlocks) / float64(o.Waves*slots)
+	o.GridEff = float64(in.TotalBlocks) / float64(o.Waves*slots)
 
 	aw := float64(o.ActiveWarpsPerSM)
 	o.IssueEff = aw / (aw + issueLatencyWarps)
 
-	o.LaneEff = float64(m.ThreadsPerBlock) / float64(o.WarpsPerBlock*g.ThreadsPerWarp)
+	o.LaneEff = float64(in.ThreadsPerBlock) / float64(o.WarpsPerBlock*g.ThreadsPerWarp)
 
 	// Partial boundary tiles: each mapped dimension wastes the fraction
 	// of the last tile that falls outside the iteration space.
 	o.BoundaryEff = 1.0
-	for i, name := range m.MappedLoops {
-		ext := m.Nest.Loops[m.Nest.LoopIndex(name)].Extent(m.Params)
-		t := m.Tiles[name]
-		covered := m.GridDims[i] * t
-		if covered > 0 {
-			o.BoundaryEff *= float64(ext) / float64(covered)
+	for _, d := range in.Dims {
+		if covered := d.Grid * d.Tile; covered > 0 {
+			o.BoundaryEff *= float64(d.Ext) / float64(covered)
 		}
 	}
 	return o
+}
+
+// ComputeOccupancy derives the occupancy of a mapped nest on g.
+func ComputeOccupancy(m *codegen.MappedNest, g *arch.GPU) Occupancy {
+	in := OccInputs{
+		ThreadsPerBlock:     m.ThreadsPerBlock,
+		TotalBlocks:         m.TotalBlocks,
+		RegsPerThread:       m.RegsPerThread,
+		SharedBytesPerBlock: m.SharedBytesPerBlock,
+	}
+	for i, name := range m.MappedLoops {
+		in.Dims = append(in.Dims, OccDim{
+			Ext:  m.Nest.Loops[m.Nest.LoopIndex(name)].Extent(m.Params),
+			Tile: m.Tiles[name],
+			Grid: m.GridDims[i],
+		})
+	}
+	return OccupancyOf(in, g)
 }

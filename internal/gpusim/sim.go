@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"repro/internal/affine"
 	"repro/internal/arch"
 	"repro/internal/codegen"
 	"repro/internal/obs"
@@ -86,20 +87,30 @@ const dvfsIterations = 24
 // memory-bound kernels.
 const dvfsFloorFrac = 0.35
 
-// SimulateNest runs the analytic model for one mapped nest.
-func SimulateNest(m *codegen.MappedNest, g *arch.GPU) NestResult {
-	occ := ComputeOccupancy(m, g)
-	tr := ComputeTraffic(m, g, occ)
+// NestInputs are the per-nest scalars NestModel needs beyond the
+// occupancy and traffic summaries: identity, grid size, host-side
+// repeat count, and arithmetic precision.
+type NestInputs struct {
+	Name        string
+	TotalBlocks int64
+	Launches    int64
+	Precision   affine.Precision
+}
 
+// NestModel runs the roofline-with-DVFS timing and power fixpoint for
+// one nest given its occupancy and traffic summaries. It is a pure
+// function of its inputs — the single source of truth shared by
+// SimulateNest and the closed-form plans of internal/symbolic.
+func NestModel(in NestInputs, occ Occupancy, tr *Traffic, g *arch.GPU) NestResult {
 	res := NestResult{
-		Name:     m.Nest.Name,
+		Name:     in.Name,
 		Occ:      occ,
-		Traffic:  tr,
-		Launches: m.Launches,
+		Traffic:  *tr,
+		Launches: in.Launches,
 	}
 
-	fp := m.Precision.Factor()
-	usedSMs := m.TotalBlocks
+	fp := in.Precision.Factor()
+	usedSMs := in.TotalBlocks
 	if usedSMs > g.SMCount {
 		usedSMs = g.SMCount
 	}
@@ -118,15 +129,21 @@ func SimulateNest(m *codegen.MappedNest, g *arch.GPU) NestResult {
 	f := g.MaxClockMHz
 	var launchSec, computeSec float64
 	var bd power.Breakdown
+	// Iteration-invariant factors, hoisted without reassociating any
+	// arithmetic so the fixpoint stays bit-identical.
+	eff := occ.GridEff * occ.IssueEff * occ.LaneEff * occ.BoundaryEff
+	flopsF := float64(tr.Flops)
+	l1BytesF, sharedBytesF := float64(tr.L1Bytes), float64(tr.SharedBytes)
+	l2BytesF, dramBytesF := float64(tr.L2ReadBytes+tr.L2WriteBytes), float64(tr.DRAMBytes)
+	smBwSMs := g.SharedBwPerSM * float64(usedSMs)
 	for iter := 0; iter < dvfsIterations; iter++ {
-		eff := occ.GridEff * occ.IssueEff * occ.LaneEff * occ.BoundaryEff
 		peak := g.PeakFlops(f, fp) * eff
-		computeSec = float64(tr.Flops) / peak
+		computeSec = flopsF / peak
 		// The L1 and shared-memory data paths are the same physical
 		// pipe on NVIDIA SMs; it clocks with the core.
-		smPipeBw := g.SharedBwPerSM * float64(usedSMs) * (f / g.BaseClockMHz) * occ.IssueEff
-		l1Sec := float64(tr.L1Bytes) / smPipeBw
-		shSec := float64(tr.SharedBytes) / smPipeBw
+		smPipeBw := smBwSMs * (f / g.BaseClockMHz) * occ.IssueEff
+		l1Sec := l1BytesF / smPipeBw
+		shSec := sharedBytesF / smPipeBw
 		memSec := math.Max(math.Max(dramSec, l1Sec+shSec), l2Sec)
 		// Compute/memory overlap is imperfect: the fraction of latency
 		// the active warps cannot hide shows up as exposed time.
@@ -138,8 +155,8 @@ func SimulateNest(m *codegen.MappedNest, g *arch.GPU) NestResult {
 			ClockMHz:       f,
 			SMBusyFrac:     busy,
 			GridFrac:       gridFrac,
-			L2GBps:         float64(tr.L2ReadBytes+tr.L2WriteBytes) / launchSec / 1e9,
-			DRAMGBps:       float64(tr.DRAMBytes) / launchSec / 1e9,
+			L2GBps:         l2BytesF / launchSec / 1e9,
+			DRAMGBps:       dramBytesF / launchSec / 1e9,
 			SharedBusyFrac: shSec / launchSec,
 			LiveFrac:       liveFrac,
 		}
@@ -173,10 +190,69 @@ func SimulateNest(m *codegen.MappedNest, g *arch.GPU) NestResult {
 		(g.SharedBwPerSM * float64(usedSMs) * (f / g.BaseClockMHz) * occ.IssueEff)
 	res.SyncSec = syncSec
 	res.LaunchSec = launchSec + g.LaunchOverhead
-	res.TimeSec = res.LaunchSec * float64(m.Launches)
+	res.TimeSec = res.LaunchSec * float64(in.Launches)
 	res.Power = bd
 	res.EnergyJ = bd.Total() * res.TimeSec
 	return res
+}
+
+// SimulateNest runs the analytic model for one mapped nest.
+func SimulateNest(m *codegen.MappedNest, g *arch.GPU) NestResult {
+	occ := ComputeOccupancy(m, g)
+	tr := ComputeTraffic(m, g, occ)
+	in := NestInputs{
+		Name:        m.Nest.Name,
+		TotalBlocks: m.TotalBlocks,
+		Launches:    m.Launches,
+		Precision:   m.Precision,
+	}
+	return NestModel(in, occ, &tr, g)
+}
+
+// Finalize aggregates per-nest results into the kernel-level totals and
+// applies the measurement ramp to the dynamic power components.
+// res.Nests must be populated (with their pre-ramp per-launch Power
+// breakdowns); every other Result field is (re)computed from them in
+// nest order. It is the single aggregation step shared by SimulateCtx
+// and the closed-form plans of internal/symbolic, so both backends
+// report identical kernel-level numbers for identical nest results.
+func Finalize(res *Result, g *arch.GPU) {
+	res.TimeSec, res.EnergyJ, res.GFLOPS, res.AvgPowerW = 0, 0, 0, 0
+	res.Flops, res.L2Sectors, res.DRAMBytes = 0, 0, 0
+	res.Power = power.Breakdown{}
+	for i := range res.Nests {
+		nr := &res.Nests[i]
+		res.TimeSec += nr.TimeSec
+		res.Flops += nr.Traffic.Flops * nr.Launches
+		res.L2Sectors += nr.Traffic.L2Sectors * nr.Launches
+		res.DRAMBytes += nr.Traffic.DRAMBytes * nr.Launches
+	}
+	ramp := 1.0
+	if g.PowerRampTauSec > 0 {
+		ramp = res.TimeSec / (res.TimeSec + g.PowerRampTauSec)
+	}
+	res.Ramp = ramp
+	for i := range res.Nests {
+		nr := &res.Nests[i]
+		observed := nr.Power.Constant + nr.Power.Static + nr.Power.Dynamic()*ramp
+		nr.EnergyJ = observed * nr.TimeSec
+		res.EnergyJ += nr.EnergyJ
+		if res.TimeSec > 0 {
+			w := nr.TimeSec / res.TimeSec
+			res.Power.Constant += nr.Power.Constant * w
+			res.Power.Static += nr.Power.Static * w
+			res.Power.DynSM += nr.Power.DynSM * ramp * w
+			res.Power.DynL2 += nr.Power.DynL2 * ramp * w
+			res.Power.DynDRAM += nr.Power.DynDRAM * ramp * w
+			res.Power.DynShared += nr.Power.DynShared * ramp * w
+			res.Power.DynLive += nr.Power.DynLive * ramp * w
+		}
+	}
+	if res.TimeSec > 0 {
+		res.GFLOPS = float64(res.Flops) / res.TimeSec / 1e9
+		res.AvgPowerW = res.EnergyJ / res.TimeSec
+	}
+	res.PPW = power.PerfPerWatt(float64(res.Flops), res.TimeSec, res.AvgPowerW)
 }
 
 // Simulate runs every nest of a mapped kernel and aggregates.
@@ -220,37 +296,8 @@ func SimulateCtx(ctx context.Context, mk *codegen.MappedKernel, g *arch.GPU) Res
 		nsp.End()
 		mOccupancyWarp.Observe(float64(nr.Occ.ActiveWarpsPerSM))
 		res.Nests = append(res.Nests, nr)
-		res.TimeSec += nr.TimeSec
-		res.Flops += nr.Traffic.Flops * nr.Launches
-		res.L2Sectors += nr.Traffic.L2Sectors * nr.Launches
-		res.DRAMBytes += nr.Traffic.DRAMBytes * nr.Launches
 	}
-	ramp := 1.0
-	if g.PowerRampTauSec > 0 {
-		ramp = res.TimeSec / (res.TimeSec + g.PowerRampTauSec)
-	}
-	res.Ramp = ramp
-	for i := range res.Nests {
-		nr := &res.Nests[i]
-		observed := nr.Power.Constant + nr.Power.Static + nr.Power.Dynamic()*ramp
-		nr.EnergyJ = observed * nr.TimeSec
-		res.EnergyJ += nr.EnergyJ
-		if res.TimeSec > 0 {
-			w := nr.TimeSec / res.TimeSec
-			res.Power.Constant += nr.Power.Constant * w
-			res.Power.Static += nr.Power.Static * w
-			res.Power.DynSM += nr.Power.DynSM * ramp * w
-			res.Power.DynL2 += nr.Power.DynL2 * ramp * w
-			res.Power.DynDRAM += nr.Power.DynDRAM * ramp * w
-			res.Power.DynShared += nr.Power.DynShared * ramp * w
-			res.Power.DynLive += nr.Power.DynLive * ramp * w
-		}
-	}
-	if res.TimeSec > 0 {
-		res.GFLOPS = float64(res.Flops) / res.TimeSec / 1e9
-		res.AvgPowerW = res.EnergyJ / res.TimeSec
-	}
-	res.PPW = power.PerfPerWatt(float64(res.Flops), res.TimeSec, res.AvgPowerW)
+	Finalize(&res, g)
 	mL2Sectors.Add(res.L2Sectors)
 	mDRAMBytes.Add(res.DRAMBytes)
 	sp.SetFloat("time_sec", res.TimeSec)

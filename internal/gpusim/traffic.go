@@ -3,6 +3,7 @@ package gpusim
 import (
 	"sort"
 
+	"repro/internal/affine"
 	"repro/internal/arch"
 	"repro/internal/codegen"
 )
@@ -71,37 +72,42 @@ type ArrayTraffic struct {
 	LiveBytesPerThread int64
 }
 
-// arrayGroup aggregates all references to one array with their servicing
-// plan. Footprints are unions over the group's references, computed per
+// arrayGroup accumulates all references to one array while
+// trafficInputs reduces a mapped nest to GroupTraffic summaries.
+// Footprints are unions over the group's references, computed per
 // subscript position, so stencil offsets do not multiply-count.
 type arrayGroup struct {
 	array string
 	refs  []codegen.MappedRef
 
-	shared      bool
-	write       bool
-	usesSerial  bool
-	regResident bool // written accumulator indexed only by mapped loops
-
-	fpStepBytes int64 // per-serial-step tile footprint (union)
-	distBytes   int64 // distinct bytes touched per block per launch
-	globalBytes int64 // distinct bytes touched by the whole launch
-	serialBytes int64 // per-thread private footprint along serial dims
-	accesses    int64 // dynamic accesses issued per block (all refs)
+	shared     bool
+	write      bool
+	usesSerial bool
 }
 
-// unionElems computes the union footprint of a set of references to the
-// same array: per subscript position, the extent is the sum of the sizes of
-// the involved iterators (minus overlaps) plus the constant-offset spread.
-func unionElems(refs []codegen.MappedRef, size func(iter string) int64) int64 {
+// UnionSpan is one subscript position of an array group's union
+// footprint: the distinct iterators whose sizes the position sums over
+// (sorted, for determinism) and the constant-offset spread
+// (max − min constant across the group's references at that position).
+type UnionSpan struct {
+	Iters  []string
+	Spread int64
+}
+
+// UnionSpans precomputes, per subscript position, the structure
+// UnionElems evaluates: which iterators are involved and the
+// constant-offset spread. It depends only on the references — not on
+// tile sizes — so internal/symbolic derives it once per program and
+// re-evaluates it per tile point.
+func UnionSpans(refs []affine.Ref) []UnionSpan {
 	type span struct {
 		iters      map[string]bool
 		minC, maxC int64
 		set        bool
 	}
 	var spans []span
-	for _, mr := range refs {
-		for p, s := range mr.Ref.Subscripts {
+	for _, r := range refs {
+		for p, s := range r.Subscripts {
 			for len(spans) <= p {
 				spans = append(spans, span{iters: make(map[string]bool)})
 			}
@@ -121,10 +127,27 @@ func unionElems(refs []codegen.MappedRef, size func(iter string) int64) int64 {
 			}
 		}
 	}
+	out := make([]UnionSpan, len(spans))
+	for i, sp := range spans {
+		us := UnionSpan{Spread: sp.maxC - sp.minC}
+		for it := range sp.iters {
+			us.Iters = append(us.Iters, it)
+		}
+		sort.Strings(us.Iters)
+		out[i] = us
+	}
+	return out
+}
+
+// UnionElems evaluates the union footprint of an array group under a
+// size assignment: per subscript position, the extent is the sum of the
+// sizes of the involved iterators (minus overlaps) plus the
+// constant-offset spread.
+func UnionElems(spans []UnionSpan, size func(iter string) int64) int64 {
 	elems := int64(1)
 	for _, sp := range spans {
-		ext := int64(1) + (sp.maxC - sp.minC)
-		for it := range sp.iters {
+		ext := int64(1) + sp.Spread
+		for _, it := range sp.Iters {
 			ext += size(it) - 1
 		}
 		if ext < 1 {
@@ -135,10 +158,296 @@ func unionElems(refs []codegen.MappedRef, size func(iter string) int64) int64 {
 	return elems
 }
 
+// GroupTraffic is one array's reference-group summary — the per-array
+// input TrafficModel consumes, with every tile-dependent quantity
+// already evaluated to a number. ComputeTraffic builds it by walking a
+// MappedNest; internal/symbolic builds it from a precomputed plan.
+type GroupTraffic struct {
+	Array string
+	// Shared marks a group cooperatively staged through shared memory;
+	// Write marks a written array; UsesSerial marks a group some
+	// reference of which is indexed by a serial (non-grid-mapped) loop;
+	// RegResident marks a written accumulator indexed only by mapped
+	// loops (kept in registers).
+	Shared, Write, UsesSerial, RegResident bool
+
+	FpStepBytes int64 // per-serial-step tile footprint (union)
+	DistBytes   int64 // distinct bytes touched per block per launch
+	GlobalBytes int64 // distinct bytes touched by the whole launch
+	SerialBytes int64 // per-thread private footprint along serial dims
+	Accesses    int64 // dynamic accesses issued per block (all refs)
+	// BankReadsPerBlock is the shared-memory bank-read volume issued per
+	// block (meaningful only for Shared groups).
+	BankReadsPerBlock int64
+	// L1BytesPerIter is the group's contribution to the L1/LSU pipe per
+	// innermost iteration: one element per coalesced (or broadcast)
+	// access, a full sector per lane otherwise, amortized over register
+	// micro-tiles; zero for register-resident groups, with staged
+	// (shared) references excluded.
+	L1BytesPerIter float64
+}
+
+// TrafficInputs summarizes one launch of a mapped nest for
+// TrafficModel: the per-block iteration shape plus the per-array group
+// summaries in sorted array-name order.
+type TrafficInputs struct {
+	ElemBytes           int64
+	IterPerBlock        int64
+	SerialSteps         int64
+	Flops               int64
+	TimeFuse            int64
+	Blocks              int64
+	SharedBytesPerBlock int64
+	Groups              []GroupTraffic
+}
+
+// TrafficModel models the memory hierarchy for one launch given its
+// numeric summary. It is a pure function of its inputs — the single
+// source of truth shared by ComputeTraffic (per-point simulation) and
+// the closed-form plans of internal/symbolic.
+// maxStackGroups bounds the per-group transient buffers TrafficModel
+// keeps on the stack; kernels with more arrays fall back to the heap.
+const maxStackGroups = 16
+
+func TrafficModel(in *TrafficInputs, g *arch.GPU, occ Occupancy) Traffic {
+	tr := Traffic{Flops: in.Flops, SerialSteps: in.SerialSteps}
+	elemB := in.ElemBytes
+	blocks := in.Blocks
+
+	// L1 capture: the L1 budget per block is what the combined L1+shared
+	// pool leaves after the shared carveout, divided among resident
+	// blocks. Arrays whose per-step tiles fit (greedy, smallest first)
+	// hit in L1 and send only compulsory misses to L2.
+	carveout := in.SharedBytesPerBlock * occ.BlocksPerSM
+	l1PerSM := g.L1SharedBytes - carveout
+	if l1PerSM < 0 {
+		l1PerSM = 0
+	}
+	l1PerBlock := l1PerSM / occ.BlocksPerSM
+
+	// Group counts are tiny (one per array), so the transient per-group
+	// state lives in stack buffers and the L1 ordering is an insertion
+	// sort: this function runs once per point per nest on the sweep hot
+	// path, where sort.Slice's closure and three make()s dominate the
+	// closed-form evaluator's cost.
+	var l1IdxBuf [maxStackGroups]int
+	l1Idx := l1IdxBuf[:0]
+	if len(in.Groups) > maxStackGroups {
+		l1Idx = make([]int, 0, len(in.Groups))
+	}
+	for i := range in.Groups {
+		gr := &in.Groups[i]
+		if !gr.Shared && !gr.RegResident {
+			l1Idx = append(l1Idx, i)
+		}
+	}
+	for a := 1; a < len(l1Idx); a++ {
+		for b := a; b > 0; b-- {
+			x, y := &in.Groups[l1Idx[b-1]], &in.Groups[l1Idx[b]]
+			if x.FpStepBytes < y.FpStepBytes ||
+				(x.FpStepBytes == y.FpStepBytes && x.Array <= y.Array) {
+				break
+			}
+			l1Idx[b-1], l1Idx[b] = l1Idx[b], l1Idx[b-1]
+		}
+	}
+	tr.L1CapturedAll = true
+	budget := l1PerBlock
+	var cachedBuf [maxStackGroups]bool
+	cached := cachedBuf[:]
+	if len(in.Groups) > maxStackGroups {
+		cached = make([]bool, len(in.Groups))
+	} else {
+		cached = cached[:len(in.Groups)]
+	}
+	for _, i := range l1Idx {
+		gr := &in.Groups[i]
+		if gr.FpStepBytes <= budget {
+			cached[i] = true
+			budget -= gr.FpStepBytes
+		} else {
+			tr.L1CapturedAll = false
+		}
+	}
+
+	l1BytesPerIter := float64(0)
+	for i := range in.Groups {
+		l1BytesPerIter += in.Groups[i].L1BytesPerIter
+	}
+
+	// Per-block traffic, attributed per array as it accrues.
+	arrays := make([]ArrayTraffic, len(in.Groups))
+	var l2ReadPerBlock, l2WritePerBlock, stagingPerBlock, sharedPerBlock int64
+	for i := range in.Groups {
+		gr := &in.Groups[i]
+		at := &arrays[i]
+		at.Array = gr.Array
+		switch {
+		case gr.Shared:
+			at.Class = "shared"
+		case gr.RegResident:
+			at.Class = "register"
+		case cached[i]:
+			at.Class = "cached"
+		default:
+			at.Class = "spilled"
+		}
+		switch {
+		case gr.Shared:
+			// Cooperative staging: tile (+halo) per step, coalesced.
+			// Bank reads amortize over register micro-tiles.
+			staged := gr.FpStepBytes * tr.SerialSteps
+			stagingPerBlock += staged
+			sharedPerBlock += gr.BankReadsPerBlock + staged
+			at.StagingBytes = staged * blocks
+			at.SharedBytes = (gr.BankReadsPerBlock + staged) * blocks
+		case gr.RegResident:
+			l2ReadPerBlock += gr.DistBytes
+			l2WritePerBlock += gr.DistBytes
+			at.L2ReadBytes = gr.DistBytes * blocks
+			at.L2WriteBytes = gr.DistBytes * blocks
+		case cached[i]:
+			l2ReadPerBlock += gr.DistBytes
+			at.L2ReadBytes = gr.DistBytes * blocks
+			if gr.Write {
+				l2WritePerBlock += gr.DistBytes
+				at.L2WriteBytes = gr.DistBytes * blocks
+			}
+			if gr.UsesSerial {
+				tr.LiveBytesPerThread += gr.SerialBytes
+				at.LiveBytesPerThread = gr.SerialBytes
+			}
+		default:
+			// L1-spilled array. Re-fetches only happen when the array
+			// is actually reused across serial steps (temporal reuse
+			// whose distance overflowed the cache): streaming and
+			// single-use data is fetched once per line regardless of
+			// tile size. The refetch factor grows with how far the
+			// per-step tile overshoots the L1 share, bounded by the
+			// array's true reuse.
+			refetch := 1.0
+			if gr.UsesSerial && l1PerBlock > 0 {
+				refetch = float64(gr.FpStepBytes) / float64(l1PerBlock)
+				if reuse := float64(gr.Accesses*elemB) / float64(gr.DistBytes); refetch > reuse {
+					refetch = reuse
+				}
+				if refetch < 1 {
+					refetch = 1
+				}
+			}
+			l2ReadPerBlock += int64(float64(gr.DistBytes) * refetch)
+			at.L2ReadBytes = int64(float64(gr.DistBytes)*refetch) * blocks
+			if gr.Write {
+				l2WritePerBlock += gr.DistBytes
+				at.L2WriteBytes = gr.DistBytes * blocks
+			}
+			if gr.UsesSerial {
+				tr.LiveBytesPerThread += gr.SerialBytes
+				at.LiveBytesPerThread = gr.SerialBytes
+			}
+		}
+	}
+
+	tr.StagingBytes = stagingPerBlock * blocks
+	tr.SharedBytes = sharedPerBlock * blocks
+	tr.L2ReadBytes = l2ReadPerBlock * blocks
+	tr.L2WriteBytes = l2WritePerBlock * blocks
+
+	// Staging loads transit L2 on architectures without the
+	// global->shared bypass (Sec. IV-H); with the bypass they do not
+	// occupy L2 sectors (and are invisible to the Fig. 9 counter) but
+	// are still served by it on their way to DRAM.
+	if !g.BypassL2ForShared {
+		tr.L2ReadBytes += tr.StagingBytes
+		for i := range arrays {
+			arrays[i].L2ReadBytes += arrays[i].StagingBytes
+		}
+	}
+	tr.L2Sectors = tr.L2ReadBytes / g.SectorBytes
+
+	// L2 -> DRAM: compulsory traffic is each array's distinct touched
+	// bytes; when the concurrent working set spills L2, a fraction of the
+	// L2 request stream re-fetches from DRAM.
+	var compulsory, wsPerBlock int64
+	for i := range in.Groups {
+		compulsory += in.Groups[i].GlobalBytes
+		wsPerBlock += in.Groups[i].DistBytes
+	}
+	tr.L1Bytes = int64(l1BytesPerIter * float64(in.IterPerBlock*blocks*in.TimeFuse))
+
+	ws := wsPerBlock * occ.ActiveBlocks
+	inbound := tr.L2ReadBytes + tr.L2WriteBytes + tr.StagingBytes
+	tr.DRAMBytes = compulsory
+	spill := int64(0)
+	if ws > g.L2Bytes && inbound > compulsory {
+		missFrac := float64(ws-g.L2Bytes) / float64(ws)
+		spill = int64(float64(inbound-compulsory) * missFrac)
+		tr.DRAMBytes += spill
+	}
+
+	// Per-array DRAM attribution: each array's compulsory bytes, plus the
+	// spill term distributed in proportion to how far the array's L2
+	// request stream exceeds its compulsory footprint. The last excess
+	// holder absorbs the integer-division remainder, so the per-array
+	// values sum exactly to tr.DRAMBytes.
+	var excessSum int64
+	var excessBuf [maxStackGroups]int64
+	excess := excessBuf[:]
+	if len(in.Groups) > maxStackGroups {
+		excess = make([]int64, len(in.Groups))
+	} else {
+		excess = excess[:len(in.Groups)]
+	}
+	for i := range in.Groups {
+		gr := &in.Groups[i]
+		at := &arrays[i]
+		at.DRAMBytes = gr.GlobalBytes
+		at.L1Bytes = int64(gr.L1BytesPerIter * float64(in.IterPerBlock*blocks*in.TimeFuse))
+		if e := at.L2ReadBytes + at.L2WriteBytes + at.StagingBytes - gr.GlobalBytes; e > 0 {
+			excess[i] = e
+			excessSum += e
+		}
+	}
+	if spill > 0 && excessSum > 0 {
+		allocated := int64(0)
+		last := -1
+		for i := range excess {
+			if excess[i] > 0 {
+				last = i
+			}
+		}
+		for i, e := range excess {
+			if e == 0 {
+				continue
+			}
+			share := int64(float64(spill) * float64(e) / float64(excessSum))
+			if i == last {
+				share = spill - allocated
+			}
+			arrays[i].DRAMBytes += share
+			allocated += share
+		}
+	}
+	tr.Arrays = arrays
+	return tr
+}
+
 // ComputeTraffic models the memory hierarchy for one launch of m.
 func ComputeTraffic(m *codegen.MappedNest, g *arch.GPU, occ Occupancy) Traffic {
-	var tr Traffic
+	return TrafficModel(trafficInputs(m, g), g, occ)
+}
+
+// trafficInputs reduces a mapped nest to the numeric launch summary
+// TrafficModel consumes.
+func trafficInputs(m *codegen.MappedNest, g *arch.GPU) *TrafficInputs {
 	elemB := m.Precision.Bytes()
+	in := &TrafficInputs{
+		ElemBytes:           elemB,
+		SerialSteps:         1,
+		TimeFuse:            1,
+		Blocks:              m.TotalBlocks,
+		SharedBytesPerBlock: m.SharedBytesPerBlock,
+	}
 
 	mapped := make(map[string]bool, len(m.MappedLoops))
 	for _, n := range m.MappedLoops {
@@ -150,7 +459,6 @@ func ComputeTraffic(m *codegen.MappedNest, g *arch.GPU, occ Occupancy) Traffic {
 
 	// Iterations per block and serial staging steps.
 	iterPerBlock := int64(1)
-	tr.SerialSteps = 1
 	for _, l := range m.Nest.Loops {
 		ext := l.Extent(m.Params)
 		if mapped[l.Name] {
@@ -158,23 +466,23 @@ func ComputeTraffic(m *codegen.MappedNest, g *arch.GPU, occ Occupancy) Traffic {
 		} else {
 			iterPerBlock *= ext
 			t := m.Tiles[l.Name]
-			tr.SerialSteps *= (ext + t - 1) / t
+			in.SerialSteps *= (ext + t - 1) / t
 		}
 	}
+	in.IterPerBlock = iterPerBlock
 	perIterFlops := int64(0)
 	for _, st := range m.Nest.Body {
 		perIterFlops += st.FlopsPerIter
 	}
-	tr.Flops = iterPerBlock * m.TotalBlocks * perIterFlops
+	in.Flops = iterPerBlock * m.TotalBlocks * perIterFlops
 
 	// Overlapped time tiling: one launch executes Fuse fused sweeps with
-	// redundant halo compute, while the memory traffic below (computed
-	// for a single sweep, plus the enlarged halo) is paid once per
-	// launch instead of once per step — the inter-step reuse PPCG lacks.
-	timeFuse := int64(1)
+	// redundant halo compute, while the memory traffic (computed for a
+	// single sweep, plus the enlarged halo) is paid once per launch
+	// instead of once per step — the inter-step reuse PPCG lacks.
 	if m.TimeTiling != nil {
-		timeFuse = m.TimeTiling.Fuse
-		tr.Flops = int64(float64(tr.Flops*timeFuse) * m.TimeTiling.OverlapFactor)
+		in.TimeFuse = m.TimeTiling.Fuse
+		in.Flops = int64(float64(in.Flops*in.TimeFuse) * m.TimeTiling.OverlapFactor)
 	}
 
 	// Group references by array.
@@ -207,6 +515,7 @@ func ComputeTraffic(m *codegen.MappedNest, g *arch.GPU, occ Occupancy) Traffic {
 		return m.Tiles[it]
 	}
 
+	in.Groups = make([]GroupTraffic, 0, len(order))
 	for _, name := range order {
 		gr := groups[name]
 		for _, mr := range gr.refs {
@@ -216,236 +525,42 @@ func ComputeTraffic(m *codegen.MappedNest, g *arch.GPU, occ Occupancy) Traffic {
 				}
 			}
 		}
-		gr.fpStepBytes = unionElems(gr.refs, tileSize) * elemB
-		gr.distBytes = unionElems(gr.refs, distSize) * elemB
-		gr.globalBytes = unionElems(gr.refs, extent) * elemB
-		gr.serialBytes = unionElems(gr.refs, serialSize) * elemB
-		gr.regResident = gr.write && !gr.usesSerial && !gr.shared
-		gr.accesses = iterPerBlock * int64(len(gr.refs))
-	}
-
-	// L1 capture: the L1 budget per block is what the combined L1+shared
-	// pool leaves after the shared carveout, divided among resident
-	// blocks. Arrays whose per-step tiles fit (greedy, smallest first)
-	// hit in L1 and send only compulsory misses to L2.
-	carveout := m.SharedBytesPerBlock * occ.BlocksPerSM
-	l1PerSM := g.L1SharedBytes - carveout
-	if l1PerSM < 0 {
-		l1PerSM = 0
-	}
-	l1PerBlock := l1PerSM / occ.BlocksPerSM
-
-	var l1Names []string
-	for _, name := range order {
-		gr := groups[name]
-		if !gr.shared && !gr.regResident {
-			l1Names = append(l1Names, name)
+		refs := make([]affine.Ref, len(gr.refs))
+		for i, mr := range gr.refs {
+			refs[i] = mr.Ref
 		}
-	}
-	sort.Slice(l1Names, func(i, j int) bool {
-		a, b := groups[l1Names[i]], groups[l1Names[j]]
-		if a.fpStepBytes != b.fpStepBytes {
-			return a.fpStepBytes < b.fpStepBytes
+		spans := UnionSpans(refs)
+		gt := GroupTraffic{
+			Array:       name,
+			Shared:      gr.shared,
+			Write:       gr.write,
+			UsesSerial:  gr.usesSerial,
+			RegResident: gr.write && !gr.usesSerial && !gr.shared,
+			FpStepBytes: UnionElems(spans, tileSize) * elemB,
+			DistBytes:   UnionElems(spans, distSize) * elemB,
+			GlobalBytes: UnionElems(spans, extent) * elemB,
+			SerialBytes: UnionElems(spans, serialSize) * elemB,
+			Accesses:    iterPerBlock * int64(len(gr.refs)),
 		}
-		return l1Names[i] < l1Names[j]
-	})
-	tr.L1CapturedAll = true
-	budget := l1PerBlock
-	cached := make(map[string]bool, len(l1Names))
-	for _, name := range l1Names {
-		gr := groups[name]
-		if gr.fpStepBytes <= budget {
-			cached[name] = true
-			budget -= gr.fpStepBytes
-		} else {
-			tr.L1CapturedAll = false
-		}
-	}
-
-	// L1-pipe bytes per innermost iteration: cache-mapped accesses move
-	// one element when coalesced (or broadcast), a full sector per lane
-	// otherwise; register micro-tiles amortize a loaded operand over the
-	// micro-tile's other axis. Register-resident accumulators and
-	// shared-memory reads do not use the L1 path (shared traffic is
-	// accounted separately).
-	l1BytesPerIter := float64(0)
-	l1PerIterByArray := make(map[string]float64, len(order))
-	for _, name := range order {
-		gr := groups[name]
-		for _, mr := range gr.refs {
-			amort := float64(m.MicroReuse(mr))
-			switch {
-			case gr.regResident, mr.Shared:
-				// register accumulator or shared-memory access
-			case mr.Coalesced:
-				l1BytesPerIter += float64(elemB) / amort
-				l1PerIterByArray[name] += float64(elemB) / amort
-			default:
-				l1BytesPerIter += float64(g.SectorBytes) / amort
-				l1PerIterByArray[name] += float64(g.SectorBytes) / amort
-			}
-		}
-	}
-
-	// Per-block traffic, attributed per array as it accrues.
-	blocks := m.TotalBlocks
-	byArray := make(map[string]*ArrayTraffic, len(order))
-	for _, name := range order {
-		gr := groups[name]
-		class := "cached"
-		switch {
-		case gr.shared:
-			class = "shared"
-		case gr.regResident:
-			class = "register"
-		case !cached[name]:
-			class = "spilled"
-		}
-		byArray[name] = &ArrayTraffic{Array: name, Class: class}
-	}
-	var l2ReadPerBlock, l2WritePerBlock, stagingPerBlock, sharedPerBlock int64
-	for _, name := range order {
-		gr := groups[name]
-		at := byArray[name]
-		switch {
-		case gr.shared:
-			// Cooperative staging: tile (+halo) per step, coalesced.
-			// Bank reads amortize over register micro-tiles.
-			staged := gr.fpStepBytes * tr.SerialSteps
-			stagingPerBlock += staged
-			bankReads := int64(0)
+		if gt.Shared {
 			for _, mr := range gr.refs {
-				bankReads += iterPerBlock * elemB * timeFuse / m.MicroReuse(mr)
+				gt.BankReadsPerBlock += iterPerBlock * elemB * in.TimeFuse / m.MicroReuse(mr)
 			}
-			sharedPerBlock += bankReads + staged
-			at.StagingBytes = staged * blocks
-			at.SharedBytes = (bankReads + staged) * blocks
-		case gr.regResident:
-			l2ReadPerBlock += gr.distBytes
-			l2WritePerBlock += gr.distBytes
-			at.L2ReadBytes = gr.distBytes * blocks
-			at.L2WriteBytes = gr.distBytes * blocks
-		case cached[name]:
-			l2ReadPerBlock += gr.distBytes
-			at.L2ReadBytes = gr.distBytes * blocks
-			if gr.write {
-				l2WritePerBlock += gr.distBytes
-				at.L2WriteBytes = gr.distBytes * blocks
-			}
-			if gr.usesSerial {
-				tr.LiveBytesPerThread += gr.serialBytes
-				at.LiveBytesPerThread = gr.serialBytes
-			}
-		default:
-			// L1-spilled array. Re-fetches only happen when the array
-			// is actually reused across serial steps (temporal reuse
-			// whose distance overflowed the cache): streaming and
-			// single-use data is fetched once per line regardless of
-			// tile size. The refetch factor grows with how far the
-			// per-step tile overshoots the L1 share, bounded by the
-			// array's true reuse.
-			refetch := 1.0
-			if gr.usesSerial && l1PerBlock > 0 {
-				refetch = float64(gr.fpStepBytes) / float64(l1PerBlock)
-				if reuse := float64(gr.accesses*elemB) / float64(gr.distBytes); refetch > reuse {
-					refetch = reuse
-				}
-				if refetch < 1 {
-					refetch = 1
+		}
+		if !gt.RegResident {
+			for _, mr := range gr.refs {
+				amort := float64(m.MicroReuse(mr))
+				switch {
+				case mr.Shared:
+					// staged access: accounted as shared-bank traffic
+				case mr.Coalesced:
+					gt.L1BytesPerIter += float64(elemB) / amort
+				default:
+					gt.L1BytesPerIter += float64(g.SectorBytes) / amort
 				}
 			}
-			l2ReadPerBlock += int64(float64(gr.distBytes) * refetch)
-			at.L2ReadBytes = int64(float64(gr.distBytes)*refetch) * blocks
-			if gr.write {
-				l2WritePerBlock += gr.distBytes
-				at.L2WriteBytes = gr.distBytes * blocks
-			}
-			if gr.usesSerial {
-				tr.LiveBytesPerThread += gr.serialBytes
-				at.LiveBytesPerThread = gr.serialBytes
-			}
 		}
+		in.Groups = append(in.Groups, gt)
 	}
-
-	tr.StagingBytes = stagingPerBlock * blocks
-	tr.SharedBytes = sharedPerBlock * blocks
-	tr.L2ReadBytes = l2ReadPerBlock * blocks
-	tr.L2WriteBytes = l2WritePerBlock * blocks
-
-	// Staging loads transit L2 on architectures without the
-	// global->shared bypass (Sec. IV-H); with the bypass they do not
-	// occupy L2 sectors (and are invisible to the Fig. 9 counter) but
-	// are still served by it on their way to DRAM.
-	if !g.BypassL2ForShared {
-		tr.L2ReadBytes += tr.StagingBytes
-		for _, at := range byArray {
-			at.L2ReadBytes += at.StagingBytes
-		}
-	}
-	tr.L2Sectors = tr.L2ReadBytes / g.SectorBytes
-
-	// L2 -> DRAM: compulsory traffic is each array's distinct touched
-	// bytes; when the concurrent working set spills L2, a fraction of the
-	// L2 request stream re-fetches from DRAM.
-	var compulsory, wsPerBlock int64
-	for _, name := range order {
-		gr := groups[name]
-		compulsory += gr.globalBytes
-		wsPerBlock += gr.distBytes
-	}
-	tr.L1Bytes = int64(l1BytesPerIter * float64(iterPerBlock*blocks*timeFuse))
-
-	ws := wsPerBlock * occ.ActiveBlocks
-	inbound := tr.L2ReadBytes + tr.L2WriteBytes + tr.StagingBytes
-	tr.DRAMBytes = compulsory
-	spill := int64(0)
-	if ws > g.L2Bytes && inbound > compulsory {
-		missFrac := float64(ws-g.L2Bytes) / float64(ws)
-		spill = int64(float64(inbound-compulsory) * missFrac)
-		tr.DRAMBytes += spill
-	}
-
-	// Per-array DRAM attribution: each array's compulsory bytes, plus the
-	// spill term distributed in proportion to how far the array's L2
-	// request stream exceeds its compulsory footprint. The last excess
-	// holder absorbs the integer-division remainder, so the per-array
-	// values sum exactly to tr.DRAMBytes.
-	var excessSum int64
-	excess := make(map[string]int64, len(order))
-	for _, name := range order {
-		gr := groups[name]
-		at := byArray[name]
-		at.DRAMBytes = gr.globalBytes
-		at.L1Bytes = int64(l1PerIterByArray[name] * float64(iterPerBlock*blocks*timeFuse))
-		if e := at.L2ReadBytes + at.L2WriteBytes + at.StagingBytes - gr.globalBytes; e > 0 {
-			excess[name] = e
-			excessSum += e
-		}
-	}
-	if spill > 0 && excessSum > 0 {
-		allocated := int64(0)
-		last := ""
-		for _, name := range order {
-			if excess[name] > 0 {
-				last = name
-			}
-		}
-		for _, name := range order {
-			e := excess[name]
-			if e == 0 {
-				continue
-			}
-			share := int64(float64(spill) * float64(e) / float64(excessSum))
-			if name == last {
-				share = spill - allocated
-			}
-			byArray[name].DRAMBytes += share
-			allocated += share
-		}
-	}
-	tr.Arrays = make([]ArrayTraffic, 0, len(order))
-	for _, name := range order {
-		tr.Arrays = append(tr.Arrays, *byArray[name])
-	}
-	return tr
+	return in
 }

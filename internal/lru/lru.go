@@ -1,0 +1,101 @@
+// Package lru provides the mutex-guarded fixed-capacity
+// least-recently-used cache shared by the service layer's two cache
+// tiers (internal/serve: Program artifacts and solved Selections) and
+// the sweep engine's evaluation cache (the root package's EvalCache).
+// All of those cache pure functions of their key, so eviction is always
+// safe; the point of sharing one implementation is that every long-lived
+// process (cmd/eatssd foremost) gets the same bounded-footprint,
+// recency-aware behaviour instead of ad-hoc maps that grow without
+// limit.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a fixed-capacity least-recently-used cache keyed by string.
+// Get refreshes recency; Put of a full cache evicts the least recently
+// used entry. Safe for concurrent use.
+type Cache[V any] struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	m         map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New returns an empty cache holding at most max entries (a max below 1
+// is clamped to 1).
+func New[V any](max int) *Cache[V] {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache[V]{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the value stored under key and refreshes its recency.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put stores v under key, evicting the least recently used entry when
+// the cache is full (reported in the return value, so callers can keep
+// their own eviction telemetry). Putting an existing key updates its
+// value and refreshes its recency.
+func (c *Cache[V]) Put(key string, v V) (evicted bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*entry[V]).val = v
+		c.ll.MoveToFront(el)
+		return false
+	}
+	c.m[key] = c.ll.PushFront(&entry[V]{key: key, val: v})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*entry[V]).key)
+		c.evictions++
+		return true
+	}
+	return false
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit, miss and eviction counts.
+func (c *Cache[V]) Stats() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// Purge drops every cached entry (the counters are kept).
+func (c *Cache[V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.m = make(map[string]*list.Element)
+}

@@ -1,0 +1,88 @@
+package lru
+
+import "testing"
+
+func TestEvictsOldest(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3) // evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	if v, ok := c.Get("b"); !ok || v != 2 {
+		t.Fatalf("b = %d, %t; want 2, true", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("c = %d, %t; want 3, true", v, ok)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("len = %d, want 2", got)
+	}
+	if _, _, evictions := c.Stats(); evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a")    // a is now most recent
+	c.Put("c", 3) // evicts b, not a
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived: it was touched most recently")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestPutUpdatesInPlace(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("a = %d, want 10", v)
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("len = %d, want 1", got)
+	}
+	if _, _, evictions := c.Stats(); evictions != 0 {
+		t.Fatalf("evictions = %d, want 0: updates must not evict", evictions)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New[string](4)
+	c.Put("k", "v")
+	c.Get("k")
+	c.Get("k")
+	c.Get("missing")
+	hits, misses, evictions := c.Stats()
+	if hits != 2 || misses != 1 || evictions != 0 {
+		t.Fatalf("stats = %d hits, %d misses, %d evictions; want 2, 1, 0", hits, misses, evictions)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[int](4)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Purge()
+	if got := c.Len(); got != 0 {
+		t.Fatalf("len after purge = %d, want 0", got)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should be gone after purge")
+	}
+}
+
+func TestMaxClampedToOne(t *testing.T) {
+	c := New[int](0)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if got := c.Len(); got != 1 {
+		t.Fatalf("len = %d, want 1: capacity below 1 clamps to 1", got)
+	}
+}

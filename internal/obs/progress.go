@@ -29,7 +29,11 @@ type SweepProgress struct {
 	done     atomic.Int64
 	hits     atomic.Int64
 	skipped  atomic.Int64
+	symbolic atomic.Int64
+	residual atomic.Int64
 	finished atomic.Bool
+
+	evaluator atomic.Pointer[string]
 }
 
 // BeginSweep publishes a new live sweep and returns its progress handle.
@@ -57,6 +61,60 @@ func (p *SweepProgress) PointDone(cacheHit, ok bool) {
 		p.skipped.Add(1)
 	}
 	p.done.Add(1)
+}
+
+// SetEvaluator records which evaluation backend the sweep runs on
+// ("simulate", "symbolic", "auto") for the /progress view.
+func (p *SweepProgress) SetEvaluator(name string) {
+	if p == nil {
+		return
+	}
+	p.evaluator.Store(&name)
+}
+
+// Evaluator returns the recorded backend name ("" when unset).
+func (p *SweepProgress) Evaluator() string {
+	if p == nil {
+		return ""
+	}
+	if s := p.evaluator.Load(); s != nil {
+		return *s
+	}
+	return ""
+}
+
+// PointEval attributes one fresh (non-cache-hit) evaluation to a
+// backend: symbolic marks a closed-form evaluation, residual marks a
+// point that fell back to per-point simulation although a symbolic
+// backend was requested. Complements PointDone, which counts
+// completion.
+func (p *SweepProgress) PointEval(symbolic, residual bool) {
+	if p == nil {
+		return
+	}
+	if symbolic {
+		p.symbolic.Add(1)
+	}
+	if residual {
+		p.residual.Add(1)
+	}
+}
+
+// SymbolicPoints returns the number of points evaluated in closed form.
+func (p *SweepProgress) SymbolicPoints() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.symbolic.Load()
+}
+
+// ResidualPoints returns the number of points that fell back to
+// simulation under a symbolic evaluator.
+func (p *SweepProgress) ResidualPoints() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.residual.Load()
 }
 
 // Finish marks the sweep complete (it stays published as the most

@@ -183,15 +183,22 @@ type progressView struct {
 }
 
 type sweepView struct {
-	Kernel       string  `json:"kernel"`
-	Total        int64   `json:"total"`
-	Done         int64   `json:"done"`
-	CacheHits    int64   `json:"cache_hits"`
-	Skipped      int64   `json:"skipped"`
-	Finished     bool    `json:"finished"`
-	ElapsedSec   float64 `json:"elapsed_sec"`
-	PointsPerSec float64 `json:"points_per_sec"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
+	Kernel string `json:"kernel"`
+	// Evaluator is the backend the sweep runs on ("simulate",
+	// "symbolic", "auto"; "" on traces from older producers).
+	Evaluator string `json:"evaluator,omitempty"`
+	Total     int64  `json:"total"`
+	Done      int64  `json:"done"`
+	CacheHits int64  `json:"cache_hits"`
+	Skipped   int64  `json:"skipped"`
+	// SymbolicPoints / ResidualPoints split the fresh evaluations by
+	// backend: closed-form vs simulator fallback.
+	SymbolicPoints int64   `json:"symbolic_points"`
+	ResidualPoints int64   `json:"residual_points"`
+	Finished       bool    `json:"finished"`
+	ElapsedSec     float64 `json:"elapsed_sec"`
+	PointsPerSec   float64 `json:"points_per_sec"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
 	// EtaSec estimates the remaining wall-clock seconds from the
 	// observed throughput; -1 while no point has completed yet.
 	EtaSec float64 `json:"eta_sec"`
@@ -211,14 +218,17 @@ func handleProgress(w http.ResponseWriter, _ *http.Request) {
 		done, hits := p.Done(), p.CacheHits()
 		elapsed := now.Sub(time.Unix(0, p.StartNs)).Seconds()
 		sv := &sweepView{
-			Kernel:     p.Kernel,
-			Total:      p.Total,
-			Done:       done,
-			CacheHits:  hits,
-			Skipped:    p.Skipped(),
-			Finished:   p.Finished(),
-			ElapsedSec: elapsed,
-			EtaSec:     -1,
+			Kernel:         p.Kernel,
+			Evaluator:      p.Evaluator(),
+			Total:          p.Total,
+			Done:           done,
+			CacheHits:      hits,
+			Skipped:        p.Skipped(),
+			SymbolicPoints: p.SymbolicPoints(),
+			ResidualPoints: p.ResidualPoints(),
+			Finished:       p.Finished(),
+			ElapsedSec:     elapsed,
+			EtaSec:         -1,
 		}
 		if done > 0 {
 			sv.CacheHitRate = float64(hits) / float64(done)

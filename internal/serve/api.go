@@ -60,6 +60,12 @@ type Request struct {
 	// FP32 selects single precision (solve, best, compile, simulate).
 	FP32 bool `json:"fp32,omitempty"`
 
+	// Evaluator picks the evaluation backend for best/simulate:
+	// "simulate" (default), "symbolic", or "auto" (closed-form with
+	// simulator fallback on residual configurations). Invalid values are
+	// rejected with 400.
+	Evaluator string `json:"evaluator,omitempty"`
+
 	// Compile/simulate configuration. Empty Tiles means "solve first,
 	// then use the selected tiles". UseShared defaults to true.
 	Tiles        map[string]int64 `json:"tiles,omitempty"`
@@ -86,6 +92,8 @@ type Response struct {
 	Kernel      string `json:"kernel,omitempty"`
 	GPU         string `json:"gpu,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// Evaluator echoes the evaluation backend used (best/simulate only).
+	Evaluator string `json:"evaluator,omitempty"`
 	// Cached reports a selection-tier cache hit; Coalesced reports that
 	// this request waited on another request's identical in-flight work.
 	Cached    bool    `json:"cached,omitempty"`
@@ -232,6 +240,10 @@ func (s *Server) do(ctx context.Context, req *Request) *Response {
 	if err != nil {
 		return fail(resp, http.StatusBadRequest, StatusError, err)
 	}
+	eval, err := eatss.ParseEvaluator(req.Evaluator)
+	if err != nil {
+		return fail(resp, http.StatusBadRequest, StatusError, err)
+	}
 
 	prog, fp, _, err := s.program(ctx, k, req.Params)
 	if err != nil {
@@ -269,9 +281,10 @@ func (s *Server) do(ctx context.Context, req *Request) *Response {
 		resp.Selection = selectionView(v.(*eatss.Selection))
 	case "best":
 		prec := precisionOf(req)
-		key := fmt.Sprintf("best|%s|%s|%d", fp, g.Name, prec)
+		resp.Evaluator = eval.String()
+		key := fmt.Sprintf("best|%s|%s|%d|%s", fp, g.Name, prec, eval)
 		v, cached, coalesced, err := s.solved(ctx, key, func(wctx context.Context) (any, error) {
-			return prog.SelectBestCtx(wctx, g, prec)
+			return prog.SelectBestEval(wctx, g, prec, eval)
 		})
 		if err != nil {
 			return failFrom(resp, err)
@@ -304,6 +317,7 @@ func (s *Server) do(ctx context.Context, req *Request) *Response {
 			tiles = sel.Tiles
 		}
 		cfg := runConfig(req)
+		cfg.Evaluator = eval
 		err := s.heavy(ctx, func() error {
 			if req.Op == "compile" {
 				m, err := prog.CompileCtx(ctx, g, tiles, cfg)
@@ -313,6 +327,7 @@ func (s *Server) do(ctx context.Context, req *Request) *Response {
 				resp.Mapping = mappingView(m)
 				return nil
 			}
+			resp.Evaluator = eval.String()
 			res, err := prog.RunCtx(ctx, g, tiles, cfg)
 			if err != nil {
 				return err

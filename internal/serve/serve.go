@@ -44,6 +44,7 @@ import (
 
 	eatss "repro"
 
+	"repro/internal/lru"
 	"repro/internal/obs"
 	obsserve "repro/internal/obs/serve"
 )
@@ -113,8 +114,8 @@ func (c Config) withDefaults() Config {
 // Handler or Start. Safe for concurrent use.
 type Server struct {
 	cfg        Config
-	programs   *lru[*eatss.Program]
-	selections *lru[any] // *eatss.Selection or *eatss.Best by key prefix
+	programs   *lru.Cache[*eatss.Program]
+	selections *lru.Cache[any] // *eatss.Selection or *eatss.Best by key prefix
 	flights    group
 	adm        *admission
 	startedAt  time.Time
@@ -131,8 +132,8 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
 		cfg:        cfg,
-		programs:   newLRU[*eatss.Program](cfg.ProgramCacheSize),
-		selections: newLRU[any](cfg.SelectionCacheSize),
+		programs:   lru.New[*eatss.Program](cfg.ProgramCacheSize),
+		selections: lru.New[any](cfg.SelectionCacheSize),
 		adm:        newAdmission(cfg.MaxInflight, cfg.MaxQueue),
 		startedAt:  obs.Now(),
 	}
@@ -185,10 +186,10 @@ func (s *Server) Stats() Stats {
 		Queued:    s.adm.queueDepth(),
 		UptimeSec: obs.Now().Sub(s.startedAt).Seconds(),
 	}
-	st.ProgramCache.Len = s.programs.len()
-	st.ProgramCache.Hits, st.ProgramCache.Misses = s.programs.stats()
-	st.SelectionCache.Len = s.selections.len()
-	st.SelectionCache.Hits, st.SelectionCache.Misses = s.selections.stats()
+	st.ProgramCache.Len = s.programs.Len()
+	st.ProgramCache.Hits, st.ProgramCache.Misses, _ = s.programs.Stats()
+	st.SelectionCache.Len = s.selections.Len()
+	st.SelectionCache.Hits, st.SelectionCache.Misses, _ = s.selections.Stats()
 	return st
 }
 
@@ -217,7 +218,7 @@ func (s *Server) Warm(ctx context.Context) int {
 // coalescing layer; the expensive tier (solves) does coalesce.
 func (s *Server) program(ctx context.Context, k *eatss.AffineKernel, params map[string]int64) (*eatss.Program, string, bool, error) {
 	fp := eatss.FingerprintKernel(k, params)
-	if p, ok := s.programs.get(fp); ok {
+	if p, ok := s.programs.Get(fp); ok {
 		mProgHits.Add(1)
 		return p, fp, true, nil
 	}
@@ -226,7 +227,7 @@ func (s *Server) program(ctx context.Context, k *eatss.AffineKernel, params map[
 	if err != nil {
 		return nil, fp, false, err
 	}
-	s.programs.put(fp, p)
+	s.programs.Put(fp, p)
 	return p, fp, false, nil
 }
 
@@ -236,7 +237,7 @@ func (s *Server) program(ctx context.Context, k *eatss.AffineKernel, params map[
 // context — a waiter whose deadline expires abandons the wait, the
 // shared work finishes and lands in the cache for the next request.
 func (s *Server) solved(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (v any, cached, coalesced bool, err error) {
-	if v, ok := s.selections.get(key); ok {
+	if v, ok := s.selections.Get(key); ok {
 		mSelHits.Add(1)
 		return v, true, false, nil
 	}
@@ -244,7 +245,7 @@ func (s *Server) solved(ctx context.Context, key string, fn func(ctx context.Con
 	v, coalesced, err = s.flights.do(ctx, key, func() (any, error) {
 		// Double-check under the flight: a previous leader may have
 		// populated the cache between our miss and our takeoff.
-		if v, ok := s.selections.get(key); ok {
+		if v, ok := s.selections.Get(key); ok {
 			return v, nil
 		}
 		wctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.MaxTimeout)
@@ -260,7 +261,7 @@ func (s *Server) solved(ctx context.Context, key string, fn func(ctx context.Con
 		mSolves.Add(1)
 		v, err := fn(wctx)
 		if err == nil {
-			s.selections.put(key, v)
+			s.selections.Put(key, v)
 		}
 		return v, err
 	})

@@ -87,7 +87,7 @@ func TestDeadlineReturnsTimeoutWithoutKillingWork(t *testing.T) {
 
 	// The solve was abandoned, not cancelled: release it and it caches.
 	close(release)
-	spinUntil(t, func() bool { return s.selections.len() == 1 })
+	spinUntil(t, func() bool { return s.selections.Len() == 1 })
 	s.solveHook = nil
 	r = s.Do(context.Background(), &Request{Op: "solve", Kernel: "gemm"})
 	if r.Status != StatusOK || !r.Cached {
@@ -295,6 +295,7 @@ func TestRequestValidation(t *testing.T) {
 		{"no kernel", "/v1/solve", `{}`, http.StatusBadRequest},
 		{"kernel and source", "/v1/solve", `{"kernel":"gemm","source":"x"}`, http.StatusBadRequest},
 		{"unknown gpu", "/v1/solve", `{"kernel":"gemm","gpu":"h100"}`, http.StatusBadRequest},
+		{"unknown evaluator", "/v1/simulate", `{"kernel":"gemm","evaluator":"z3"}`, http.StatusBadRequest},
 		{"bad source", "/v1/analyze", `{"source":"not a kernel"}`, http.StatusBadRequest},
 		{"infeasible formulation", "/v1/solve", `{"kernel":"conv-2d"}`, http.StatusUnprocessableEntity},
 		{"empty batch", "/v1/batch", `{"requests":[]}`, http.StatusBadRequest},
@@ -390,7 +391,7 @@ func TestClientCancelIsNotATimeout(t *testing.T) {
 
 	// The detached solve is unaffected: release it and it caches.
 	close(release)
-	spinUntil(t, func() bool { return s.selections.len() == 1 })
+	spinUntil(t, func() bool { return s.selections.Len() == 1 })
 }
 
 // TestInflightGaugeDrains: serve.inflight must track both edges of the
@@ -423,7 +424,7 @@ func TestProgramCacheSharedAcrossOps(t *testing.T) {
 			t.Fatalf("%s: %s (%s)", op, r.Status, r.Error)
 		}
 	}
-	hits, misses := s.programs.stats()
+	hits, misses, _ := s.programs.Stats()
 	if misses != 1 || hits != 2 {
 		t.Fatalf("program cache: %d hits, %d misses; want 2, 1", hits, misses)
 	}
@@ -435,7 +436,7 @@ func TestWarmStagesCatalog(t *testing.T) {
 	if n != len(eatss.Kernels()) {
 		t.Fatalf("warmed %d programs, want the full catalog of %d", n, len(eatss.Kernels()))
 	}
-	if got := s.programs.len(); got != n {
+	if got := s.programs.Len(); got != n {
 		t.Fatalf("program cache holds %d, want %d", got, n)
 	}
 }
@@ -476,4 +477,47 @@ func spin(cond func() bool) bool {
 		time.Sleep(time.Millisecond)
 	}
 	return true
+}
+
+// TestEvaluatorBackendParity: the evaluator request knob must select the
+// backend (echoed in the response), produce identical figures either
+// way, and keep selection-tier cache entries separate per backend.
+func TestEvaluatorBackendParity(t *testing.T) {
+	s := New(Config{})
+	run := func(evaluator string) *Response {
+		r := s.Do(context.Background(), &Request{
+			Op: "simulate", Kernel: "gemm",
+			Tiles:     map[string]int64{"i": 32, "j": 32, "k": 16},
+			Evaluator: evaluator,
+		})
+		if r.Status != StatusOK {
+			t.Fatalf("evaluator %q: status %s (%s)", evaluator, r.Status, r.Error)
+		}
+		if r.Result == nil {
+			t.Fatalf("evaluator %q: no result", evaluator)
+		}
+		return r
+	}
+	sim := run("")
+	sym := run("symbolic")
+	if sim.Evaluator != "simulate" || sym.Evaluator != "symbolic" {
+		t.Fatalf("evaluator echo = %q / %q, want simulate / symbolic", sim.Evaluator, sym.Evaluator)
+	}
+	if sim.Result.EnergyJ != sym.Result.EnergyJ || sim.Result.L2Sectors != sym.Result.L2Sectors {
+		t.Fatalf("backends diverge: %+v vs %+v", sim.Result, sym.Result)
+	}
+
+	// The best protocol keys its cache per backend: a simulate-backed
+	// best must not satisfy a symbolic-backed one.
+	b1 := s.Do(context.Background(), &Request{Op: "best", Kernel: "mvt"})
+	b2 := s.Do(context.Background(), &Request{Op: "best", Kernel: "mvt", Evaluator: "symbolic"})
+	if b1.Status != StatusOK || b2.Status != StatusOK {
+		t.Fatalf("best failed: %s / %s", b1.Error, b2.Error)
+	}
+	if b2.Cached {
+		t.Fatal("symbolic best hit the simulate-backed cache entry")
+	}
+	if b1.Result.EnergyJ != b2.Result.EnergyJ {
+		t.Fatalf("best diverges across backends: %g vs %g", b1.Result.EnergyJ, b2.Result.EnergyJ)
+	}
 }

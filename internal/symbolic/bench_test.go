@@ -1,0 +1,27 @@
+package symbolic
+
+import (
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/analysis"
+	"repro/internal/arch"
+)
+
+func BenchmarkPlanEval(b *testing.B) {
+	k := affine.MustLookup("gemm")
+	g := arch.GA100()
+	prog := analysis.Analyze(k, nil)
+	plan, err := Derive(prog, g, Config{UseShared: true, Precision: affine.FP64}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tiles := map[string]int64{"i": 32, "j": 32, "k": 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Eval(tiles); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

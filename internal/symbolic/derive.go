@@ -1,0 +1,342 @@
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/affine"
+	"repro/internal/analysis"
+	"repro/internal/arch"
+	"repro/internal/codegen"
+	"repro/internal/deps"
+	"repro/internal/gpusim"
+)
+
+// spanEval is one subscript position's extent as a closed form of the
+// tile vector: extent = base + Σ tiles[idxs]. All union variants
+// (per-step, distinct-per-block, per-thread-serial) and the staging
+// extents reduce to this shape because every size assignment the
+// traffic model uses is either a tile size, a loop extent (a derive-time
+// constant folded into base), or 1.
+type spanEval struct {
+	base int64
+	idxs []int
+}
+
+// evalUnion evaluates a union-footprint span list the way
+// gpusim.UnionElems does: per span, clamp the extent at 1, multiply.
+func evalUnion(spans []spanEval, tiles []int64) int64 {
+	elems := int64(1)
+	for _, sp := range spans {
+		ext := sp.base
+		for _, i := range sp.idxs {
+			ext += tiles[i]
+		}
+		if ext < 1 {
+			ext = 1
+		}
+		elems *= ext
+	}
+	return elems
+}
+
+// evalStage evaluates a staging-buffer span list the way
+// codegen.StageElems does: no clamp (tile sizes are already ≥ 1).
+func evalStage(spans []spanEval, tiles []int64) int64 {
+	elems := int64(1)
+	for _, sp := range spans {
+		ext := sp.base
+		for _, i := range sp.idxs {
+			ext += tiles[i]
+		}
+		elems *= ext
+	}
+	return elems
+}
+
+// groupPlan is the closed form of one array's GroupTraffic: every
+// tile-independent quantity evaluated, every tile-dependent one reduced
+// to spanEval lists or per-point flags.
+type groupPlan struct {
+	array      string
+	nRefs      int64
+	write      bool
+	usesSerial bool
+	// hasShared marks groups with shared-classified references under the
+	// plan's config; whether they are actually staged at a tile point
+	// depends on the demotion replay (stageIdx indexes plan.stages).
+	hasShared bool
+	stageIdx  int
+
+	fpStep, dist, serial []spanEval
+	globalBytes          int64
+
+	// l1All / l1NoStaged are the two possible L1BytesPerIter values: all
+	// references unstaged vs. the shared-classified ones excluded. Which
+	// applies at a point follows from the demotion replay.
+	l1All, l1NoStaged float64
+}
+
+// stagePlan is the closed form of one shared-staged array's buffer size
+// (codegen.ArrayStageElems), in sorted array order — the order the
+// demotion loop scans.
+type stagePlan struct {
+	array string
+	spans []spanEval
+}
+
+// nestPlan is the closed form of one nest's mapping + model inputs.
+type nestPlan struct {
+	name     string
+	launches int64
+
+	loops    []string
+	exts     []int64
+	isMapped []bool
+	// mappedIdx are the grid-mapped loop indices in x, y, z order;
+	// serialCount is the number of non-mapped loops.
+	mappedIdx   []int
+	serialCount int
+	// innerIdx, when ≥ 0, is the loop whose tile PPCG's deep-nest quirk
+	// overrides to the full extent (Sec. V-D).
+	innerIdx int
+
+	perIterFlops int64
+	uniqRefs     int
+	quota        int64
+
+	groups []groupPlan
+	stages []stagePlan
+}
+
+// Plan is the derived closed-form evaluator for one analysis.Program on
+// one GPU under one Config. Immutable after Derive; Eval is safe for
+// concurrent use (per-point scratch comes from an internal pool).
+type Plan struct {
+	kernel string
+	gpu    *arch.GPU
+	cfg    Config
+	elemB  int64
+	nests  []*nestPlan
+
+	pool sync.Pool
+}
+
+// Derive builds the closed-form plan for prog on g under cfg, with
+// problem sizes bound from params (nil uses prog.Params, like the
+// compile path). A non-nil error means no exact closed form could be
+// established for the whole program — the caller falls back to per-point
+// simulation and reports every point as residual.
+func Derive(prog *analysis.Program, g *arch.GPU, cfg Config, params map[string]int64) (*Plan, error) {
+	if params == nil {
+		params = prog.Params
+	}
+	p := &Plan{
+		kernel: prog.Kernel.Name,
+		gpu:    g,
+		cfg:    cfg,
+		elemB:  cfg.Precision.Bytes(),
+	}
+	for _, na := range prog.Nests {
+		np, err := deriveNest(na, g, cfg, params)
+		if err != nil {
+			mDeriveFailures.Add(1)
+			return nil, err
+		}
+		p.nests = append(p.nests, np)
+	}
+	p.pool.New = func() any { return newScratch(p) }
+	mPlans.Add(1)
+	return p, nil
+}
+
+func deriveNest(na *analysis.NestAnalysis, g *arch.GPU, cfg Config, params map[string]int64) (*nestPlan, error) {
+	n := na.Nest
+	reuse := na.Reuse
+	np := &nestPlan{
+		name:     n.Name,
+		launches: n.RepeatCount(params),
+		innerIdx: -1,
+		quota:    codegen.SharedQuotaOf(cfg.SharedQuota, g),
+		uniqRefs: len(deps.UniqueArrayRefs(reuse.Refs)),
+	}
+
+	for _, l := range n.Loops {
+		np.loops = append(np.loops, l.Name)
+		np.exts = append(np.exts, l.Extent(params))
+	}
+
+	mappedNames, err := codegen.MappedLoopNames(n, reuse)
+	if err != nil {
+		return nil, err
+	}
+	np.isMapped = make([]bool, len(np.loops))
+	for _, name := range mappedNames {
+		li := n.LoopIndex(name)
+		np.mappedIdx = append(np.mappedIdx, li)
+		np.isMapped[li] = true
+	}
+	np.serialCount = len(np.loops) - len(np.mappedIdx)
+
+	if depth := n.Depth(); depth > 3 && !np.isMapped[depth-1] && np.exts[depth-1] > 0 {
+		np.innerIdx = depth - 1
+	}
+
+	for _, st := range n.Body {
+		np.perIterFlops += st.FlopsPerIter
+	}
+
+	// Group references by array (sorted order, as trafficInputs emits).
+	type refGroup struct {
+		array string
+		refs  []deps.RefReuse
+	}
+	byArray := make(map[string]*refGroup)
+	var order []string
+	for _, rr := range reuse.Refs {
+		gr, ok := byArray[rr.Ref.Array]
+		if !ok {
+			gr = &refGroup{array: rr.Ref.Array}
+			byArray[rr.Ref.Array] = gr
+			order = append(order, rr.Ref.Array)
+		}
+		gr.refs = append(gr.refs, rr)
+	}
+	sort.Strings(order)
+
+	// Staging buffers: one per shared-classified array, in sorted array
+	// order (the demotion scan order).
+	stageIdx := make(map[string]int)
+	if cfg.UseShared {
+		for _, name := range order {
+			var refs []affine.Ref
+			for _, rr := range byArray[name].refs {
+				if rr.Class == deps.MemShared {
+					refs = append(refs, rr.Ref)
+				}
+			}
+			if len(refs) == 0 {
+				continue
+			}
+			spans, err := stageSpanEvals(codegen.StageSpans(refs), n)
+			if err != nil {
+				return nil, err
+			}
+			stageIdx[name] = len(np.stages)
+			np.stages = append(np.stages, stagePlan{array: name, spans: spans})
+		}
+	}
+
+	for _, name := range order {
+		gr := byArray[name]
+		gp := groupPlan{array: name, nRefs: int64(len(gr.refs)), stageIdx: -1}
+		refs := make([]affine.Ref, len(gr.refs))
+		for i, rr := range gr.refs {
+			refs[i] = rr.Ref
+			gp.write = gp.write || rr.Ref.Write
+			if cfg.UseShared && rr.Class == deps.MemShared {
+				gp.hasShared = true
+			}
+			for li, l := range n.Loops {
+				if !np.isMapped[li] && rr.Ref.UsesIter(l.Name) {
+					gp.usesSerial = true
+				}
+			}
+		}
+		if gp.hasShared {
+			gp.stageIdx = stageIdx[name]
+		}
+
+		spans := gpusim.UnionSpans(refs)
+		gp.fpStep, gp.dist, gp.serial, gp.globalBytes, err = unionVariants(spans, n, np, cfg.Precision.Bytes())
+		if err != nil {
+			return nil, err
+		}
+
+		// The two possible L1/LSU contributions per innermost iteration
+		// (register micro-tiling is outside the supported domain, so the
+		// amortization factor is 1).
+		xName := mappedNames[0]
+		for _, rr := range gr.refs {
+			var b float64
+			if rr.Ref.HasStride1(xName) || !rr.Ref.UsesIter(xName) {
+				b = float64(cfg.Precision.Bytes())
+			} else {
+				b = float64(g.SectorBytes)
+			}
+			gp.l1All += b
+			if !(cfg.UseShared && rr.Class == deps.MemShared) {
+				gp.l1NoStaged += b
+			}
+		}
+
+		np.groups = append(np.groups, gp)
+	}
+	return np, nil
+}
+
+// unionVariants reduces a group's union spans to the three tile-size
+// closed forms the traffic model needs (per-step, distinct-per-block,
+// per-thread-serial) plus the constant whole-launch footprint.
+//
+// gpusim.UnionElems computes ext = 1 + spread + Σ(size(it) − 1); the
+// variants differ only in size(it): the tile, the extent for serial
+// loops (distinct), or 1 for mapped loops (serial footprint). Constants
+// fold into base.
+func unionVariants(spans []gpusim.UnionSpan, n *affine.Nest, np *nestPlan, elemB int64) (fpStep, dist, serial []spanEval, globalBytes int64, err error) {
+	globalElems := int64(1)
+	for _, sp := range spans {
+		fp := spanEval{base: 1 + sp.Spread}
+		ds := spanEval{base: 1 + sp.Spread}
+		se := spanEval{base: 1 + sp.Spread}
+		gext := int64(1) + sp.Spread
+		for _, it := range sp.Iters {
+			li := n.LoopIndex(it)
+			if li < 0 {
+				return nil, nil, nil, 0, fmt.Errorf(
+					"symbolic: nest %q array reference iterator %q is not a nest loop", n.Name, it)
+			}
+			fp.base--
+			fp.idxs = append(fp.idxs, li)
+			if np.isMapped[li] {
+				ds.base--
+				ds.idxs = append(ds.idxs, li)
+			} else {
+				ds.base += np.exts[li] - 1
+				se.base--
+				se.idxs = append(se.idxs, li)
+			}
+			gext += np.exts[li] - 1
+		}
+		if gext < 1 {
+			gext = 1
+		}
+		globalElems *= gext
+		fpStep = append(fpStep, fp)
+		dist = append(dist, ds)
+		serial = append(serial, se)
+	}
+	return fpStep, dist, serial, globalElems * elemB, nil
+}
+
+// stageSpanEvals reduces codegen.StageSpans to closed forms:
+// extent = tile(iter) + spread, with iterator-free (or unknown-iterator)
+// positions contributing 1 + spread.
+func stageSpanEvals(spans []codegen.StageSpan, n *affine.Nest) ([]spanEval, error) {
+	out := make([]spanEval, 0, len(spans))
+	for _, sp := range spans {
+		if sp.Iter == "" {
+			out = append(out, spanEval{base: 1 + sp.Spread})
+			continue
+		}
+		li := n.LoopIndex(sp.Iter)
+		if li < 0 {
+			// codegen.StageElems treats unknown iterators as extent 1.
+			out = append(out, spanEval{base: 1 + sp.Spread})
+			continue
+		}
+		out = append(out, spanEval{base: sp.Spread, idxs: []int{li}})
+	}
+	return out, nil
+}

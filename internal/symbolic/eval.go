@@ -1,0 +1,194 @@
+package symbolic
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/gpusim"
+)
+
+// nestScratch is the reusable per-point working set for one nest —
+// sized once at derive time so Eval allocates nothing but the returned
+// Result.
+type nestScratch struct {
+	tiles         []int64
+	mtiles, mexts []int64
+	sizes         []int64
+	staged        []bool
+	dims          []gpusim.OccDim
+	groups        []gpusim.GroupTraffic
+	geo           codegen.Geometry
+}
+
+type evalScratch struct {
+	nests []nestScratch
+}
+
+func newScratch(p *Plan) *evalScratch {
+	s := &evalScratch{nests: make([]nestScratch, len(p.nests))}
+	for i, np := range p.nests {
+		s.nests[i] = nestScratch{
+			tiles:  make([]int64, len(np.loops)),
+			mtiles: make([]int64, len(np.mappedIdx)),
+			mexts:  make([]int64, len(np.mappedIdx)),
+			sizes:  make([]int64, len(np.stages)),
+			staged: make([]bool, len(np.stages)),
+			dims:   make([]gpusim.OccDim, len(np.mappedIdx)),
+			groups: make([]gpusim.GroupTraffic, len(np.groups)),
+			geo: codegen.Geometry{
+				BlockDims: make([]int64, 0, len(np.mappedIdx)),
+				Coarsen:   make([]int64, 0, len(np.mappedIdx)),
+				GridDims:  make([]int64, 0, len(np.mappedIdx)),
+			},
+		}
+	}
+	return s
+}
+
+// Eval evaluates one tile point through the closed-form plan. Tile
+// sizes are looked up by loop name with the compile path's semantics:
+// missing or zero entries default to 32 (then clamp to the extent), and
+// negative entries are rejected. Mapping-infeasibility errors (negative
+// tile, block too large) reproduce the compile path's errors — message
+// and wrapped sentinel included — so sweeps report identical outcomes
+// on either backend; ErrResidual is reserved for points with no closed
+// form. Safe for concurrent use.
+func (p *Plan) Eval(tiles map[string]int64) (gpusim.Result, error) {
+	s := p.pool.Get().(*evalScratch)
+	defer p.pool.Put(s)
+
+	res := gpusim.Result{Kernel: p.kernel, GPU: p.gpu.Name}
+	res.Nests = make([]gpusim.NestResult, len(p.nests))
+	for ni, np := range p.nests {
+		if err := p.evalNest(np, &s.nests[ni], tiles, &res.Nests[ni]); err != nil {
+			// The compile path surfaces mapping errors wrapped by the
+			// ppcg driver; reproduce the chain verbatim for parity.
+			return gpusim.Result{}, fmt.Errorf("ppcg: kernel %s: %w", p.kernel, err)
+		}
+	}
+	gpusim.Finalize(&res, p.gpu)
+	mPoints.Add(1)
+	return res, nil
+}
+
+func (p *Plan) evalNest(np *nestPlan, s *nestScratch, tiles map[string]int64, out *gpusim.NestResult) error {
+	g := p.gpu
+	elemB := p.elemB
+
+	// Tile clamping, then the deep-nest inner-loop override.
+	for i, name := range np.loops {
+		t, err := codegen.ClampTile(tiles[name], np.exts[i])
+		if err != nil {
+			return fmt.Errorf("codegen: nest %q loop %q: %w (%d)", np.name, name, err, tiles[name])
+		}
+		s.tiles[i] = t
+	}
+	if np.innerIdx >= 0 {
+		s.tiles[np.innerIdx] = np.exts[np.innerIdx]
+	}
+
+	// Launch geometry with thread coarsening.
+	for j, li := range np.mappedIdx {
+		s.mtiles[j] = s.tiles[li]
+		s.mexts[j] = np.exts[li]
+	}
+	geo := &s.geo
+	if err := codegen.ComputeGeometryInto(geo, s.mtiles, s.mexts, g.ThreadsPerBlock); err != nil {
+		return fmt.Errorf("codegen: %w", err)
+	}
+
+	// Shared-staging footprint with PPCG's largest-first demotion.
+	sharedBytes := int64(0)
+	for k := range np.stages {
+		s.sizes[k] = evalStage(np.stages[k].spans, s.tiles) * elemB
+		s.staged[k] = true
+		sharedBytes += s.sizes[k]
+	}
+	for sharedBytes > np.quota {
+		worst, worstSize := -1, int64(-1)
+		for k := range s.sizes {
+			if s.staged[k] && s.sizes[k] > worstSize {
+				worst, worstSize = k, s.sizes[k]
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		s.staged[worst] = false
+		sharedBytes -= s.sizes[worst]
+	}
+	if sharedBytes > np.quota {
+		return fmt.Errorf("codegen: shared staging %dB exceeds quota %dB", sharedBytes, np.quota)
+	}
+
+	regs := codegen.EstimateRegs(np.uniqRefs, np.serialCount, p.cfg.Precision, geo.ThreadsPerBlock, g)
+
+	for j := range np.mappedIdx {
+		s.dims[j] = gpusim.OccDim{Ext: s.mexts[j], Tile: s.mtiles[j], Grid: geo.GridDims[j]}
+	}
+	occ := gpusim.OccupancyOf(gpusim.OccInputs{
+		ThreadsPerBlock:     geo.ThreadsPerBlock,
+		TotalBlocks:         geo.TotalBlocks,
+		RegsPerThread:       regs,
+		SharedBytesPerBlock: sharedBytes,
+		Dims:                s.dims,
+	}, g)
+
+	// Per-block iteration shape.
+	iterPerBlock, serialSteps := int64(1), int64(1)
+	for i := range np.loops {
+		if np.isMapped[i] {
+			iterPerBlock *= s.tiles[i]
+		} else {
+			iterPerBlock *= np.exts[i]
+			serialSteps *= (np.exts[i] + s.tiles[i] - 1) / s.tiles[i]
+		}
+	}
+
+	for gi := range np.groups {
+		gp := &np.groups[gi]
+		staged := gp.hasShared && s.staged[gp.stageIdx]
+		gt := gpusim.GroupTraffic{
+			Array:       gp.array,
+			Shared:      staged,
+			Write:       gp.write,
+			UsesSerial:  gp.usesSerial,
+			RegResident: gp.write && !gp.usesSerial && !staged,
+			FpStepBytes: evalUnion(gp.fpStep, s.tiles) * elemB,
+			DistBytes:   evalUnion(gp.dist, s.tiles) * elemB,
+			GlobalBytes: gp.globalBytes,
+			SerialBytes: evalUnion(gp.serial, s.tiles) * elemB,
+			Accesses:    iterPerBlock * gp.nRefs,
+		}
+		if staged {
+			gt.BankReadsPerBlock = gp.nRefs * iterPerBlock * elemB
+		}
+		if !gt.RegResident {
+			if staged {
+				gt.L1BytesPerIter = gp.l1NoStaged
+			} else {
+				gt.L1BytesPerIter = gp.l1All
+			}
+		}
+		s.groups[gi] = gt
+	}
+
+	tr := gpusim.TrafficModel(&gpusim.TrafficInputs{
+		ElemBytes:           elemB,
+		IterPerBlock:        iterPerBlock,
+		SerialSteps:         serialSteps,
+		Flops:               iterPerBlock * geo.TotalBlocks * np.perIterFlops,
+		TimeFuse:            1,
+		Blocks:              geo.TotalBlocks,
+		SharedBytesPerBlock: sharedBytes,
+		Groups:              s.groups,
+	}, g, occ)
+
+	*out = gpusim.NestModel(gpusim.NestInputs{
+		Name:        np.name,
+		TotalBlocks: geo.TotalBlocks,
+		Launches:    np.launches,
+		Precision:   p.cfg.Precision,
+	}, occ, &tr, g)
+	return nil
+}

@@ -1,0 +1,26 @@
+package symbolic
+
+import (
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/analysis"
+	"repro/internal/arch"
+	"repro/internal/ppcg"
+)
+
+func BenchmarkPlanEvalSpace(b *testing.B) {
+	k := affine.MustLookup("gemm")
+	g := arch.GA100()
+	prog := analysis.Analyze(k, nil)
+	plan, err := Derive(prog, g, Config{UseShared: true, Precision: affine.FP64}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := ppcg.Space(k, ppcg.PaperSpaceSizes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.Eval(space[i%len(space)])
+	}
+}

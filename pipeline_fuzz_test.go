@@ -7,6 +7,7 @@ package eatss_test
 // shapes no catalog entry has.
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -21,6 +22,7 @@ import (
 func TestRandomKernelsThroughPipeline(t *testing.T) {
 	g := eatss.GA100()
 	solved, mapped := 0, 0
+	residualPoints := 0
 	for seed := int64(0); seed < 120; seed++ {
 		r := rand.New(rand.NewSource(seed))
 		k := affine.RandomKernel(r)
@@ -112,10 +114,51 @@ func TestRandomKernelsThroughPipeline(t *testing.T) {
 		if err := p.Check(1e-9); err != nil {
 			t.Fatalf("seed %d: attribution broke conservation: %v\nkernel:\n%s", seed, err, k)
 		}
+
+		// Backend-parity oracle: on shapes no catalog entry has, the
+		// closed-form evaluator must agree with the simulator — or fall
+		// back explicitly (counted, below). Single-point sweeps with
+		// caching off surface the backend attribution per evaluation.
+		prog, err := eatss.Analyze(k, nil)
+		if err != nil {
+			t.Fatalf("seed %d: analyze failed: %v", seed, err)
+		}
+		ctx := context.Background()
+		cfg := eatss.RunConfig{UseShared: true, Precision: eatss.FP64}
+		simCfg, symCfg := cfg, cfg
+		symCfg.Evaluator = eatss.EvalAuto
+		point := []map[string]int64{tiles}
+		opt := eatss.SweepOptions{Cache: eatss.NoCache, Workers: 1}
+		simPts, _ := prog.ExploreSpaceOpt(ctx, g, point, simCfg, opt)
+		symPts, symStats := prog.ExploreSpaceOpt(ctx, g, point, symCfg, opt)
+		if len(simPts) != len(symPts) {
+			t.Fatalf("seed %d: backends disagree on validity: %d vs %d points\nkernel:\n%s",
+				seed, len(simPts), len(symPts), k)
+		}
+		if symStats.Symbolic+symStats.Residual != 1 {
+			t.Fatalf("seed %d: auto evaluation attributed to no backend", seed)
+		}
+		residualPoints += symStats.Residual
+		if len(simPts) == 1 {
+			a, b := simPts[0].Result, symPts[0].Result
+			if a.Flops != b.Flops || a.L2Sectors != b.L2Sectors || a.DRAMBytes != b.DRAMBytes {
+				t.Fatalf("seed %d: backend integer counters diverge: %+v vs %+v\nkernel:\n%s",
+					seed, a, b, k)
+			}
+			if d := a.EnergyJ - b.EnergyJ; d > 1e-9*a.EnergyJ || d < -1e-9*a.EnergyJ {
+				t.Fatalf("seed %d: backend energies diverge: %g vs %g\nkernel:\n%s",
+					seed, a.EnergyJ, b.EnergyJ, k)
+			}
+		}
 	}
 	// The generator must actually exercise the pipeline, not just get
-	// rejected.
+	// rejected — and the symbolic backend must cover most of what maps
+	// (residual fallbacks are legal, a backend that always falls back is
+	// dead code).
 	if solved < 60 || mapped < 50 {
 		t.Fatalf("only %d/120 kernels solved and %d mapped — generator too narrow", solved, mapped)
+	}
+	if residualPoints > mapped/2 {
+		t.Fatalf("symbolic backend fell back on %d of %d mapped kernels", residualPoints, mapped)
 	}
 }

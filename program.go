@@ -2,6 +2,7 @@ package eatss
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/analysis"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/lint"
 	"repro/internal/ppcg"
+	"repro/internal/symbolic"
 	"repro/internal/verify"
 )
 
@@ -130,9 +132,12 @@ func (p *Program) Run(g *GPU, tiles map[string]int64, cfg RunConfig) (Result, er
 	return p.RunCtx(context.Background(), g, tiles, cfg)
 }
 
-// RunCtx is Run with the caller's context threaded through.
+// RunCtx is Run with the caller's context threaded through. It honours
+// cfg.Evaluator: under EvalSymbolic/EvalAuto the point is evaluated
+// through the Program's closed-form plan when one derives.
 func (p *Program) RunCtx(ctx context.Context, g *GPU, tiles map[string]int64, cfg RunConfig) (Result, error) {
-	return runAnalyzed(ctx, p.prog, g, tiles, cfg)
+	res, _, err := evalAnalyzed(ctx, p.prog, g, tiles, cfg)
+	return res, err
 }
 
 // SelectBest runs the paper's end-to-end protocol (one candidate per
@@ -146,7 +151,13 @@ func (p *Program) SelectBest(g *GPU, prec Precision) (*Best, error) {
 // SelectBestCtx is SelectBest with the caller's context threaded
 // through.
 func (p *Program) SelectBestCtx(ctx context.Context, g *GPU, prec Precision) (*Best, error) {
-	return selectBestAnalyzed(ctx, p.prog, g, prec, nil)
+	return selectBestAnalyzed(ctx, p.prog, g, prec, nil, EvalSimulate)
+}
+
+// SelectBestEval is SelectBestCtx with an explicit evaluation backend
+// (see the package-level SelectBestEval).
+func (p *Program) SelectBestEval(ctx context.Context, g *GPU, prec Precision, eval Evaluator) (*Best, error) {
+	return selectBestAnalyzed(ctx, p.prog, g, prec, nil, eval)
 }
 
 // ExploreSpace sweeps a tile space, sharing the staged analysis across
@@ -234,4 +245,71 @@ func runAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, tiles map[
 		return Result{}, fmt.Errorf("eatss: simulate %s on %s: %w", prog.Kernel.Name, g.Name, err)
 	}
 	return gpusim.SimulateCtx(ctx, mk, g), nil
+}
+
+// symbolicSupported reports whether a RunConfig is inside the
+// closed-form domain: the mapping extensions (time-tile fusion,
+// register micro-tiles) restructure the launch in ways the plan does
+// not model, and certification requires a MappedKernel to certify.
+func symbolicSupported(cfg RunConfig) bool {
+	return cfg.TimeTileFuse <= 1 && cfg.RegTile <= 1 && cfg.Verify == VerifyOff
+}
+
+// planOrErr memoizes a Derive outcome — failures too, so an underivable
+// program pays the attempt once, not once per point.
+type planOrErr struct {
+	plan *symbolic.Plan
+	err  error
+}
+
+// symbolicPlan returns the Program's closed-form plan for (g, cfg),
+// deriving it on first use and staging it on the analysis artifact the
+// way the per-nest skeletons are staged: every sweep worker and every
+// later call sharing the Program shares the plan.
+func symbolicPlan(prog *analysis.Program, g *GPU, cfg RunConfig) (*symbolic.Plan, error) {
+	key := fmt.Sprintf("symbolic|%+v|%t|%d|%v|%s",
+		*g, cfg.UseShared, cfg.SharedQuota, cfg.Precision, tileKey(cfg.Params))
+	v := prog.Memo(key, func() any {
+		plan, err := symbolic.Derive(prog, g, symbolic.Config{
+			UseShared:   cfg.UseShared,
+			SharedQuota: cfg.SharedQuota,
+			Precision:   cfg.Precision,
+		}, cfg.Params)
+		return planOrErr{plan: plan, err: err}
+	}).(planOrErr)
+	return v.plan, v.err
+}
+
+// evalInfo attributes one evaluation to a backend.
+type evalInfo struct {
+	// symbolic: the point was evaluated through the closed-form plan.
+	// residual: a symbolic evaluator was requested but the point fell
+	// back to compile+simulate (unsupported config, underivable
+	// program, or a per-point residual).
+	symbolic, residual bool
+}
+
+// evalAnalyzed is the evaluation seam every consumer of "what does this
+// tile point cost" goes through (sweep workers, SelectBest candidates,
+// Run, autotune probes, the eatssd service): it dispatches between the
+// closed-form symbolic backend and per-point compile+simulate according
+// to cfg.Evaluator, with the simulator as the residual fallback.
+func evalAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, tiles map[string]int64, cfg RunConfig) (Result, evalInfo, error) {
+	if cfg.Evaluator == EvalSimulate || !symbolicSupported(cfg) {
+		res, err := runAnalyzed(ctx, prog, g, tiles, cfg)
+		// A symbolic request routed to the simulator is a residual
+		// fallback; a plain simulate request is just the default path.
+		return res, evalInfo{residual: cfg.Evaluator != EvalSimulate}, err
+	}
+	if plan, derr := symbolicPlan(prog, g, cfg); derr == nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, evalInfo{}, fmt.Errorf("eatss: evaluate %s on %s: %w", prog.Kernel.Name, g.Name, err)
+		}
+		res, err := plan.Eval(tiles)
+		if err == nil || !errors.Is(err, symbolic.ErrResidual) {
+			return res, evalInfo{symbolic: true}, err
+		}
+	}
+	res, err := runAnalyzed(ctx, prog, g, tiles, cfg)
+	return res, evalInfo{residual: true}, err
 }

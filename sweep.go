@@ -8,21 +8,28 @@ import (
 	"io"
 	"sort"
 	"strconv"
-	"sync"
 
 	"repro/internal/analysis"
+	"repro/internal/lru"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/sweep"
 )
 
 // Sweep-engine telemetry: effective worker counts, cache effectiveness,
-// and how many sweeps were cut short by cancellation.
+// evaluation-backend attribution, and how many sweeps were cut short by
+// cancellation.
 var (
-	mSweepWorkers     = obs.NewGauge("eatss.sweep.workers")
-	mSweepCacheHits   = obs.NewCounter("eatss.sweep.cache_hits")
-	mSweepCacheMisses = obs.NewCounter("eatss.sweep.cache_misses")
-	mSweepAborted     = obs.NewCounter("eatss.sweep.aborted")
+	mSweepWorkers        = obs.NewGauge("eatss.sweep.workers")
+	mSweepCacheHits      = obs.NewCounter("eatss.sweep.cache_hits")
+	mSweepCacheMisses    = obs.NewCounter("eatss.sweep.cache_misses")
+	mSweepCacheEvictions = obs.NewCounter("eatss.sweep.cache_evictions")
+	mSweepAborted        = obs.NewCounter("eatss.sweep.aborted")
+	// mSweepSymbolicPoints / mSweepResidualPoints split fresh evaluations
+	// by backend: closed-form plan vs simulator fallback under a
+	// symbolic evaluator. Their ratio is the residual-fallback rate.
+	mSweepSymbolicPoints = obs.NewCounter("eatss.sweep.symbolic_points")
+	mSweepResidualPoints = obs.NewCounter("eatss.sweep.residual_points")
 	// mSweepPointSec distributes fresh (cache-miss) per-point evaluation
 	// latency — the p99 the /metrics scrape watches during long sweeps.
 	mSweepPointSec = obs.NewHistogram("eatss.sweep.point_seconds",
@@ -45,16 +52,14 @@ type SweepOptions struct {
 	Cache *EvalCache
 }
 
-// EvalCache memoizes compile+simulate outcomes across sweeps. It is safe
-// for concurrent use. Results are cached by value; tile maps are never
-// stored, so cached entries cannot alias caller-owned maps.
+// EvalCache memoizes compile+simulate outcomes across sweeps, bounded
+// by LRU eviction (the same internal/lru cache the service layer's two
+// tiers use). It is safe for concurrent use. Results are cached by
+// value; tile maps are never stored, so cached entries cannot alias
+// caller-owned maps.
 type EvalCache struct {
 	disabled bool
-
-	mu     sync.Mutex
-	m      map[string]evalEntry
-	hits   int64
-	misses int64
+	c        *lru.Cache[evalEntry]
 }
 
 type evalEntry struct {
@@ -63,13 +68,15 @@ type evalEntry struct {
 }
 
 // maxEvalCacheEntries caps a cache's footprint. Entries are small
-// (a Result plus a short key), so the cap is generous; beyond it an
-// arbitrary entry is evicted per insert.
+// (a Result plus a short key), so the cap is generous; beyond it the
+// least recently used entry is evicted per insert.
 const maxEvalCacheEntries = 1 << 20
 
 // NewEvalCache returns an empty evaluation cache, for callers that want
 // sweep-local memoization instead of the process-wide default.
-func NewEvalCache() *EvalCache { return &EvalCache{} }
+func NewEvalCache() *EvalCache {
+	return &EvalCache{c: lru.New[evalEntry](maxEvalCacheEntries)}
+}
 
 // DefaultEvalCache is the process-wide cache used when SweepOptions.Cache
 // is nil — it is what lets the bench figures share evaluations.
@@ -83,9 +90,7 @@ func (c *EvalCache) Len() int {
 	if c == nil || c.disabled {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+	return c.c.Len()
 }
 
 // Stats returns the cache's cumulative hit/miss counts.
@@ -93,9 +98,17 @@ func (c *EvalCache) Stats() (hits, misses int64) {
 	if c == nil || c.disabled {
 		return 0, 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	hits, misses, _ = c.c.Stats()
+	return hits, misses
+}
+
+// Evictions returns how many entries LRU eviction has dropped.
+func (c *EvalCache) Evictions() int64 {
+	if c == nil || c.disabled {
+		return 0
+	}
+	_, _, ev := c.c.Stats()
+	return ev
 }
 
 // Clear drops every cached evaluation (the hit/miss counters are kept).
@@ -103,42 +116,23 @@ func (c *EvalCache) Clear() {
 	if c == nil || c.disabled {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.m = nil
+	c.c.Purge()
 }
 
 func (c *EvalCache) get(key string) (evalEntry, bool) {
 	if c == nil || c.disabled {
 		return evalEntry{}, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.m[key]
-	if ok {
-		c.hits++
-	} else {
-		c.misses++
-	}
-	return e, ok
+	return c.c.Get(key)
 }
 
 func (c *EvalCache) put(key string, e evalEntry) {
 	if c == nil || c.disabled {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.m == nil {
-		c.m = make(map[string]evalEntry)
+	if c.c.Put(key, e) {
+		mSweepCacheEvictions.Add(1)
 	}
-	if len(c.m) >= maxEvalCacheEntries {
-		for k := range c.m {
-			delete(c.m, k)
-			break
-		}
-	}
-	c.m[key] = e
 }
 
 // sweepKeyPrefix fingerprints everything an evaluation depends on except
@@ -150,9 +144,9 @@ func sweepKeyPrefix(prog *analysis.Program, g *GPU, cfg RunConfig) string {
 	h := fnv.New64a()
 	io.WriteString(h, prog.Fingerprint())
 	fmt.Fprintf(h, "|%+v|", *g)
-	fmt.Fprintf(h, "%s|%t|%d|%v|%d|%d|%v",
+	fmt.Fprintf(h, "%s|%t|%d|%v|%d|%d|%v|%v",
 		tileKey(cfg.Params), cfg.UseShared, cfg.SharedQuota, cfg.Precision,
-		cfg.TimeTileFuse, cfg.RegTile, cfg.Verify)
+		cfg.TimeTileFuse, cfg.RegTile, cfg.Verify, cfg.Evaluator)
 	return strconv.FormatUint(h.Sum64(), 16) + "|"
 }
 
@@ -207,6 +201,9 @@ type sweepOutcome struct {
 	res Result
 	ok  bool
 	hit bool
+	// sym / resid attribute a fresh evaluation to a backend (both false
+	// on cache hits and plain simulate sweeps).
+	sym, resid bool
 }
 
 // ExploreSpaceOpt is ExploreSpaceCtx with explicit sweep options: the
@@ -238,6 +235,7 @@ func exploreAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, space 
 	// Live progress for the /progress endpoint, plus per-point flight
 	// events. Both are nil-safe no-ops while observability is disabled.
 	progress := obs.BeginSweep(prog.Kernel.Name, len(space))
+	progress.SetEvaluator(cfg.Evaluator.String())
 	defer progress.Finish()
 
 	cache := opt.Cache
@@ -263,9 +261,16 @@ func exploreAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, space 
 				mSweepCacheMisses.Add(1)
 			}
 			evalStart := obs.Now()
-			res, err := runAnalyzed(wctx, prog, g, tiles, cfg)
+			res, info, err := evalAnalyzed(wctx, prog, g, tiles, cfg)
 			mSweepPointSec.Observe(obs.Now().Sub(evalStart).Seconds())
-			o := sweepOutcome{res: res, ok: err == nil}
+			o := sweepOutcome{res: res, ok: err == nil, sym: info.symbolic, resid: info.residual}
+			if o.sym {
+				mSweepSymbolicPoints.Add(1)
+			}
+			if o.resid {
+				mSweepResidualPoints.Add(1)
+			}
+			progress.PointEval(o.sym, o.resid)
 			if cacheableOutcome(wctx, err) {
 				cache.put(key, evalEntry{res: o.res, ok: o.ok})
 			}
@@ -283,6 +288,12 @@ func exploreAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, space 
 		if o.hit {
 			stats.CacheHits++
 		}
+		if o.sym {
+			stats.Symbolic++
+		}
+		if o.resid {
+			stats.Residual++
+		}
 		if !o.ok {
 			stats.Skipped++
 			mExploreSkipped.Add(1)
@@ -298,6 +309,9 @@ func exploreAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, space 
 	sp.SetInt("evaluated", int64(stats.Evaluated))
 	sp.SetInt("skipped", int64(stats.Skipped))
 	sp.SetInt("cache_hits", int64(stats.CacheHits))
+	sp.SetStr("evaluator", cfg.Evaluator.String())
+	sp.SetInt("symbolic_points", int64(stats.Symbolic))
+	sp.SetInt("residual_points", int64(stats.Residual))
 	sp.SetBool("aborted", stats.Aborted)
 	return out, stats
 }
