@@ -53,10 +53,13 @@ serve-bench:
 # sweep/solver latency histograms), slog output, the live sweep progress
 # and the flight recorder all cost zero allocations (and take no locks)
 # on the hot path when observability is off — and that histogram
-# observation stays allocation-free even when it is on. A regression
-# here taxes every sweep evaluation, so it runs as part of `check`.
+# observation stays allocation-free even when it is on. The daemon
+# posture (metrics on, per-request span capture off) gets the same
+# guarantee: spans under a traceless context must not allocate. A
+# regression here taxes every sweep evaluation, so it runs as part of
+# `check`.
 obs-bench:
-	$(GO) test -count=1 -run 'TestObsOverhead|TestHistogramObserveEnabledDoesNotAllocate|TestLiveObsOverheadDisabled|TestDisabledRecorderDropsAndDoesNotAllocate|TestEnabledRecordDoesNotAllocate' ./internal/obs ./internal/obs/flight
+	$(GO) test -count=1 -run 'TestObsOverhead|TestHistogramObserveEnabledDoesNotAllocate|TestTracingDisabledDaemonPathDoesNotAllocate|TestLiveObsOverheadDisabled|TestDisabledRecorderDropsAndDoesNotAllocate|TestEnabledRecordDoesNotAllocate' ./internal/obs ./internal/obs/flight
 
 # symbolic-parity pins the pluggable-backend contract: the closed-form
 # symbolic evaluator must reproduce compile+simulate point-by-point —
@@ -99,8 +102,10 @@ lint-gate:
 
 # selfcheck runs the repo's own static analyzer (tools/selfcheck,
 # stdlib go/ast only) over the source tree: obs span open/close pairing,
-# the *Ctx context-threading contract, and the "no raw time.Now under
-# internal/ outside obs and bench" rule.
+# the *Ctx context-threading contract, the "no raw time.Now under
+# internal/ outside obs and bench" rule, and the metric-name lint
+# (literal snake_case dot-namespaced names, each registered exactly
+# once).
 selfcheck:
 	$(GO) run ./tools/selfcheck .
 

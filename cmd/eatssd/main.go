@@ -3,8 +3,9 @@
 // pipeline as a JSON API, with two-tier artifact caching, request
 // coalescing, per-request deadlines, and admission-controlled
 // load-shedding (see internal/serve). The live-introspection endpoints
-// (/metrics, /progress, /flight, pprof) are mounted on the same
-// listener.
+// (/metrics, /progress, /flight, /debug/requests, pprof) are mounted on
+// the same listener, and every request is traced end to end into the
+// tail-sampled trace store behind /debug/requests.
 //
 //	eatssd                       # listen on 127.0.0.1:7474
 //	eatssd -addr :8080 -warm     # pre-analyze the catalog on boot
@@ -22,6 +23,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/trace"
 	"repro/internal/serve"
 )
 
@@ -34,6 +36,9 @@ func main() {
 	programs := flag.Int("programs", 0, "program (analysis artifact) cache entries (0 = 256)")
 	selections := flag.Int("selections", 0, "selection/best cache entries (0 = 4096)")
 	warm := flag.Bool("warm", false, "pre-analyze the built-in kernel catalog on boot")
+	traceCap := flag.Int("trace-capacity", 0, "finished request traces retained for /debug/requests (0 = 256)")
+	traceSample := flag.Int("trace-sample", 0, "keep 1 in N healthy fast request traces (0 = 16; errors, sheds, timeouts and the slow tail are always kept)")
+	noTraces := flag.Bool("no-request-traces", false, "disable per-request span collection and the /debug/requests store (trace IDs, metrics and access log remain)")
 	verbose := flag.Bool("v", false, "debug logging")
 	cli.SetUsage("eatssd", "serve tile selection over HTTP with caching, coalescing and load-shedding",
 		"eatssd                       # listen on 127.0.0.1:7474",
@@ -44,10 +49,13 @@ func main() {
 		cli.Verbose()
 	}
 
-	// Metrics and the flight ring, but not span capture: a daemon's span
-	// log would grow without bound.
+	// Metrics and the flight ring, but not global span capture: a
+	// daemon's span log would grow without bound. Per-request span trees
+	// are bounded per trace and tail-sampled into the /debug/requests
+	// store instead.
 	obs.EnableMetrics()
 	flight.Default.Enable()
+	trace.Default.Configure(*traceCap, *traceSample)
 
 	s := serve.New(serve.Config{
 		MaxInflight:        *inflight,
@@ -56,6 +64,8 @@ func main() {
 		MaxTimeout:         *maxTimeout,
 		ProgramCacheSize:   *programs,
 		SelectionCacheSize: *selections,
+		AccessLog:          cli.Logger,
+		DisableTracing:     *noTraces,
 	})
 	if *warm {
 		n := s.Warm(context.Background())

@@ -41,6 +41,9 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/trace"
 	"repro/internal/serve"
 )
 
@@ -188,6 +191,12 @@ func main() {
 		*passes = 1
 	}
 
+	// Run under the daemon's observability posture (metrics, flight ring,
+	// per-request tracing into the tail-sampled store) so the measured
+	// latencies are what eatssd actually ships, tracing cost included.
+	obs.EnableMetrics()
+	flight.Default.Enable()
+
 	var best report
 	for pass := 0; pass < *passes; pass++ {
 		r := runOnce(*gpuName, *herd, *requests, *conc)
@@ -209,6 +218,7 @@ func main() {
 // round against it, and enforces the acceptance bar before returning
 // the round's figures.
 func runOnce(gpuName string, herd, requests, conc int) report {
+	trace.Default.Reset() // each round's trace store stands alone
 	s := serve.New(serve.Config{})
 	srv, err := s.Start("127.0.0.1:0")
 	if err != nil {
@@ -334,7 +344,60 @@ func runOnce(gpuName string, herd, requests, conc int) report {
 	if c.coalesced == 0 {
 		cli.Fatalf("no request coalesced under a herd of %d — the singleflight layer is not working", herd)
 	}
+	checkRequestTraces(c)
 	return r
+}
+
+// checkRequestTraces extends the acceptance bar to the tracing stack:
+// after a full round, /debug/requests must have seen every request,
+// retained inspectable traces, and the newest retained trace must carry
+// a span tree rooted at serve.request.
+func checkRequestTraces(c *client) {
+	var doc struct {
+		Recent []struct {
+			TraceID string `json:"trace_id"`
+		} `json:"recent"`
+		Stats struct {
+			Seen     int64 `json:"seen"`
+			Retained int64 `json:"retained"`
+		} `json:"stats"`
+	}
+	c.getJSON("/debug/requests?n=5", &doc)
+	if doc.Stats.Seen == 0 {
+		cli.Fatalf("/debug/requests saw no requests — the serve layer is not recording into the trace store")
+	}
+	if len(doc.Recent) == 0 || doc.Stats.Retained == 0 {
+		cli.Fatalf("/debug/requests retained no traces out of %d seen — tail sampling is broken", doc.Stats.Seen)
+	}
+	var detail struct {
+		Spans []struct {
+			Name   string `json:"name"`
+			Parent uint64 `json:"parent"`
+		} `json:"spans"`
+	}
+	c.getJSON("/debug/requests?trace="+doc.Recent[0].TraceID, &detail)
+	for _, sp := range detail.Spans {
+		if sp.Name == "serve.request" && sp.Parent == 0 {
+			return
+		}
+	}
+	cli.Fatalf("retained trace %s has no serve.request root span (%d spans)", doc.Recent[0].TraceID, len(detail.Spans))
+}
+
+// getJSON fetches an introspection endpoint into v (fatal on failure —
+// these run after the load, as acceptance checks).
+func (c *client) getJSON(path string, v any) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		cli.Fatalf("GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		cli.Fatalf("GET %s: %v", path, err)
+	}
 }
 
 // percentile returns the p-quantile of sorted (ascending) samples.

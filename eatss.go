@@ -284,6 +284,10 @@ type Best struct {
 	// empty" from "everything failed" when Candidates is short.
 	InfeasibleSplits int
 	Skipped          int
+	// Residual counts candidate evaluations that fell back from the
+	// requested closed-form backend to per-point simulation (always zero
+	// under EvalSimulate, where simulation is the requested backend).
+	Residual int
 }
 
 // SharedSplits are the three shared-memory levels the paper generates
@@ -365,6 +369,10 @@ func selectBestAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GPU
 			Evaluator: eval,
 		})
 		csp.SetBool("symbolic", info.symbolic)
+		if info.residual {
+			best.Residual++
+			csp.SetBool("residual", true)
+		}
 		if err != nil {
 			// Feasible formulation, but the chosen tiles did not map.
 			best.Skipped++

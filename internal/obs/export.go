@@ -11,8 +11,12 @@ import (
 
 // TreeSummary renders the recorded spans as an indented tree with
 // durations and attributes — the human-readable exporter.
-func TreeSummary() string {
-	spans := Spans()
+func TreeSummary() string { return TreeSummaryOf(Spans()) }
+
+// TreeSummaryOf renders the given spans as an indented tree — the
+// per-request form used by the /debug/requests drill-down, where the
+// spans come from one trace instead of the process-wide sink.
+func TreeSummaryOf(spans []*Span) string {
 	if len(spans) == 0 {
 		return "(no spans recorded)\n"
 	}
@@ -96,14 +100,33 @@ func MetricsSummary() string {
 	return b.String()
 }
 
-// jsonSpan is the span shape of the JSON exporter.
-type jsonSpan struct {
+// JSONSpan is the span shape of the JSON exporters.
+type JSONSpan struct {
 	ID      uint64         `json:"id"`
 	Parent  uint64         `json:"parent,omitempty"`
 	Name    string         `json:"name"`
+	Trace   string         `json:"trace,omitempty"`
 	StartNs int64          `json:"start_ns"`
 	DurNs   int64          `json:"dur_ns"`
 	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// JSONSpans converts spans to the JSON export shape — used by WriteJSON
+// and by the /debug/requests per-trace drill-down.
+func JSONSpans(spans []*Span) []JSONSpan {
+	js := make([]JSONSpan, 0, len(spans))
+	for _, sp := range spans {
+		js = append(js, JSONSpan{
+			ID:      sp.ID,
+			Parent:  sp.Parent,
+			Name:    sp.Name,
+			Trace:   sp.TraceID,
+			StartNs: sp.StartAt.UnixNano(),
+			DurNs:   int64(sp.Duration()),
+			Attrs:   attrMap(sp.Attrs),
+		})
+	}
+	return js
 }
 
 func attrMap(attrs []Attr) map[string]any {
@@ -120,24 +143,12 @@ func attrMap(attrs []Attr) map[string]any {
 // WriteJSON writes {"spans": [...], "metrics": {...}} — the raw export
 // for downstream tooling.
 func WriteJSON(w io.Writer) error {
-	spans := Spans()
-	js := make([]jsonSpan, 0, len(spans))
-	for _, sp := range spans {
-		js = append(js, jsonSpan{
-			ID:      sp.ID,
-			Parent:  sp.Parent,
-			Name:    sp.Name,
-			StartNs: sp.StartAt.UnixNano(),
-			DurNs:   int64(sp.Duration()),
-			Attrs:   attrMap(sp.Attrs),
-		})
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
-		Spans   []jsonSpan      `json:"spans"`
+		Spans   []JSONSpan      `json:"spans"`
 		Metrics MetricsSnapshot `json:"metrics"`
-	}{js, Snapshot()})
+	}{JSONSpans(Spans()), Snapshot()})
 }
 
 // chromeEvent is one Chrome trace-event ("X" = complete event). The
@@ -159,8 +170,12 @@ type chromeEvent struct {
 // inside it; timestamps are microseconds relative to the earliest span.
 // The metrics snapshot rides along under the extra "metrics" key, which
 // trace viewers ignore.
-func WriteChromeTrace(w io.Writer) error {
-	spans := Spans()
+func WriteChromeTrace(w io.Writer) error { return WriteChromeTraceOf(w, Spans()) }
+
+// WriteChromeTraceOf writes the given spans as Chrome trace events —
+// the per-request form behind /debug/requests?view=chrome, so a single
+// request's tree loads in chrome://tracing or ui.perfetto.dev.
+func WriteChromeTraceOf(w io.Writer, spans []*Span) error {
 	var t0 time.Time
 	for _, sp := range spans {
 		if t0.IsZero() || sp.StartAt.Before(t0) {

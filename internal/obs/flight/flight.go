@@ -86,10 +86,13 @@ type Event struct {
 	Name string
 	// Span is the obs span ID the event belongs to (0 = none).
 	Span uint64
-	A    int64
-	B    int64
-	F    float64
-	Str  string
+	// Trace is the request trace ID the event belongs to ("" = none), so
+	// ring dumps can be filtered down to one request (/flight?trace=).
+	Trace string
+	A     int64
+	B     int64
+	F     float64
+	Str   string
 }
 
 // DefaultCapacity is the ring size of the Default recorder: small enough
@@ -194,6 +197,19 @@ func (r *Recorder) Snapshot() []Event {
 	return out
 }
 
+// SnapshotTrace copies the retained events recorded under the given
+// trace ID, oldest first — one request's slice of the ring.
+func (r *Recorder) SnapshotTrace(trace string) []Event {
+	all := r.Snapshot()
+	out := all[:0]
+	for _, e := range all {
+		if e.Trace == trace {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // jsonEvent is the dump shape of one event.
 type jsonEvent struct {
 	Seq    uint64  `json:"seq"`
@@ -201,6 +217,7 @@ type jsonEvent struct {
 	Kind   string  `json:"kind"`
 	Name   string  `json:"name,omitempty"`
 	Span   uint64  `json:"span,omitempty"`
+	Trace  string  `json:"trace,omitempty"`
 	A      int64   `json:"a,omitempty"`
 	B      int64   `json:"b,omitempty"`
 	F      float64 `json:"f,omitempty"`
@@ -209,25 +226,35 @@ type jsonEvent struct {
 
 // Dump is the JSON shape of a recorder dump.
 type Dump struct {
-	Capacity int         `json:"capacity"`
-	Total    uint64      `json:"total"`
-	Dropped  uint64      `json:"dropped"`
-	Events   []jsonEvent `json:"events"`
+	Capacity int    `json:"capacity"`
+	Total    uint64 `json:"total"`
+	Dropped  uint64 `json:"dropped"`
+	// Filter is the trace ID the dump was filtered to, if any.
+	Filter string      `json:"filter,omitempty"`
+	Events []jsonEvent `json:"events"`
 }
 
 // WriteJSON dumps the retained events as JSON — the payload of the
 // /flight endpoint and of the on-error/on-signal dumps.
-func (r *Recorder) WriteJSON(w io.Writer) error {
+func (r *Recorder) WriteJSON(w io.Writer) error { return r.WriteJSONTrace(w, "") }
+
+// WriteJSONTrace dumps the retained events recorded under the given
+// trace ID (all events when trace is "") — the /flight?trace= payload.
+func (r *Recorder) WriteJSONTrace(w io.Writer, trace string) error {
 	events := r.Snapshot()
-	d := Dump{Capacity: r.Cap(), Total: r.Total(), Events: make([]jsonEvent, len(events))}
+	d := Dump{Capacity: r.Cap(), Total: r.Total(), Filter: trace}
 	if d.Total > uint64(len(events)) {
 		d.Dropped = d.Total - uint64(len(events))
 	}
-	for i, e := range events {
-		d.Events[i] = jsonEvent{
-			Seq: e.Seq, TimeNs: e.TimeNs, Kind: e.Kind.String(),
-			Name: e.Name, Span: e.Span, A: e.A, B: e.B, F: e.F, Str: e.Str,
+	d.Events = make([]jsonEvent, 0, len(events))
+	for _, e := range events {
+		if trace != "" && e.Trace != trace {
+			continue
 		}
+		d.Events = append(d.Events, jsonEvent{
+			Seq: e.Seq, TimeNs: e.TimeNs, Kind: e.Kind.String(),
+			Name: e.Name, Span: e.Span, Trace: e.Trace, A: e.A, B: e.B, F: e.F, Str: e.Str,
+		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -238,20 +265,21 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 // the enabled flag before building the event, so a disabled recorder
 // costs one atomic load and zero allocations.
 
-// SpanBegin records an obs span opening.
-func (r *Recorder) SpanBegin(id, parent uint64, name string) {
+// SpanBegin records an obs span opening; trace is the request trace ID
+// the span belongs to ("" = none).
+func (r *Recorder) SpanBegin(id, parent uint64, name, trace string) {
 	if r == nil || !r.enabled.Load() {
 		return
 	}
-	r.Record(Event{Kind: KindSpanBegin, Name: name, Span: id, A: int64(parent)})
+	r.Record(Event{Kind: KindSpanBegin, Name: name, Span: id, Trace: trace, A: int64(parent)})
 }
 
 // SpanEnd records an obs span closing with its duration.
-func (r *Recorder) SpanEnd(id uint64, name string, dur time.Duration) {
+func (r *Recorder) SpanEnd(id uint64, name string, dur time.Duration, trace string) {
 	if r == nil || !r.enabled.Load() {
 		return
 	}
-	r.Record(Event{Kind: KindSpanEnd, Name: name, Span: id, A: int64(dur)})
+	r.Record(Event{Kind: KindSpanEnd, Name: name, Span: id, Trace: trace, A: int64(dur)})
 }
 
 // CounterAdd records a counter delta.
@@ -299,10 +327,11 @@ func (r *Recorder) SweepPoint(kernel string, index int64, ok, cacheHit bool) {
 	r.Record(Event{Kind: KindSweepPoint, Name: kernel, A: index, B: bits})
 }
 
-// Log mirrors a structured log record.
-func (r *Recorder) Log(level, msg string, span uint64) {
+// Log mirrors a structured log record; trace is the request trace ID
+// the record was emitted under ("" = none).
+func (r *Recorder) Log(level, msg string, span uint64, trace string) {
 	if r == nil || !r.enabled.Load() {
 		return
 	}
-	r.Record(Event{Kind: KindLog, Name: level, Str: msg, Span: span})
+	r.Record(Event{Kind: KindLog, Name: level, Str: msg, Span: span, Trace: trace})
 }

@@ -143,18 +143,18 @@ func (e *tornError) Error() string {
 func TestDisabledRecorderDropsAndDoesNotAllocate(t *testing.T) {
 	r := New(8)
 	r.Record(Event{Kind: KindMetric, Name: "m"})
-	r.SpanBegin(1, 0, "s")
-	r.SpanEnd(1, "s", time.Second)
+	r.SpanBegin(1, 0, "s", "")
+	r.SpanEnd(1, "s", time.Second, "")
 	r.CounterAdd("c", 1)
 	r.GaugeSet("g", 1.5)
 	r.Incumbent("solve", 1, 10)
 	r.SweepPoint("k", 0, true, false)
-	r.Log("INFO", "msg", 0)
+	r.Log("INFO", "msg", 0, "")
 	if r.Len() != 0 || r.Total() != 0 {
 		t.Fatalf("disabled recorder retained events: len=%d total=%d", r.Len(), r.Total())
 	}
 	allocs := testing.AllocsPerRun(1000, func() {
-		r.SpanBegin(1, 0, "s")
+		r.SpanBegin(1, 0, "s", "")
 		r.CounterAdd("c", 1)
 		r.SweepPoint("k", 0, true, true)
 	})
@@ -164,7 +164,7 @@ func TestDisabledRecorderDropsAndDoesNotAllocate(t *testing.T) {
 	// A nil recorder must be safe too.
 	var nilR *Recorder
 	nilR.CounterAdd("c", 1)
-	nilR.SpanBegin(1, 0, "s")
+	nilR.SpanBegin(1, 0, "s", "")
 	if nilR.Enabled() {
 		t.Fatal("nil recorder reports enabled")
 	}
@@ -214,6 +214,51 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if d.Events[0].Seq != 3 || d.Events[0].Kind != "sweep_point" || d.Events[0].Name != "gemm" {
 		t.Fatalf("first retained event = %+v", d.Events[0])
+	}
+}
+
+// TestTraceFilter pins the request-correlation story: events recorded
+// under a trace ID can be sliced back out of the ring, both as a
+// snapshot and as the filtered /flight?trace= JSON dump.
+func TestTraceFilter(t *testing.T) {
+	r := New(16)
+	r.Enable()
+	r.SpanBegin(1, 0, "serve.request", "aaa0")
+	r.SpanBegin(2, 0, "serve.request", "bbb1")
+	r.SpanEnd(1, "serve.request", time.Millisecond, "aaa0")
+	r.CounterAdd("c", 1) // no trace: must not match any filter
+	r.Log("INFO", "request", 1, "aaa0")
+
+	evs := r.SnapshotTrace("aaa0")
+	if len(evs) != 3 {
+		t.Fatalf("SnapshotTrace(aaa0) = %d events, want 3", len(evs))
+	}
+	for _, e := range evs {
+		if e.Trace != "aaa0" {
+			t.Fatalf("filtered snapshot leaked trace %q", e.Trace)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONTrace(&buf, "bbb1"); err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Filter string `json:"filter"`
+		Total  uint64 `json:"total"`
+		Events []struct {
+			Trace string `json:"trace"`
+			Kind  string `json:"kind"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("filtered dump is not valid JSON: %v", err)
+	}
+	if d.Filter != "bbb1" || d.Total != 5 {
+		t.Fatalf("dump meta = %+v, want filter bbb1 over total 5", d)
+	}
+	if len(d.Events) != 1 || d.Events[0].Trace != "bbb1" || d.Events[0].Kind != "span_begin" {
+		t.Fatalf("filtered dump events = %+v, want the one bbb1 span_begin", d.Events)
 	}
 }
 

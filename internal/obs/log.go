@@ -40,14 +40,17 @@ func (h LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
 }
 
 // Handle tags the record with the active span ID (if any), mirrors it
-// into the flight recorder, and forwards it.
+// into the flight recorder carrying the request trace ID (if any), and
+// forwards it.
 func (h LogHandler) Handle(ctx context.Context, rec slog.Record) error {
 	var spanID uint64
+	var traceID string
 	if sp := FromContext(ctx); sp != nil {
 		spanID = sp.ID
+		traceID = sp.TraceID
 		rec.AddAttrs(slog.Uint64("span", spanID))
 	}
-	flight.Default.Log(rec.Level.String(), rec.Message, spanID)
+	flight.Default.Log(rec.Level.String(), rec.Message, spanID, traceID)
 	return h.inner.Handle(ctx, rec)
 }
 

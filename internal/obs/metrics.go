@@ -100,12 +100,22 @@ func (g *Gauge) Value() float64 {
 
 // Histogram counts observations into fixed buckets: counts[i] holds
 // observations <= bounds[i]; the final slot is the overflow bucket.
+// Each bucket can additionally hold one exemplar — the trace ID of the
+// most recent traced observation that landed in it — so the latency
+// distribution links back to concrete requests in the trace store.
 type Histogram struct {
-	name    string
-	bounds  []float64
-	counts  []atomic.Int64
-	count   atomic.Int64
-	sumBits atomic.Uint64
+	name      string
+	bounds    []float64
+	counts    []atomic.Int64
+	count     atomic.Int64
+	sumBits   atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observed value to the request trace it came from.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // NewHistogram registers (or finds) the histogram named name with the
@@ -121,7 +131,12 @@ func NewHistogram(name string, bounds ...float64) *Histogram {
 	}
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	h := &Histogram{name: name, bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	h := &Histogram{
+		name:      name,
+		bounds:    bs,
+		counts:    make([]atomic.Int64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 	reg.hists[name] = h
 	return h
 }
@@ -142,6 +157,21 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one sample and, when traceID is non-empty,
+// publishes it as the bucket's exemplar — the serve layer's form, tying
+// each latency bucket to the last request that landed in it.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
 }
 
 // ObserveN records n identical samples of value v in one update — the
@@ -171,6 +201,9 @@ type HistogramSnapshot struct {
 	// Counts[i] holds observations <= Bounds[i]; the final entry is the
 	// overflow bucket.
 	Counts []int64 `json:"counts"`
+	// Exemplars[i] is bucket i's most recent traced observation, nil if
+	// the bucket never saw one. Omitted entirely when no bucket has one.
+	Exemplars []*Exemplar `json:"exemplars,omitempty"`
 }
 
 // Mean returns Sum/Count (0 for an empty histogram).
@@ -221,6 +254,14 @@ func Snapshot() MetricsSnapshot {
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
 		}
+		for i := range h.exemplars {
+			if ex := h.exemplars[i].Load(); ex != nil {
+				if hs.Exemplars == nil {
+					hs.Exemplars = make([]*Exemplar, len(h.exemplars))
+				}
+				hs.Exemplars[i] = ex
+			}
+		}
 		s.Histograms[name] = hs
 	}
 	return s
@@ -240,6 +281,9 @@ func resetMetrics() {
 		h.sumBits.Store(0)
 		for i := range h.counts {
 			h.counts[i].Store(0)
+		}
+		for i := range h.exemplars {
+			h.exemplars[i].Store(nil)
 		}
 	}
 }

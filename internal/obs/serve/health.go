@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Runtime health of the process itself, exported at /metrics alongside
+// the domain counters. The values are refreshed at scrape time (from
+// handleMetrics) rather than on a ticker: an idle process pays nothing
+// between scrapes, and every scrape sees current numbers.
+var (
+	procStart   = obs.Now()
+	mGoroutines = obs.NewGauge("process.goroutines")
+	mHeapInuse  = obs.NewGauge("process.heap_inuse_bytes")
+	mUptime     = obs.NewGauge("process.uptime_seconds")
+	mGCPause    = obs.NewHistogram("process.gc_pause_seconds",
+		1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1)
+
+	// gcMu guards the pause-ring cursor so concurrent scrapes don't
+	// double-observe the same GC cycles.
+	gcMu      sync.Mutex
+	gcLastNum uint32
+)
+
+// updateHealthMetrics refreshes the process gauges and drains any GC
+// pauses that completed since the previous scrape into the pause
+// histogram (runtime.MemStats keeps the most recent 256 in a ring;
+// scraping less than 256 GCs apart loses nothing).
+func updateHealthMetrics() {
+	mGoroutines.Set(float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mHeapInuse.Set(float64(ms.HeapInuse))
+	mUptime.Set(obs.Now().Sub(procStart).Seconds())
+
+	gcMu.Lock()
+	defer gcMu.Unlock()
+	d := ms.NumGC - gcLastNum
+	if d == 0 {
+		return
+	}
+	if ring := uint32(len(ms.PauseNs)); d > ring {
+		d = ring // older pauses have been overwritten in the ring
+	}
+	for j := ms.NumGC - d + 1; j <= ms.NumGC; j++ {
+		mGCPause.Observe(float64(ms.PauseNs[(j+255)%256]) / 1e9)
+	}
+	gcLastNum = ms.NumGC
+}

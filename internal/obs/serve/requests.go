@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+)
+
+// handleRequests serves the tail-sampled request-trace store
+// (internal/obs/trace) for live request inspection:
+//
+//	/debug/requests               active + recent tables and store stats
+//	/debug/requests?n=20          cap the recent table at 20 rows
+//	/debug/requests?trace=<id>    one retained trace as a span JSON doc
+//	  &view=tree                  ... as an indented span-tree summary
+//	  &view=chrome                ... as Chrome-trace JSON (chrome://tracing)
+//
+// The store only holds what tail sampling retained, so a 404 on a known
+// trace ID means the request was healthy and sampled out, evicted by
+// newer traces, or is still in flight (check the active table).
+func handleRequests(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("trace")
+	if id == "" {
+		writeRequestsOverview(w, r)
+		return
+	}
+	f, ok := trace.Default.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("trace %q not retained (sampled out, evicted, or still in flight — see /debug/requests)", id),
+			http.StatusNotFound)
+		return
+	}
+	switch view := r.URL.Query().Get("view"); view {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		doc := struct {
+			*trace.Final
+			Spans []obs.JSONSpan `json:"spans"`
+		}{f, obs.JSONSpans(f.Spans)}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc) //nolint:errcheck // best-effort response write
+	case "tree":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "trace %s: op=%s kernel=%s status=%s dur=%s kept=%s\n\n",
+			f.TraceID, f.Op, f.Kernel, f.Status, f.Duration, f.KeepReason)
+		io.WriteString(w, obs.TreeSummaryOf(f.Spans))
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteChromeTraceOf(w, f.Spans); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.Error(w, fmt.Sprintf("unknown view %q (valid: tree, chrome, json, or omit for JSON)", view),
+			http.StatusBadRequest)
+	}
+}
+
+// requestsView is the /debug/requests overview document.
+type requestsView struct {
+	Active []trace.ActiveInfo `json:"active"`
+	Recent []recentRow        `json:"recent"`
+	Stats  trace.Stats        `json:"stats"`
+}
+
+// recentRow is one retained trace's metadata (the span tree itself is
+// behind ?trace=<id> — the table stays greppable).
+type recentRow struct {
+	*trace.Final
+	SpanCount int `json:"span_count"`
+}
+
+func writeRequestsOverview(w http.ResponseWriter, r *http.Request) {
+	n := 50
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			http.Error(w, fmt.Sprintf("bad n %q (want a positive integer)", s), http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	recent := trace.Default.Recent(n)
+	rows := make([]recentRow, 0, len(recent))
+	for _, f := range recent {
+		rows = append(rows, recentRow{Final: f, SpanCount: len(f.Spans)})
+	}
+	doc := requestsView{
+		Active: trace.Default.ActiveSnapshot(),
+		Recent: rows,
+		Stats:  trace.Default.StatsSnapshot(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // best-effort response write
+}

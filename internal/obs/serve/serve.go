@@ -7,14 +7,21 @@
 //
 // Endpoints:
 //
-//	/metrics   Prometheus text exposition of the metric registry
+//	/metrics   Prometheus text exposition of the metric registry,
+//	           including process health (goroutines, heap, GC pauses,
+//	           uptime) refreshed at scrape time, with trace-ID
+//	           exemplars on histogram buckets
 //	/progress  JSON live view: sweep points done/total + ETA, cache
 //	           hit rate, and the solver's current incumbent objective
 //	/trace     Chrome-trace JSON of the span tree recorded so far
-//	/flight    flight-recorder ring buffer dump (JSON)
+//	/flight    flight-recorder ring buffer dump (JSON);
+//	           ?trace=<id> keeps only that request's events
 //	/profile   latest published energy-attribution profile (JSON);
 //	           ?view=surface returns the latest sweep surface,
 //	           ?view=report the rendered attribution table
+//	/debug/requests   tail-sampled per-request trace store: active +
+//	           recent tables, ?trace=<id> drill-down
+//	           (&view=tree|chrome|json)
 //	/debug/pprof/...  the standard runtime profiles
 package serve
 
@@ -45,6 +52,7 @@ func Handler() http.Handler {
 	mux.HandleFunc("/trace", handleTrace)
 	mux.HandleFunc("/flight", handleFlight)
 	mux.HandleFunc("/profile", handleProfile)
+	mux.HandleFunc("/debug/requests", handleRequests)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -108,15 +116,17 @@ func handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "eatss introspection endpoints:\n"+
-		"  /metrics   Prometheus text exposition\n"+
+		"  /metrics   Prometheus text exposition (incl. process health)\n"+
 		"  /progress  live sweep/solve progress (JSON)\n"+
 		"  /trace     Chrome trace of recorded spans\n"+
-		"  /flight    flight-recorder dump (JSON)\n"+
+		"  /flight    flight-recorder dump (JSON; ?trace=<id> filters)\n"+
 		"  /profile   latest energy-attribution profile (?view=surface|report)\n"+
+		"  /debug/requests  tail-sampled request traces (?trace=<id>&view=tree|chrome)\n"+
 		"  /debug/pprof/  runtime profiles\n")
 }
 
 func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	updateHealthMetrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	WritePrometheus(w, obs.Snapshot())
 }
@@ -128,9 +138,9 @@ func handleTrace(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func handleFlight(w http.ResponseWriter, _ *http.Request) {
+func handleFlight(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := flight.Default.WriteJSON(w); err != nil {
+	if err := flight.Default.WriteJSONTrace(w, r.URL.Query().Get("trace")); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -291,12 +301,25 @@ func WritePrometheus(w io.Writer, s obs.MetricsSnapshot) {
 		var cum int64
 		for i, b := range h.Bounds {
 			cum += h.Counts[i]
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(b), cum)
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", pn, promFloat(b), cum, promExemplar(h, i))
 		}
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", pn, h.Count, promExemplar(h, len(h.Bounds)))
 		fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Sum))
 		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
 	}
+}
+
+// promExemplar renders a bucket's exemplar in the OpenMetrics style
+// (" # {trace_id=\"...\"} value"), or "" when the bucket has none.
+// Exemplars link a latency bucket to a concrete trace ID resolvable at
+// /debug/requests?trace=<id>. Plain-Prometheus scrapers that reject the
+// suffix can strip everything from " # " on.
+func promExemplar(h obs.HistogramSnapshot, i int) string {
+	if i >= len(h.Exemplars) || h.Exemplars[i] == nil {
+		return ""
+	}
+	ex := h.Exemplars[i]
+	return fmt.Sprintf(" # {trace_id=%q} %s", ex.TraceID, promFloat(ex.Value))
 }
 
 // promName maps a registry name onto the Prometheus metric-name charset.

@@ -77,6 +77,11 @@ type Span struct {
 	StartAt time.Time
 	EndAt   time.Time
 	Attrs   []Attr
+	// TraceID is the request trace the span belongs to ("" = none).
+	TraceID string
+
+	// trace is the per-request collector the span reports to on End.
+	trace *Trace
 }
 
 type ctxKey struct{}
@@ -92,24 +97,48 @@ var tr struct {
 // (if any) and returns a derived context carrying the new span. When the
 // layer is disabled it returns ctx unchanged and a nil span — the
 // zero-cost fast path; all Span methods accept a nil receiver.
+//
+// A span records into up to two sinks: the process-wide sink (when
+// spanCapture is on — the CLI -trace mode) and the per-request Trace
+// carried by ctx (when the serving layer opened one via StartTrace).
+// With metrics on but neither sink present — a daemon request with
+// tracing disabled — Start stays allocation-free.
 func Start(ctx context.Context, name string) (context.Context, *Span) {
-	if !enabled.Load() || !spanCapture.Load() {
+	if !enabled.Load() {
 		return ctx, nil
 	}
-	var parent uint64
-	if p, ok := ctx.Value(ctxKey{}).(*Span); ok && p != nil {
-		parent = p.ID
+	parent, _ := ctx.Value(ctxKey{}).(*Span)
+	var t *Trace
+	if parent != nil {
+		t = parent.trace
+	} else {
+		t, _ = ctx.Value(traceKey{}).(*Trace)
+	}
+	capture := spanCapture.Load()
+	if t == nil && !capture {
+		return ctx, nil
+	}
+	var parentID uint64
+	if parent != nil {
+		parentID = parent.ID
 	}
 	sp := &Span{
 		ID:      tr.next.Add(1),
-		Parent:  parent,
+		Parent:  parentID,
 		Name:    name,
 		StartAt: now(),
+		trace:   t,
 	}
-	tr.mu.Lock()
-	tr.spans = append(tr.spans, sp)
-	tr.mu.Unlock()
-	flight.Default.SpanBegin(sp.ID, parent, name)
+	if t != nil {
+		sp.TraceID = t.id
+		t.spanBegin(sp)
+	}
+	if capture {
+		tr.mu.Lock()
+		tr.spans = append(tr.spans, sp)
+		tr.mu.Unlock()
+	}
+	flight.Default.SpanBegin(sp.ID, parentID, name, sp.TraceID)
 	return context.WithValue(ctx, ctxKey{}, sp), sp
 }
 
@@ -121,14 +150,18 @@ func FromContext(ctx context.Context) *Span {
 	return nil
 }
 
-// End stamps the span's end time. Ending a nil or already-ended span is
-// a no-op.
+// End stamps the span's end time, snapshotting the span into its
+// request trace (if any). Ending a nil or already-ended span is a
+// no-op.
 func (s *Span) End() {
 	if s == nil || !s.EndAt.IsZero() {
 		return
 	}
 	s.EndAt = now()
-	flight.Default.SpanEnd(s.ID, s.Name, s.EndAt.Sub(s.StartAt))
+	if s.trace != nil {
+		s.trace.spanEnd(s)
+	}
+	flight.Default.SpanEnd(s.ID, s.Name, s.EndAt.Sub(s.StartAt), s.TraceID)
 }
 
 // Duration is EndAt-StartAt, or 0 for an unfinished span.

@@ -1,0 +1,472 @@
+// Package trace is the serving stack's bounded, tail-sampled store of
+// completed request traces — the memory behind /debug/requests.
+//
+// Every request passing through internal/serve registers an Active
+// entry on Begin and converts it to a Final on Finish, carrying the
+// request's span tree (collected per-request by obs.StartTrace) plus
+// the serving annotations (status, cache/coalesce flags, evaluator,
+// queue wait, solver rounds). The store cannot keep every trace of a
+// service doing thousands of requests per second, so it samples from
+// the tail — after the outcome is known, when the interesting traces
+// are identifiable — instead of up front:
+//
+//   - every non-ok outcome (errors, 504 timeouts, 499 client aborts,
+//     429 sheds) is always retained,
+//   - every residual-fallback evaluation is always retained (the
+//     symbolic backend giving up is exactly what needs attribution),
+//   - the slowest ~1% of healthy requests are retained (the p99 tail,
+//     judged against a sliding window of recent healthy durations),
+//   - of the remaining healthy fast traces, 1 in sampleEvery is kept
+//     so the baseline shape stays visible.
+//
+// Retention is bounded: at most capacity finals are held, oldest
+// evicted first. The package also owns the W3C traceparent helpers the
+// serve layer uses to ingest and echo trace IDs.
+package trace
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Tuning defaults; Configure overrides them on the Default store.
+const (
+	// DefaultCapacity is how many finished traces the store retains.
+	DefaultCapacity = 256
+	// DefaultSampleEvery keeps 1 in N healthy fast traces.
+	DefaultSampleEvery = 16
+	// durWindow is the sliding window of recent healthy durations the
+	// slow-tail judgment compares against.
+	durWindow = 512
+	// minSlowSamples gates the slow-tail judgment until the window has
+	// seen enough healthy requests to define "slow" meaningfully.
+	minSlowSamples = 100
+)
+
+// StatusOK is the one outcome status the sampler treats as healthy;
+// anything else (error, timeout, cancelled, shed, ...) is always
+// retained. It matches serve.StatusOK by convention — the store stays
+// below the serve layer, so the string is duplicated, not imported.
+const StatusOK = "ok"
+
+// Active is one in-flight request, registered on Begin so
+// /debug/requests can show what the service is doing right now.
+type Active struct {
+	TraceID string
+	Op      string
+	Kernel  string
+	GPU     string
+	StartAt time.Time
+	// Trace is the request's live span collector (nil when per-request
+	// span collection is off — the store then retains outcomes only).
+	Trace *obs.Trace
+}
+
+// Outcome is everything known about a request once it finished —
+// the inputs to the tail-sampling decision and the metadata shown in
+// the /debug/requests tables.
+type Outcome struct {
+	Status      string        `json:"status"`
+	HTTPStatus  int           `json:"http_status"`
+	Error       string        `json:"error,omitempty"`
+	Kernel      string        `json:"kernel,omitempty"`
+	GPU         string        `json:"gpu,omitempty"`
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Evaluator   string        `json:"evaluator,omitempty"`
+	Cached      bool          `json:"cached,omitempty"`
+	Coalesced   bool          `json:"coalesced,omitempty"`
+	Residual    bool          `json:"residual,omitempty"`
+	QueueWait   time.Duration `json:"queue_wait_ns"`
+	SolverCalls int           `json:"solver_calls,omitempty"`
+	Duration    time.Duration `json:"duration_ns"`
+}
+
+// Final is one finished, retained request trace.
+type Final struct {
+	TraceID string    `json:"trace_id"`
+	Op      string    `json:"op"`
+	StartAt time.Time `json:"start_at"`
+	Outcome
+	// KeepReason says why tail sampling retained this trace: the non-ok
+	// status itself, "residual", "slow", or "sampled".
+	KeepReason string `json:"keep_reason"`
+	// Spans is the request's span tree snapshot (start order). Spans
+	// still running at Finish (detached coalesced work) have no end
+	// time.
+	Spans []*obs.Span `json:"-"`
+	// SpansDropped counts spans lost to the per-trace cap.
+	SpansDropped int `json:"spans_dropped,omitempty"`
+}
+
+// Stats is the store's own accounting, shown on /debug/requests.
+type Stats struct {
+	Seen     int64            `json:"seen"`
+	Retained int64            `json:"retained"`
+	Evicted  int64            `json:"evicted"`
+	Sampled  int64            `json:"sampled_out"`
+	Active   int              `json:"active"`
+	ByReason map[string]int64 `json:"by_reason,omitempty"`
+}
+
+// Store holds active requests and a bounded ring of retained finals.
+// All methods are safe for concurrent use and accept a nil receiver
+// (no-ops), so serving code needs no guards when the store is off.
+type Store struct {
+	mu          sync.Mutex
+	capacity    int
+	sampleEvery int
+	active      map[string]*Active
+	byID        map[string]*Final
+	order       []string // retained trace IDs, oldest first
+	durs        []float64
+	dursNext    int
+	boring      int64 // healthy fast traces seen since the last kept sample
+	seen        atomic.Int64
+	retained    atomic.Int64
+	evicted     atomic.Int64
+	sampledOut  atomic.Int64
+	byReason    map[string]int64
+}
+
+// Default is the process-wide store the serve layer records into.
+var Default = NewStore(DefaultCapacity, DefaultSampleEvery)
+
+// NewStore returns a store retaining up to capacity finished traces and
+// keeping 1 in sampleEvery healthy fast ones. Non-positive arguments
+// take the defaults.
+func NewStore(capacity, sampleEvery int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultSampleEvery
+	}
+	return &Store{
+		capacity:    capacity,
+		sampleEvery: sampleEvery,
+		active:      make(map[string]*Active),
+		byID:        make(map[string]*Final),
+		byReason:    make(map[string]int64),
+	}
+}
+
+// Configure resets the store with new bounds (non-positive = default) —
+// the eatssd flag hook. Retained traces and stats are discarded.
+func (s *Store) Configure(capacity, sampleEvery int) {
+	if s == nil {
+		return
+	}
+	fresh := NewStore(capacity, sampleEvery)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.capacity = fresh.capacity
+	s.sampleEvery = fresh.sampleEvery
+	s.active = fresh.active
+	s.byID = fresh.byID
+	s.order = nil
+	s.durs = nil
+	s.dursNext = 0
+	s.boring = 0
+	s.seen.Store(0)
+	s.retained.Store(0)
+	s.evicted.Store(0)
+	s.sampledOut.Store(0)
+	s.byReason = fresh.byReason
+}
+
+// Reset is Configure with the current bounds kept.
+func (s *Store) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	capacity, sampleEvery := s.capacity, s.sampleEvery
+	s.mu.Unlock()
+	s.Configure(capacity, sampleEvery)
+}
+
+// Begin registers an in-flight request. A second Begin with the same
+// trace ID (a client replaying its traceparent) replaces the first.
+func (s *Store) Begin(a *Active) {
+	if s == nil || a == nil || a.TraceID == "" {
+		return
+	}
+	s.mu.Lock()
+	s.active[a.TraceID] = a
+	s.mu.Unlock()
+}
+
+// Finish converts an in-flight request into a finished trace, runs the
+// tail-sampling decision, and retains the trace if it won. It returns
+// the Final with KeepReason set, or nil if sampling dropped it — either
+// way the request leaves the active table.
+func (s *Store) Finish(a *Active, o Outcome) *Final {
+	if s == nil || a == nil || a.TraceID == "" {
+		return nil
+	}
+	s.seen.Add(1)
+	s.mu.Lock()
+	if s.active[a.TraceID] == a {
+		delete(s.active, a.TraceID)
+	}
+	keep, reason := s.decideLocked(o)
+	if !keep {
+		s.sampledOut.Add(1)
+		s.mu.Unlock()
+		return nil
+	}
+	s.byReason[reason]++
+	f := &Final{
+		TraceID:      a.TraceID,
+		Op:           a.Op,
+		StartAt:      a.StartAt,
+		Outcome:      o,
+		KeepReason:   reason,
+		Spans:        a.Trace.Snapshot(),
+		SpansDropped: a.Trace.Dropped(),
+	}
+	if f.Kernel == "" {
+		f.Kernel = a.Kernel
+	}
+	if f.GPU == "" {
+		f.GPU = a.GPU
+	}
+	if old, ok := s.byID[a.TraceID]; ok {
+		// Same ID finished twice (replayed traceparent): replace in place.
+		*old = *f
+		f = old
+	} else {
+		s.byID[a.TraceID] = f
+		s.order = append(s.order, a.TraceID)
+		s.retained.Add(1)
+		for len(s.order) > s.capacity {
+			delete(s.byID, s.order[0])
+			s.order = s.order[1:]
+			s.evicted.Add(1)
+			s.retained.Add(-1)
+		}
+	}
+	s.mu.Unlock()
+	return f
+}
+
+// decideLocked is the tail-sampling policy (see the package comment).
+func (s *Store) decideLocked(o Outcome) (keep bool, reason string) {
+	if o.Status != StatusOK {
+		if o.Status == "" {
+			return true, "unknown"
+		}
+		return true, o.Status
+	}
+	if o.Residual {
+		return true, "residual"
+	}
+	d := o.Duration.Seconds()
+	slow := s.isSlowLocked(d)
+	s.recordDurLocked(d)
+	if slow {
+		return true, "slow"
+	}
+	s.boring++
+	if s.boring >= int64(s.sampleEvery) {
+		s.boring = 0
+		return true, "sampled"
+	}
+	return false, ""
+}
+
+// isSlowLocked reports whether d ranks in the slowest ~1% of the recent
+// healthy-duration window (once the window is populated enough to say).
+func (s *Store) isSlowLocked(d float64) bool {
+	n := len(s.durs)
+	if n < minSlowSamples {
+		return false
+	}
+	// Count window entries at least as slow; ties count, so a duration
+	// equal to the whole window is ordinary, not an outlier.
+	slower := 0
+	for _, v := range s.durs {
+		if v >= d {
+			slower++
+		}
+	}
+	return slower*100 < n
+}
+
+func (s *Store) recordDurLocked(d float64) {
+	if len(s.durs) < durWindow {
+		s.durs = append(s.durs, d)
+		return
+	}
+	s.durs[s.dursNext] = d
+	s.dursNext = (s.dursNext + 1) % durWindow
+}
+
+// Get returns the retained trace with the given ID. Only finished
+// traces resolve; active ones are visible in ActiveSnapshot. The result
+// is a copy: a replayed trace ID finishing again mutates the stored
+// Final in place under the lock, so handing out the live pointer would
+// race with readers.
+func (s *Store) Get(id string) (*Final, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	c := *f
+	return &c, true
+}
+
+// Recent returns up to n retained traces, newest first (n <= 0: all).
+func (s *Store) Recent(n int) []*Final {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 || n > len(s.order) {
+		n = len(s.order)
+	}
+	out := make([]*Final, 0, n)
+	for i := len(s.order) - 1; i >= len(s.order)-n; i-- {
+		c := *s.byID[s.order[i]] // copy: see Get
+		out = append(out, &c)
+	}
+	return out
+}
+
+// ActiveInfo is one in-flight request as shown on /debug/requests.
+type ActiveInfo struct {
+	TraceID string    `json:"trace_id"`
+	Op      string    `json:"op"`
+	Kernel  string    `json:"kernel,omitempty"`
+	GPU     string    `json:"gpu,omitempty"`
+	StartAt time.Time `json:"start_at"`
+	Spans   int       `json:"spans"`
+}
+
+// ActiveSnapshot lists the in-flight requests, oldest first.
+func (s *Store) ActiveSnapshot() []ActiveInfo {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ActiveInfo, 0, len(s.active))
+	for _, a := range s.active {
+		out = append(out, ActiveInfo{
+			TraceID: a.TraceID,
+			Op:      a.Op,
+			Kernel:  a.Kernel,
+			GPU:     a.GPU,
+			StartAt: a.StartAt,
+			Spans:   a.Trace.SpanCount(),
+		})
+	}
+	// Map order is random; oldest-first is what an operator wants to see
+	// (the stuck request floats to the top).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].StartAt.Before(out[j-1].StartAt); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// StatsSnapshot returns the store's accounting.
+func (s *Store) StatsSnapshot() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Seen:     s.seen.Load(),
+		Retained: s.retained.Load(),
+		Evicted:  s.evicted.Load(),
+		Sampled:  s.sampledOut.Load(),
+		Active:   len(s.active),
+		ByReason: make(map[string]int64, len(s.byReason)),
+	}
+	for k, v := range s.byReason {
+		st.ByReason[k] = v
+	}
+	return st
+}
+
+// --- W3C traceparent ------------------------------------------------
+
+// NewTraceID returns a fresh 16-byte lowercase-hex trace ID. IDs need
+// uniqueness, not secrecy, so they come from math/rand/v2's ChaCha8
+// generator (OS-seeded, goroutine-sharded) instead of paying a
+// crypto/rand syscall on every request — ID generation sits on the
+// serving hot path twice per request (trace ID plus the echoed
+// traceparent's span ID).
+func NewTraceID() string { return randHex(16) }
+
+// newSpanID returns the 8-byte parent-id field for an outgoing
+// traceparent header.
+func newSpanID() string { return randHex(8) }
+
+func randHex(n int) string {
+	const digits = "0123456789abcdef"
+	b := make([]byte, 2*n)
+	for i := 0; i < len(b); i += 16 {
+		v := rand.Uint64()
+		for j := 0; j < 16 && i+j < len(b); j++ {
+			b[i+j] = digits[v&0xf]
+			v >>= 4
+		}
+	}
+	return string(b)
+}
+
+// ParseTraceparent extracts the trace ID from a W3C traceparent header
+// ("00-<32 hex>-<16 hex>-<2 hex>"). It reports ok=false for malformed
+// headers, the forbidden all-ff version, and the all-zero trace ID, so
+// a garbage header falls back to a generated ID instead of poisoning
+// the store with an unusable key.
+func ParseTraceparent(h string) (traceID string, ok bool) {
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", false
+	}
+	version, id, parent, flags := h[0:2], h[3:35], h[36:52], h[53:55]
+	if version == "ff" || !isHex(version) || !isHex(id) || !isHex(parent) || !isHex(flags) {
+		return "", false
+	}
+	allZero := true
+	for i := 0; i < len(id); i++ {
+		if id[i] != '0' {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return "", false
+	}
+	return id, true
+}
+
+// Traceparent renders the outgoing traceparent header echoing traceID
+// (sampled flag set — the service recorded the trace).
+func Traceparent(traceID string) string {
+	return "00-" + traceID + "-" + newSpanID() + "-01"
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func finish(s *Store, id string, o Outcome) *Final {
+	a := &Active{TraceID: id, Op: "solve", Kernel: "gemm", GPU: "ga100"}
+	s.Begin(a)
+	return s.Finish(a, o)
+}
+
+// TestTailSamplingRetainsEveryFailure is the store's core contract:
+// whatever the load, a non-ok outcome is never sampled away.
+func TestTailSamplingRetainsEveryFailure(t *testing.T) {
+	s := NewStore(1024, 1000) // sampling so sparse only the policy keeps traces
+	bad := []string{"error", "timeout", "cancelled", "shed"}
+	for i := 0; i < 100; i++ {
+		st := bad[i%len(bad)]
+		f := finish(s, fmt.Sprintf("bad%03d", i), Outcome{Status: st, Duration: time.Millisecond})
+		if f == nil {
+			t.Fatalf("trace %d with status %q was dropped by sampling", i, st)
+		}
+		if f.KeepReason != st {
+			t.Fatalf("keep reason = %q, want the status %q", f.KeepReason, st)
+		}
+	}
+	// Residual fallbacks are failures of the fast path, kept too.
+	if f := finish(s, "resid", Outcome{Status: StatusOK, Residual: true}); f == nil || f.KeepReason != "residual" {
+		t.Fatalf("residual trace not retained: %+v", f)
+	}
+	st := s.StatsSnapshot()
+	if st.Retained != 101 || st.Sampled != 0 {
+		t.Fatalf("stats = %+v, want 101 retained, 0 sampled out", st)
+	}
+}
+
+// TestTailSamplingThinsHealthyTraffic pins the probabilistic side: of N
+// healthy fast requests, roughly 1 in sampleEvery survives.
+func TestTailSamplingThinsHealthyTraffic(t *testing.T) {
+	s := NewStore(1024, 10)
+	kept := 0
+	for i := 0; i < 100; i++ {
+		if f := finish(s, fmt.Sprintf("ok%03d", i), Outcome{Status: StatusOK, Duration: time.Millisecond}); f != nil {
+			if f.KeepReason != "sampled" {
+				t.Fatalf("healthy fast trace kept for %q, want \"sampled\"", f.KeepReason)
+			}
+			kept++
+		}
+	}
+	if kept != 10 {
+		t.Fatalf("kept %d of 100 healthy traces at 1-in-10, want exactly 10 (deterministic counter)", kept)
+	}
+	if st := s.StatsSnapshot(); st.Sampled != 90 {
+		t.Fatalf("sampled out = %d, want 90", st.Sampled)
+	}
+}
+
+// TestSlowTailRetained: once the duration window is populated, a
+// request slower than everything seen lands in the retained set with
+// reason "slow" even when counter sampling would have dropped it.
+func TestSlowTailRetained(t *testing.T) {
+	s := NewStore(1024, 1<<30) // counter sampling effectively off
+	for i := 0; i < 2*minSlowSamples; i++ {
+		finish(s, fmt.Sprintf("warm%03d", i), Outcome{Status: StatusOK, Duration: time.Millisecond})
+	}
+	f := finish(s, "slowone", Outcome{Status: StatusOK, Duration: time.Second})
+	if f == nil || f.KeepReason != "slow" {
+		t.Fatalf("slow outlier not retained as slow: %+v", f)
+	}
+	// Another median-speed request right after is still boring.
+	if f := finish(s, "fastone", Outcome{Status: StatusOK, Duration: time.Millisecond}); f != nil {
+		t.Fatalf("median-speed trace retained (%q) after the window warmed up", f.KeepReason)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	s := NewStore(4, 1)
+	for i := 0; i < 10; i++ {
+		finish(s, fmt.Sprintf("err%02d", i), Outcome{Status: "error"})
+	}
+	st := s.StatsSnapshot()
+	if st.Retained != 4 || st.Evicted != 6 {
+		t.Fatalf("stats = %+v, want 4 retained / 6 evicted", st)
+	}
+	if _, ok := s.Get("err00"); ok {
+		t.Fatal("oldest trace survived past capacity")
+	}
+	if _, ok := s.Get("err09"); !ok {
+		t.Fatal("newest trace missing")
+	}
+	recent := s.Recent(0)
+	if len(recent) != 4 || recent[0].TraceID != "err09" || recent[3].TraceID != "err06" {
+		ids := make([]string, len(recent))
+		for i, f := range recent {
+			ids[i] = f.TraceID
+		}
+		t.Fatalf("Recent order = %v, want newest first err09..err06", ids)
+	}
+	if recent = s.Recent(2); len(recent) != 2 || recent[0].TraceID != "err09" {
+		t.Fatalf("Recent(2) wrong: %+v", recent)
+	}
+}
+
+func TestActiveLifecycle(t *testing.T) {
+	s := NewStore(8, 1)
+	a := &Active{TraceID: "live1", Op: "solve", Kernel: "gemm", StartAt: time.Unix(1, 0)}
+	b := &Active{TraceID: "live2", Op: "simulate", StartAt: time.Unix(0, 0)}
+	s.Begin(a)
+	s.Begin(b)
+	act := s.ActiveSnapshot()
+	if len(act) != 2 || act[0].TraceID != "live2" || act[1].TraceID != "live1" {
+		t.Fatalf("active snapshot = %+v, want live2 (older) then live1", act)
+	}
+	s.Finish(a, Outcome{Status: StatusOK})
+	if act = s.ActiveSnapshot(); len(act) != 1 || act[0].TraceID != "live2" {
+		t.Fatalf("finish did not clear the active entry: %+v", act)
+	}
+	if st := s.StatsSnapshot(); st.Active != 1 {
+		t.Fatalf("stats active = %d, want 1", st.Active)
+	}
+}
+
+func TestNilStoreAndNilActiveAreSafe(t *testing.T) {
+	var s *Store
+	s.Begin(&Active{TraceID: "x"})
+	if f := s.Finish(&Active{TraceID: "x"}, Outcome{}); f != nil {
+		t.Fatal("nil store retained a trace")
+	}
+	if got := s.Recent(5); got != nil {
+		t.Fatal("nil store returned traces")
+	}
+	s.Configure(1, 1)
+	s.Reset()
+	ok := NewStore(1, 1)
+	ok.Begin(nil)
+	if f := ok.Finish(nil, Outcome{}); f != nil {
+		t.Fatal("nil active retained a trace")
+	}
+}
+
+func TestTraceparent(t *testing.T) {
+	id := NewTraceID()
+	if len(id) != 32 || !isHex(id) {
+		t.Fatalf("NewTraceID() = %q, want 32 lowercase hex chars", id)
+	}
+	if id2 := NewTraceID(); id2 == id {
+		t.Fatalf("two trace IDs collided: %q", id)
+	}
+
+	h := Traceparent(id)
+	if !strings.HasPrefix(h, "00-"+id+"-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("Traceparent(%q) = %q", id, h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != id {
+		t.Fatalf("round trip failed: %q -> (%q, %t)", h, got, ok)
+	}
+
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // all-zero trace
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0",  // short flags
+	}
+	for _, h := range bad {
+		if got, ok := ParseTraceparent(h); ok {
+			t.Fatalf("ParseTraceparent(%q) accepted garbage as %q", h, got)
+		}
+	}
+	if got, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"); !ok || got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("canonical example rejected: (%q, %t)", got, ok)
+	}
+}
+
+// TestReplayedTraceIDReplacesInPlace: a client re-sending the same
+// traceparent must not grow the order ring without bound.
+func TestReplayedTraceIDReplacesInPlace(t *testing.T) {
+	s := NewStore(8, 1)
+	for i := 0; i < 5; i++ {
+		finish(s, "same", Outcome{Status: "error", HTTPStatus: 400 + i})
+	}
+	if st := s.StatsSnapshot(); st.Retained != 1 {
+		t.Fatalf("retained = %d after replaying one ID, want 1", st.Retained)
+	}
+	f, ok := s.Get("same")
+	if !ok || f.HTTPStatus != 404 {
+		t.Fatalf("replayed trace not replaced by the newest outcome: %+v", f)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // errShed is returned when admission control refuses a request because
@@ -35,12 +37,16 @@ func newAdmission(inflight, maxQueue int) *admission {
 // acquire takes a slot, waiting in the bounded queue if none is free.
 // It returns errShed when the queue is full, or ctx.Err() when the
 // caller's deadline expires while queued. acquire and release keep the
-// serve.inflight gauge current on both edges so /metrics reads 0 once
-// traffic drains, not the last post-acquire value.
+// serve.inflight and serve.queue_depth gauges current on both edges so
+// /metrics reads 0 once traffic drains, not the last post-acquire
+// value. Time spent queued lands in the serve.queue_wait_seconds
+// histogram (the fast path observes 0, so the count equals admissions)
+// and in the request's reqInfo for the wide-event log line.
 func (a *admission) acquire(ctx context.Context) error {
 	select {
 	case a.slots <- struct{}{}:
 		mInflight.Set(float64(len(a.slots)))
+		mQueueWait.Observe(0)
 		return nil
 	default:
 	}
@@ -48,7 +54,17 @@ func (a *admission) acquire(ctx context.Context) error {
 		a.queued.Add(-1)
 		return errShed
 	}
-	defer a.queued.Add(-1)
+	mQueueDepth.Set(float64(a.queued.Load()))
+	t0 := obs.Now()
+	defer func() {
+		wait := obs.Now().Sub(t0)
+		mQueueWait.Observe(wait.Seconds())
+		if ri := reqInfoFrom(ctx); ri != nil {
+			ri.queueWaitNs.Add(int64(wait))
+		}
+		a.queued.Add(-1)
+		mQueueDepth.Set(float64(a.queued.Load()))
+	}()
 	select {
 	case a.slots <- struct{}{}:
 		mInflight.Set(float64(len(a.slots)))

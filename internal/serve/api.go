@@ -13,6 +13,7 @@ import (
 	eatss "repro"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // ops are the /v1/<op> endpoints, one staged-pipeline step each.
@@ -77,6 +78,12 @@ type Request struct {
 	// TimeoutMs bounds this request's execution (clamped to the
 	// server's MaxTimeout); 0 means the server default.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+
+	// traceparent is the raw incoming W3C traceparent header, set by the
+	// HTTP handler (not decodable from JSON): a valid one makes the
+	// request adopt the caller's trace ID. Batch entries always get
+	// fresh per-entry IDs.
+	traceparent string
 }
 
 // Response is the JSON reply for every /v1 endpoint. Status is always
@@ -99,6 +106,9 @@ type Response struct {
 	Cached    bool    `json:"cached,omitempty"`
 	Coalesced bool    `json:"coalesced,omitempty"`
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// TraceID identifies this request in /debug/requests, the flight
+	// recorder and the access log; also echoed as a traceparent header.
+	TraceID string `json:"trace_id,omitempty"`
 
 	Diags      []DiagView      `json:"diags,omitempty"`
 	Analysis   *AnalysisView   `json:"analysis,omitempty"`
@@ -176,6 +186,16 @@ type ResultView struct {
 // Do executes one request under the service's deadline, admission and
 // caching policy and returns the response (never nil; errors are
 // encoded in Status/Error/HTTPStatus).
+//
+// Every request gets a trace identity: the ID from a valid incoming
+// traceparent, or a generated one. Unless tracing is disabled, the
+// request runs under an obs.Trace (collecting the span tree of
+// everything below — analysis, solver rounds, sweep workers,
+// evaluation) rooted at a "serve.request" span annotated with the
+// serving outcome, and the finished trace is offered to the
+// tail-sampled store behind /debug/requests. Either way the latency
+// histogram gets the trace ID as a bucket exemplar and the configured
+// access log gets one wide-event line.
 func (s *Server) Do(ctx context.Context, req *Request) *Response {
 	if req == nil {
 		return fail(&Response{}, http.StatusBadRequest, StatusError,
@@ -183,12 +203,27 @@ func (s *Server) Do(ctx context.Context, req *Request) *Response {
 	}
 	mRequests.Add(1)
 	start := obs.Now()
+	traceID := s.traceID(req)
+	var act *trace.Active
+	if !s.cfg.DisableTracing {
+		var t *obs.Trace
+		ctx, t = obs.StartTrace(ctx, traceID)
+		act = &trace.Active{
+			TraceID: traceID, Op: req.Op, Kernel: req.Kernel, GPU: req.GPU,
+			StartAt: start, Trace: t,
+		}
+		trace.Default.Begin(act)
+	}
+	ctx, root := obs.Start(ctx, "serve.request")
+	root.SetStr("op", req.Op)
+	ctx, ri := withReqInfo(ctx)
 	ctx, cancel := context.WithTimeout(ctx, s.timeout(req))
 	defer cancel()
 	resp := s.do(ctx, req)
+	resp.TraceID = traceID
 	elapsed := obs.Now().Sub(start)
 	resp.ElapsedMs = float64(elapsed) / float64(time.Millisecond)
-	mRequestSec.Observe(elapsed.Seconds())
+	mRequestSec.ObserveExemplar(elapsed.Seconds(), traceID)
 	switch resp.Status {
 	case StatusTimeout:
 		mTimeouts.Add(1)
@@ -199,6 +234,43 @@ func (s *Server) Do(ctx context.Context, req *Request) *Response {
 	case StatusError:
 		mErrors.Add(1)
 	}
+	queueWait := time.Duration(ri.queueWaitNs.Load())
+	rounds := 0
+	if resp.Selection != nil {
+		rounds = resp.Selection.SolverCalls
+	}
+	root.SetStr("status", resp.Status)
+	root.SetStr("kernel", resp.Kernel)
+	root.SetStr("gpu", resp.GPU)
+	root.SetBool("cached", resp.Cached)
+	root.SetBool("coalesced", resp.Coalesced)
+	if resp.Evaluator != "" {
+		root.SetStr("evaluator", resp.Evaluator)
+	}
+	if ri.residual.Load() {
+		root.SetBool("residual", true)
+	}
+	root.SetInt("solver_rounds", int64(rounds))
+	root.SetFloat("queue_wait_ms", float64(queueWait)/float64(time.Millisecond))
+	root.End()
+	if act != nil {
+		trace.Default.Finish(act, trace.Outcome{
+			Status:      resp.Status,
+			HTTPStatus:  resp.HTTPStatus,
+			Error:       resp.Error,
+			Kernel:      resp.Kernel,
+			GPU:         resp.GPU,
+			Fingerprint: resp.Fingerprint,
+			Evaluator:   resp.Evaluator,
+			Cached:      resp.Cached,
+			Coalesced:   resp.Coalesced,
+			Residual:    ri.residual.Load(),
+			QueueWait:   queueWait,
+			SolverCalls: rounds,
+			Duration:    elapsed,
+		})
+	}
+	s.logRequest(ctx, resp, queueWait, rounds)
 	return resp
 }
 
@@ -291,6 +363,9 @@ func (s *Server) do(ctx context.Context, req *Request) *Response {
 		}
 		resp.Cached, resp.Coalesced = cached, coalesced
 		best := v.(*eatss.Best)
+		if best.Residual > 0 {
+			markResidual(ctx)
+		}
 		resp.Selection = selectionView(best.Chosen.Selection)
 		resp.Result = resultView(best.Chosen.Selection.Tiles, best.Chosen.Result)
 		for _, c := range best.Candidates {
@@ -328,9 +403,12 @@ func (s *Server) do(ctx context.Context, req *Request) *Response {
 				return nil
 			}
 			resp.Evaluator = eval.String()
-			res, err := prog.RunCtx(ctx, g, tiles, cfg)
+			res, info, err := prog.RunEvalCtx(ctx, g, tiles, cfg)
 			if err != nil {
 				return err
+			}
+			if info.Residual {
+				markResidual(ctx)
 			}
 			resp.Result = resultView(tiles, res)
 			return nil
@@ -467,7 +545,10 @@ func failFrom(resp *Response, err error) *Response {
 	}
 }
 
-// handleOp builds the POST handler for one /v1/<op> endpoint.
+// handleOp builds the POST handler for one /v1/<op> endpoint. It
+// ingests the W3C traceparent header (a valid one makes the request
+// adopt the caller's trace ID) and echoes the request's trace identity
+// back as a traceparent response header.
 func (s *Server) handleOp(op string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		req, ok := decodeRequest(w, r)
@@ -475,7 +556,11 @@ func (s *Server) handleOp(op string) http.HandlerFunc {
 			return
 		}
 		req.Op = op
+		req.traceparent = r.Header.Get("traceparent")
 		resp := s.Do(r.Context(), req)
+		if resp.TraceID != "" {
+			w.Header().Set("traceparent", trace.Traceparent(resp.TraceID))
+		}
 		writeJSON(w, resp.HTTPStatus, resp)
 	}
 }

@@ -37,6 +37,7 @@ package serve
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -63,8 +64,14 @@ var (
 	mSelHits    = obs.NewCounter("serve.selection_cache_hits")
 	mSelMisses  = obs.NewCounter("serve.selection_cache_misses")
 	mInflight   = obs.NewGauge("serve.inflight")
+	mQueueDepth = obs.NewGauge("serve.queue_depth")
 	mRequestSec = obs.NewHistogram("serve.request_seconds",
 		1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10)
+	// mQueueWait explains shedding decisions: how long admitted requests
+	// actually waited for a slot. The fast path observes 0, so the count
+	// equals admissions and the >0 buckets give the queued fraction.
+	mQueueWait = obs.NewHistogram("serve.queue_wait_seconds",
+		1e-5, 1e-4, 1e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10)
 )
 
 // Config tunes the service. The zero value is usable: every field has
@@ -86,6 +93,15 @@ type Config struct {
 	// (entries, not bytes). Zero means 256 / 4096.
 	ProgramCacheSize   int
 	SelectionCacheSize int
+	// AccessLog, when non-nil, receives one wide-event Info record per
+	// request (trace ID, op, kernel fingerprint, GPU, evaluator,
+	// cache/coalesce flags, queue wait, solver rounds, outcome, latency).
+	// nil disables access logging.
+	AccessLog *slog.Logger
+	// DisableTracing turns off per-request span collection and the
+	// /debug/requests trace store. Requests still get trace IDs, the
+	// wide-event log line, and metrics.
+	DisableTracing bool
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +142,16 @@ type Server struct {
 	// concurrency-contract tests use to hold a solve open.
 	solveHook func(key string)
 }
+
+// SetSolveHook installs fn as the solve-side test seam: it runs inside
+// the singleflight leader after admission control grants a slot and
+// before the underlying solve. End-to-end tests outside this package
+// use it to hold the execution slot open and build admission
+// contention (sheds, queue-wait timeouts) by construction — on a
+// single-CPU machine millisecond solves never overlap, so timing-based
+// contention is unwinnable. Set before serving traffic; the hook is
+// not synchronized against in-flight requests.
+func (s *Server) SetSolveHook(fn func(key string)) { s.solveHook = fn }
 
 // New builds a Server from cfg (zero-value fields get defaults).
 func New(cfg Config) *Server {

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs/trace"
+)
+
+// reqInfo accumulates per-request facts produced in layers below Do —
+// admission queue wait, residual-fallback evaluation — that the
+// wide-event log line and the tail sampler need at the end of the
+// request. It rides the context as a pointer with atomic fields, so it
+// survives context.WithoutCancel (which keeps values) into the detached
+// singleflight leader and tolerates concurrent writers.
+type reqInfo struct {
+	queueWaitNs atomic.Int64
+	residual    atomic.Bool
+}
+
+type reqInfoKey struct{}
+
+func withReqInfo(ctx context.Context) (context.Context, *reqInfo) {
+	ri := &reqInfo{}
+	return context.WithValue(ctx, reqInfoKey{}, ri), ri
+}
+
+func reqInfoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// markResidual records that this request's evaluation fell back from
+// the closed-form plan to the simulator — always retained by the trace
+// store's tail sampler.
+func markResidual(ctx context.Context) {
+	if ri := reqInfoFrom(ctx); ri != nil {
+		ri.residual.Store(true)
+	}
+}
+
+// traceID resolves the request's trace identity: the trace ID of a
+// well-formed incoming W3C traceparent header (distributed callers see
+// their own IDs echoed back), else a freshly generated one.
+func (s *Server) traceID(req *Request) string {
+	if id, ok := trace.ParseTraceparent(req.traceparent); ok {
+		return id
+	}
+	return trace.NewTraceID()
+}
+
+// logRequest emits the one wide-event access-log line per request:
+// everything an operator greps for when chasing a slow or failed call,
+// keyed by the trace ID that /debug/requests?trace= resolves.
+func (s *Server) logRequest(ctx context.Context, resp *Response, queueWait time.Duration, rounds int) {
+	lg := s.cfg.AccessLog
+	if lg == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("trace", resp.TraceID),
+		slog.String("op", resp.Op),
+		slog.String("status", resp.Status),
+		slog.Int("http", resp.HTTPStatus),
+		slog.String("kernel", resp.Kernel),
+		slog.String("fingerprint", resp.Fingerprint),
+		slog.String("gpu", resp.GPU),
+		slog.String("evaluator", resp.Evaluator),
+		slog.Bool("cached", resp.Cached),
+		slog.Bool("coalesced", resp.Coalesced),
+		slog.Float64("queue_wait_ms", float64(queueWait)/float64(time.Millisecond)),
+		slog.Int("solver_rounds", rounds),
+		slog.Float64("latency_ms", resp.ElapsedMs),
+	}
+	if resp.Error != "" {
+		attrs = append(attrs, slog.String("error", resp.Error))
+	}
+	lg.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
+}

@@ -203,10 +203,15 @@ func scrapeProgress(t *testing.T, base string) progressDoc {
 
 var promSeries = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})?$`)
 
+// promExemplar is the OpenMetrics-style exemplar suffix histogram
+// bucket lines may carry: a label set naming the trace and the
+// exemplar's own value.
+var promExemplar = regexp.MustCompile(`^\{trace_id="[^"]+"\} \S+$`)
+
 // checkPrometheus validates text against the Prometheus exposition
 // format: every line is either a # TYPE comment with a known type or a
 // `series value` sample whose name fits the metric charset and whose
-// value parses as a float.
+// value parses as a float; bucket samples may append an exemplar.
 func checkPrometheus(t *testing.T, text []byte) {
 	t.Helper()
 	lines := strings.Split(strings.TrimRight(string(text), "\n"), "\n")
@@ -221,6 +226,12 @@ func checkPrometheus(t *testing.T, text []byte) {
 				t.Fatalf("/metrics bad TYPE line: %q", line)
 			}
 			continue
+		}
+		if j := strings.Index(line, " # "); j >= 0 {
+			if !promExemplar.MatchString(line[j+3:]) {
+				t.Fatalf("/metrics bad exemplar suffix in %q", line)
+			}
+			line = line[:j]
 		}
 		i := strings.LastIndexByte(line, ' ')
 		if i < 0 {

@@ -140,6 +140,24 @@ func (p *Program) RunCtx(ctx context.Context, g *GPU, tiles map[string]int64, cf
 	return res, err
 }
 
+// EvalInfo attributes one evaluation to a backend — the exported view
+// of the dispatch decision RunCtx makes internally.
+type EvalInfo struct {
+	// Symbolic: the point was evaluated through the closed-form plan.
+	Symbolic bool
+	// Residual: a symbolic evaluator was requested but the point fell
+	// back to compile+simulate (unsupported config, underivable program,
+	// or a per-point residual).
+	Residual bool
+}
+
+// RunEvalCtx is RunCtx returning the backend attribution alongside the
+// result, so serving layers can flag residual fallbacks per request.
+func (p *Program) RunEvalCtx(ctx context.Context, g *GPU, tiles map[string]int64, cfg RunConfig) (Result, EvalInfo, error) {
+	res, info, err := evalAnalyzed(ctx, p.prog, g, tiles, cfg)
+	return res, EvalInfo{Symbolic: info.symbolic, Residual: info.residual}, err
+}
+
 // SelectBest runs the paper's end-to-end protocol (one candidate per
 // shared-memory split, best by performance-per-Watt) with the staged
 // analysis shared across every solve and evaluation — nine model

@@ -1,0 +1,358 @@
+package eatss_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/serve"
+)
+
+// traceClient posts /v1 requests and scrapes /debug/requests — the
+// operator's view of the serving stack, exercised over real HTTP.
+type traceClient struct {
+	t    *testing.T
+	base string
+}
+
+func (c *traceClient) post(path string, req map[string]any, header map[string]string) *serve.Response {
+	c.t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	hr, err := http.NewRequest("POST", c.base+path, bytes.NewReader(body))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		hr.Header.Set(k, v)
+	}
+	httpResp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		c.t.Fatalf("POST %s: %v", path, err)
+	}
+	defer httpResp.Body.Close()
+	var resp serve.Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		c.t.Fatalf("POST %s: decode: %v", path, err)
+	}
+	if echoed := httpResp.Header.Get("traceparent"); len(echoed) != 55 || echoed[3:35] != resp.TraceID {
+		c.t.Fatalf("POST %s: traceparent header %q does not echo trace ID %q", path, echoed, resp.TraceID)
+	}
+	return &resp
+}
+
+// spanDoc is the /debug/requests?trace= drill-down wire format.
+type spanDoc struct {
+	TraceID    string `json:"trace_id"`
+	Status     string `json:"status"`
+	KeepReason string `json:"keep_reason"`
+	Spans      []struct {
+		ID     uint64 `json:"id"`
+		Parent uint64 `json:"parent"`
+		Name   string `json:"name"`
+		Trace  string `json:"trace"`
+	} `json:"spans"`
+}
+
+// lookup fetches one trace's drill-down; found=false on 404.
+func (c *traceClient) lookup(id string) (spanDoc, bool) {
+	c.t.Helper()
+	resp, err := http.Get(c.base + "/debug/requests?trace=" + id)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return spanDoc{}, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		c.t.Fatalf("lookup %s: HTTP %d", id, resp.StatusCode)
+	}
+	var doc spanDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		c.t.Fatal(err)
+	}
+	return doc, true
+}
+
+// TestRequestTraceNestingE2E drives a cold solve through the daemon's
+// HTTP handler with a caller-supplied traceparent and verifies the
+// retained span tree end to end: the caller's trace ID is adopted and
+// echoed, and the tree nests serve.request → core.select_tiles →
+// core.solve → smt.round, every span labeled with the trace ID.
+func TestRequestTraceNestingE2E(t *testing.T) {
+	obs.Reset()
+	obs.EnableMetrics() // daemon posture: per-request traces, no global capture
+	trace.Default.Configure(0, 1)
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Reset()
+		trace.Default.Configure(0, 0)
+	})
+
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	c := &traceClient{t: t, base: ts.URL}
+
+	const id = "11112222333344445555666677778888"
+	resp := c.post("/v1/solve", map[string]any{"kernel": "gemm"},
+		map[string]string{"traceparent": "00-" + id + "-0123456789abcdef-01"})
+	if resp.Status != serve.StatusOK {
+		t.Fatalf("solve failed: %s (%s)", resp.Status, resp.Error)
+	}
+	if resp.TraceID != id {
+		t.Fatalf("trace ID = %q, want the ingested traceparent ID %q", resp.TraceID, id)
+	}
+
+	doc, ok := c.lookup(id)
+	if !ok {
+		t.Fatalf("trace %s not retained at sample-every-1", id)
+	}
+	byID := make(map[uint64]int, len(doc.Spans))
+	byName := make(map[string]int, len(doc.Spans))
+	roots := 0
+	for i, sp := range doc.Spans {
+		if sp.Trace != id {
+			t.Fatalf("span %s carries trace %q, want %q", sp.Name, sp.Trace, id)
+		}
+		byID[sp.ID] = i
+		if _, seen := byName[sp.Name]; !seen {
+			byName[sp.Name] = i
+		}
+		if sp.Parent == 0 {
+			roots++
+			if sp.Name != "serve.request" {
+				t.Fatalf("root span is %q, want serve.request", sp.Name)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("trace has %d root spans, want exactly 1", roots)
+	}
+	// ancestors walks a span's parent chain into a name set.
+	ancestors := func(name string) map[string]bool {
+		i, ok := byName[name]
+		if !ok {
+			t.Fatalf("trace has no %q span; got %d spans: %v", name, len(doc.Spans), names(doc))
+		}
+		out := map[string]bool{}
+		for p := doc.Spans[i].Parent; p != 0; {
+			j, ok := byID[p]
+			if !ok {
+				t.Fatalf("span %q has dangling parent %d", name, p)
+			}
+			out[doc.Spans[j].Name] = true
+			p = doc.Spans[j].Parent
+		}
+		return out
+	}
+	if a := ancestors("core.select_tiles"); !a["serve.request"] {
+		t.Fatalf("core.select_tiles not nested under serve.request: ancestors %v", a)
+	}
+	if a := ancestors("core.solve"); !a["core.select_tiles"] || !a["serve.request"] {
+		t.Fatalf("core.solve ancestry broken: %v", a)
+	}
+	if a := ancestors("smt.round"); !a["core.solve"] || !a["serve.request"] {
+		t.Fatalf("smt.round ancestry broken: %v", a)
+	}
+}
+
+func names(doc spanDoc) []string {
+	out := make([]string, len(doc.Spans))
+	for i, sp := range doc.Spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// waitQueued polls /healthz until the admission queue reports depth n.
+func waitQueued(t *testing.T, base string, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Queued int64 `json:"queued"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Queued == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admission queue never reached depth %d (at %d)", n, st.Queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTailSamplingRetainsFailuresE2E drives a mixed load — cache hits,
+// hard errors, admission sheds, queue-wait timeouts — through the
+// daemon's handler and proves the tail-sampling contract from the
+// outside: every single error/timeout/shed trace resolves on
+// /debug/requests with its status as the keep reason, while healthy
+// cached hits are thinned away.
+func TestTailSamplingRetainsFailuresE2E(t *testing.T) {
+	obs.Reset()
+	obs.EnableMetrics()
+	// Healthy traces effectively never win the 1-in-N lottery, so every
+	// retained trace below must have earned it as a failure (the slow
+	// tail stays quiet too: its judgment needs a 100-request warmup).
+	trace.Default.Configure(4096, 1<<20)
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Reset()
+		trace.Default.Configure(0, 0)
+	})
+
+	// One execution slot, one queue seat, and a hook that can hold the
+	// slot open: contention is built by construction below, not by
+	// timing (on a one-CPU machine millisecond solves never overlap).
+	srv := serve.New(serve.Config{MaxInflight: 1, MaxQueue: 1})
+	var armed atomic.Bool
+	holding := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv.SetSolveHook(func(string) {
+		if !armed.Load() {
+			return
+		}
+		holding <- struct{}{}
+		<-release
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &traceClient{t: t, base: ts.URL}
+
+	var okIDs, badIDs []string
+	badStatus := map[string]string{}
+	record := func(r *serve.Response) {
+		if r.TraceID == "" {
+			t.Fatalf("response without trace ID: %+v", r)
+		}
+		if r.Status == serve.StatusOK {
+			okIDs = append(okIDs, r.TraceID)
+		} else {
+			badIDs = append(badIDs, r.TraceID)
+			badStatus[r.TraceID] = r.Status
+		}
+	}
+
+	// Cache hits: solve twice, the second comes from the selection tier.
+	record(c.post("/v1/solve", map[string]any{"kernel": "gemm"}, nil))
+	hit := c.post("/v1/solve", map[string]any{"kernel": "gemm"}, nil)
+	if !hit.Cached {
+		t.Fatalf("second identical solve not cached: %+v", hit)
+	}
+	record(hit)
+
+	// Hard errors: a kernel the catalog does not have.
+	for i := 0; i < 3; i++ {
+		r := c.post("/v1/solve", map[string]any{"kernel": "no-such-kernel"}, nil)
+		if r.Status != serve.StatusError {
+			t.Fatalf("unknown kernel status = %s", r.Status)
+		}
+		record(r)
+	}
+
+	// Sheds and timeouts, by construction against the 1-slot/1-seat
+	// gate: a hooked cold solve takes the slot and blocks; a 1ms-deadline
+	// compile queues behind it and times out with 504; a second cold
+	// solve parks in the lone queue seat; a third arrival overflows the
+	// queue and is shed with 429. Then the hook releases and the two
+	// parked solves finish healthy.
+	armed.Store(true)
+	coldBest := func(ni int64) map[string]any {
+		return map[string]any{
+			"op": "best", "kernel": "gemm",
+			"params": map[string]int64{"NI": ni},
+		}
+	}
+	parked := make(chan *serve.Response, 2)
+	go func() { parked <- c.post("/v1/best", coldBest(9001), nil) }()
+	<-holding // the holder owns the execution slot, blocked in the hook
+
+	r := c.post("/v1/compile", map[string]any{
+		"op": "compile", "kernel": "gemm",
+		"tiles": map[string]int64{"i": 32, "j": 32, "k": 16}, "timeout_ms": 1,
+	}, nil)
+	if r.Status != serve.StatusTimeout {
+		t.Fatalf("compile behind a held slot: status = %s (%s), want %s", r.Status, r.Error, serve.StatusTimeout)
+	}
+	record(r)
+
+	go func() { parked <- c.post("/v1/best", coldBest(9002), nil) }()
+	waitQueued(t, ts.URL, 1) // it reached the queue seat and is waiting
+
+	r = c.post("/v1/best", coldBest(9003), nil)
+	if r.Status != serve.StatusShed {
+		t.Fatalf("arrival past a full queue: status = %s (%s), want %s", r.Status, r.Error, serve.StatusShed)
+	}
+	record(r)
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		r := <-parked
+		if r.Status != serve.StatusOK {
+			t.Fatalf("parked solve finished %s (%s), want %s", r.Status, r.Error, serve.StatusOK)
+		}
+		record(r)
+	}
+	armed.Store(false)
+
+	// The contract: 100% of failure traces retained, keyed by status.
+	for _, id := range badIDs {
+		doc, ok := c.lookup(id)
+		if !ok {
+			t.Fatalf("failure trace %s (status %s) was not retained", id, badStatus[id])
+		}
+		if doc.Status != badStatus[id] || doc.KeepReason != badStatus[id] {
+			t.Fatalf("trace %s retained as status=%s keep_reason=%s, want both %s",
+				id, doc.Status, doc.KeepReason, badStatus[id])
+		}
+	}
+	// ... while the healthy hits from the quiet phase were thinned away.
+	for _, id := range okIDs {
+		if _, ok := c.lookup(id); ok {
+			t.Fatalf("healthy trace %s retained despite the 1-in-2^20 sample rate", id)
+		}
+	}
+
+	// The store's own accounting agrees with the client's view.
+	resp, err := http.Get(ts.URL + "/debug/requests?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var overview struct {
+		Stats struct {
+			Retained int64            `json:"retained"`
+			ByReason map[string]int64 `json:"by_reason"`
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&overview); err != nil {
+		t.Fatal(err)
+	}
+	for _, status := range []string{serve.StatusError, serve.StatusShed, serve.StatusTimeout} {
+		if overview.Stats.ByReason[status] == 0 {
+			t.Fatalf("stats.by_reason[%s] = 0 after the mixed load: %+v", status, overview.Stats)
+		}
+	}
+	if got := int(overview.Stats.Retained); got < len(badIDs) {
+		t.Fatalf("retained %d < %d failures recorded by the client", got, len(badIDs))
+	}
+}

@@ -11,7 +11,12 @@
 //	    the suffix promises the context is threaded through);
 //	R3  no internal/ package reads the wall clock via time.Now outside
 //	    internal/obs/** and internal/bench/** — pipeline code must use
-//	    obs.Now() so tests can swap the clock (obs.SetClock).
+//	    obs.Now() so tests can swap the clock (obs.SetClock);
+//	R4  every metric registered through obs.NewCounter / obs.NewGauge /
+//	    obs.NewHistogram has a literal, snake_case, dot-namespaced name
+//	    ("serve.queue_depth", not "queueDepth" or a computed string),
+//	    and each name is registered at exactly one call site — two
+//	    registrations of one name would split or shadow the series.
 //
 // Test files and testdata are exempt. Run via `make selfcheck`; exits
 // nonzero when any rule fires.
@@ -25,7 +30,9 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -41,6 +48,7 @@ func main() {
 		root = os.Args[1]
 	}
 	var findings []finding
+	var metrics []metricReg
 	fset := token.NewFileSet()
 
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
@@ -68,12 +76,14 @@ func main() {
 			rel = path
 		}
 		findings = append(findings, checkFile(fset, file, filepath.ToSlash(rel))...)
+		metrics = append(metrics, collectMetricRegs(fset, file)...)
 		return nil
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "selfcheck:", err)
 		os.Exit(2)
 	}
+	findings = append(findings, checkMetricNames(metrics)...)
 
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].pos, findings[j].pos
@@ -322,6 +332,87 @@ func checkCtxContract(fset *token.FileSet, fn *ast.FuncDecl, rel string) []findi
 		}}
 	}
 	return nil
+}
+
+// metricReg is one obs.New{Counter,Gauge,Histogram} call site. name is
+// "" when the first argument is not a plain string literal.
+type metricReg struct {
+	name string
+	kind string // the constructor: NewCounter, NewGauge, NewHistogram
+	pos  token.Position
+}
+
+// metricCtors are the obs registry constructors R4 audits.
+var metricCtors = map[string]bool{
+	"NewCounter": true, "NewGauge": true, "NewHistogram": true,
+}
+
+// metricNameRE is the house style for registry names: snake_case words,
+// at least one dot namespace ("serve.queue_depth", "smt.solve_calls").
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
+
+// collectMetricRegs gathers the file's metric registrations for R4
+// (which needs the whole tree to catch cross-file duplicates).
+func collectMetricRegs(fset *token.FileSet, file *ast.File) []metricReg {
+	obsName := ""
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == "repro/internal/obs" {
+			obsName = "obs"
+			if imp.Name != nil {
+				obsName = imp.Name.Name
+			}
+		}
+	}
+	if obsName == "" {
+		return nil
+	}
+	var out []metricReg
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !metricCtors[sel.Sel.Name] {
+			return true
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != obsName {
+			return true
+		}
+		reg := metricReg{kind: sel.Sel.Name, pos: fset.Position(call.Pos())}
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if name, err := strconv.Unquote(lit.Value); err == nil {
+				reg.name = name
+			}
+		}
+		out = append(out, reg)
+		return true
+	})
+	return out
+}
+
+// checkMetricNames implements R4 over the whole tree's registrations.
+func checkMetricNames(regs []metricReg) []finding {
+	var out []finding
+	first := map[string]token.Position{}
+	for _, r := range regs {
+		switch {
+		case r.name == "":
+			out = append(out, finding{pos: r.pos, rule: "R4",
+				msg: fmt.Sprintf("obs.%s name is not a string literal; registry names must be auditable constants", r.kind)})
+		case !metricNameRE.MatchString(r.name):
+			out = append(out, finding{pos: r.pos, rule: "R4",
+				msg: fmt.Sprintf("metric name %q is not snake_case dot-namespaced (want e.g. \"serve.queue_depth\")", r.name)})
+		default:
+			if prev, dup := first[r.name]; dup {
+				out = append(out, finding{pos: r.pos, rule: "R4",
+					msg: fmt.Sprintf("metric %q already registered at %s:%d; a name must have exactly one registration site", r.name, prev.Filename, prev.Line)})
+			} else {
+				first[r.name] = r.pos
+			}
+		}
+	}
+	return out
 }
 
 // checkTimeNow implements R3 for one restricted file.
