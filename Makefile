@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race sweep-race sweep-bench analysis-bench serve-bench obs-bench bench-guard profile-demo lint-gate selfcheck symbolic-parity symbolic-bench check clean
+.PHONY: all vet build test race sweep-race sweep-bench analysis-bench serve-bench obs-bench bench-guard profile-demo lint-gate selfcheck symbolic-parity symbolic-bench feas-bench check clean
 
 all: check
 
@@ -77,6 +77,16 @@ symbolic-parity:
 symbolic-bench:
 	$(GO) run ./cmd/symbench -out BENCH_symbolic.json
 
+# feas-bench runs the static-feasibility soundness gate (cmd/feasbench):
+# the pruned gemm sweep must equal the full sweep filtered through the
+# same region predicate bit-for-bit (identical surviving set and
+# argmax), every prune certificate must replay under the independent
+# math/big certifier and re-decide UNSAT under the SMT solver, and the
+# gemm 15^3 prune rate must clear the 30% floor. BENCH_prune.json
+# records the rates and the per-point cost of the pre-filter.
+feas-bench:
+	$(GO) run ./cmd/feasbench -out BENCH_prune.json
+
 # bench-guard replays the BENCH_*.json files just written by the bench
 # targets against BENCH_history.jsonl: a guarded metric (per-point
 # latency, points/sec, speedup) regressing more than 15% against the
@@ -96,16 +106,19 @@ profile-demo:
 # lint-gate runs the kernel linter (internal/lint) over the built-in
 # catalog and every shipped DSL kernel, failing on any error-severity
 # diagnostic: no kernel with a provable out-of-bounds access, undeclared
-# name or degenerate domain may ship.
+# name or degenerate domain may ship. It also runs the static
+# feasibility pass on both reference GPUs: a catalog kernel whose
+# feasible tile region is certifiably empty fails the gate.
 lint-gate:
 	$(GO) run ./tools/lintgate
 
 # selfcheck runs the repo's own static analyzer (tools/selfcheck,
 # stdlib go/ast only) over the source tree: obs span open/close pairing,
 # the *Ctx context-threading contract, the "no raw time.Now under
-# internal/ outside obs and bench" rule, and the metric-name lint
+# internal/ outside obs and bench" rule, the metric-name lint
 # (literal snake_case dot-namespaced names, each registered exactly
-# once).
+# once), and the "no context.Background()/TODO() under internal/serve
+# or internal/sweep" request-path rule.
 selfcheck:
 	$(GO) run ./tools/selfcheck .
 
@@ -113,10 +126,11 @@ selfcheck:
 # (go vet plus the repo's own selfcheck analyzer), a full build, the
 # kernel lint gate, the concurrency race gate, the staged-compilation
 # parity/benchmark gate, the symbolic-backend parity and speedup gates,
-# the service load test, the benchmark regression guard over the BENCH
-# history, the zero-cost-observability guard, the attribution-profiler
-# demo, and the full test suite under the race detector.
-check: vet build selfcheck lint-gate sweep-race analysis-bench symbolic-parity symbolic-bench serve-bench bench-guard obs-bench profile-demo race
+# the static-feasibility soundness gate, the service load test, the
+# benchmark regression guard over the BENCH history, the
+# zero-cost-observability guard, the attribution-profiler demo, and the
+# full test suite under the race detector.
+check: vet build selfcheck lint-gate sweep-race analysis-bench symbolic-parity symbolic-bench feas-bench serve-bench bench-guard obs-bench profile-demo race
 
 clean:
 	$(GO) clean ./...

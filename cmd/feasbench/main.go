@@ -1,0 +1,272 @@
+// Command feasbench is the static-feasibility soundness gate: it proves
+// the sweep pre-filter (internal/feas) prunes only provably infeasible
+// points, measures what the pre-filter costs and saves, and writes the
+// numbers to a JSON file.
+//
+// Four checks must all pass, or the run exits nonzero:
+//
+//  1. Parity — the pruned sweep (SweepOptions.Prune) must return the
+//     same surviving points, bit for bit, as the full sweep filtered
+//     through the same region predicate, and both must agree on the
+//     argmax-PPW configuration.
+//  2. Certification — every prune certificate the pre-filter emits must
+//     replay under the independent math/big certifier
+//     (verify.CertifyPrune), which re-derives the claimed constraint
+//     from the kernel and GPU description without the interval
+//     machinery that produced the certificate.
+//  3. UNSAT — sampled certificates are re-decided by the SMT solver
+//     (Region.UnsatSMT): pinning the pruned point in the region's
+//     constraint system must be unsatisfiable.
+//  4. Prune rate — the paper's gemm 15^3 space on GA100 must prune at
+//     least 30% of its points (the register bound alone removes ~39%),
+//     so the pre-filter keeps paying for itself.
+//
+// A reduced-space pass over the whole kernel catalog on both reference
+// GPUs then re-runs check 2 on every certificate those spaces produce.
+// The Makefile's `feas-bench` target keeps BENCH_prune.json current.
+//
+//	feasbench                           # gemm 15^3 space on GA100
+//	feasbench -out BENCH_prune.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"reflect"
+	"time"
+
+	eatss "repro"
+	"repro/internal/affine"
+	"repro/internal/analysis"
+	"repro/internal/arch"
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/feas"
+	"repro/internal/ppcg"
+)
+
+// minPruneRate is the fraction of the default gemm space the pre-filter
+// must remove for the run to pass.
+const minPruneRate = 0.30
+
+// catalogSizes is the reduced per-dimension candidate set for the
+// catalog-wide certification pass (3^d points per kernel).
+var catalogSizes = []int64{8, 32, 128}
+
+// report is the JSON schema of BENCH_prune.json. check_per_point_us
+// carries the regression guard's lower-is-better suffix; prune_rate is
+// guarded as higher-is-better.
+type report struct {
+	Kernel          string  `json:"kernel"`
+	GPU             string  `json:"gpu"`
+	Points          int     `json:"points"`
+	Pruned          int     `json:"pruned"`
+	PruneRate       float64 `json:"prune_rate"`
+	CheckPerPointUS float64 `json:"check_per_point_us"`
+	// Full vs pruned wall-clock of the same sweep (fresh caches each);
+	// the ratio is reported but not guarded — it rides on scheduler
+	// noise, unlike the per-point pre-filter cost above.
+	FullSweepSec   float64 `json:"full_sweep_sec"`
+	PrunedSweepSec float64 `json:"pruned_sweep_sec"`
+	SweepSpeedup   float64 `json:"sweep_speedup"`
+	// Certified counts certificates replayed by the math/big certifier;
+	// SMTConfirmed counts those also re-decided UNSAT by the solver.
+	Certified    int  `json:"certified"`
+	SMTConfirmed int  `json:"smt_confirmed"`
+	ArgmaxAgree  bool `json:"argmax_agree"`
+	// Catalog pass: every kernel on both reference GPUs over the
+	// reduced space, every certificate certified.
+	CatalogKernels int `json:"catalog_kernels"`
+	CatalogPoints  int `json:"catalog_points"`
+	CatalogPruned  int `json:"catalog_pruned"`
+	bench.Meta
+}
+
+func main() {
+	kernel := flag.String("kernel", "gemm", "kernel to sweep")
+	gpuName := flag.String("gpu", "ga100", "GPU: ga100 | xavier | v100")
+	points := flag.Int("points", 0, "limit the space to the first N points (0 = full 15^d space)")
+	smtSample := flag.Int("smt-sample", 8, "re-decide every Nth certificate with the SMT solver (1 = all)")
+	outPath := flag.String("out", "BENCH_prune.json", "output JSON path")
+	listen := cli.ListenFlag()
+	cli.SetUsage("feasbench", "prove the static tile-space pre-filter sound and measure what it saves",
+		"feasbench                           # gemm 15^3 space on GA100",
+		"feasbench -out BENCH_prune.json",
+		"feasbench -smt-sample 1             # solver-confirm every certificate")
+	flag.Parse()
+	defer cli.Serve(*listen)()
+	if *smtSample < 1 {
+		*smtSample = 1
+	}
+
+	k, err := affine.Lookup(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+	g, ok := arch.ByName(*gpuName)
+	if !ok {
+		fatal(fmt.Errorf("unknown GPU %q", *gpuName))
+	}
+	space := ppcg.Space(k, ppcg.PaperSpaceSizes())
+	if *points > 0 && *points < len(space) {
+		space = space[:*points]
+	}
+	prog := analysis.Analyze(k, nil)
+	cfg := feas.SweepConfig(affine.FP64)
+	region := feas.Derive(prog, g, cfg)
+
+	// Pre-filter cost: walk the space through Region.Check alone,
+	// fastest of repeated passes (noise only inflates a pass).
+	const minWallSec = 0.1
+	checkSec := math.Inf(1)
+	prunedN := 0
+	for t0 := time.Now(); time.Since(t0).Seconds() < minWallSec; {
+		p0 := time.Now()
+		prunedN = 0
+		for _, tiles := range space {
+			if region.Check(tiles) != nil {
+				prunedN++
+			}
+		}
+		checkSec = math.Min(checkSec, time.Since(p0).Seconds())
+	}
+	rate := float64(prunedN) / float64(len(space))
+
+	// Certification: every certificate replays in math/big; every
+	// smt-sample'th is re-decided UNSAT by the solver.
+	certified, smtConfirmed := 0, 0
+	for i, tiles := range space {
+		cert := region.Check(tiles)
+		if cert == nil {
+			continue
+		}
+		if cerr := eatss.CertifyPrune(k, k.Params, g, cfg, cert); cerr != nil {
+			fatal(fmt.Errorf("point %d %v: certificate failed independent replay: %w", i, tiles, cerr))
+		}
+		certified++
+		if (certified-1)%*smtSample == 0 {
+			if !region.UnsatSMT(tiles) {
+				fatal(fmt.Errorf("point %d %v: pruned as %q but the SMT solver finds it satisfiable", i, tiles, cert.Constraint))
+			}
+			smtConfirmed++
+		}
+	}
+
+	// Parity: the pruned sweep must equal the full sweep filtered by the
+	// same predicate — surviving set and per-point results bit for bit.
+	ctx := context.Background()
+	rc := eatss.RunConfig{UseShared: true, Precision: eatss.FP64}
+	t1 := time.Now()
+	full, _ := eatss.ExploreSpaceOpt(ctx, k, g, space, rc, eatss.SweepOptions{Cache: eatss.NewEvalCache()})
+	fullSec := time.Since(t1).Seconds()
+	t2 := time.Now()
+	pruned, prunedStats := eatss.ExploreSpaceOpt(ctx, k, g, space, rc,
+		eatss.SweepOptions{Prune: true, Cache: eatss.NewEvalCache()})
+	prunedSec := time.Since(t2).Seconds()
+
+	if prunedStats.Pruned != prunedN {
+		fatal(fmt.Errorf("sweep pruned %d points but Region.Check prunes %d", prunedStats.Pruned, prunedN))
+	}
+	var want []eatss.SpacePoint
+	for _, p := range full {
+		if region.Check(p.Tiles) == nil {
+			want = append(want, p)
+		}
+	}
+	if len(pruned) != len(want) {
+		fatal(fmt.Errorf("pruned sweep returned %d points, filtered full sweep has %d", len(pruned), len(want)))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(pruned[i].Tiles, want[i].Tiles) || !reflect.DeepEqual(pruned[i].Result, want[i].Result) {
+			fatal(fmt.Errorf("pruned sweep diverges from filtered full sweep at surviving point %d (%v vs %v)",
+				i, pruned[i].Tiles, want[i].Tiles))
+		}
+	}
+	argmaxAgree := len(want) == 0
+	if len(want) > 0 {
+		bi, bj := argmaxPPW(pruned), argmaxPPW(want)
+		argmaxAgree = reflect.DeepEqual(pruned[bi].Tiles, want[bj].Tiles)
+		if !argmaxAgree {
+			fatal(fmt.Errorf("argmax-PPW disagrees: pruned sweep %v, filtered full sweep %v", pruned[bi].Tiles, want[bj].Tiles))
+		}
+	}
+
+	// The solver's own selections must never be pruned: each SelectBest
+	// candidate satisfies the sweep region by construction.
+	if best, berr := eatss.SelectBest(k, g, eatss.FP64, nil); berr == nil {
+		for _, c := range best.Candidates {
+			if cert := region.Check(c.Selection.Tiles); cert != nil {
+				fatal(fmt.Errorf("solver selection %v (split %.2f) pruned: %s", c.Selection.Tiles, c.SharedFrac, cert))
+			}
+		}
+	}
+
+	// Catalog pass: reduced space, both reference GPUs, every
+	// certificate certified.
+	catKernels, catPoints, catPruned := 0, 0, 0
+	for _, name := range affine.Catalog() {
+		ck := affine.MustLookup(name)
+		cprog := analysis.Analyze(ck, nil)
+		cspace := ppcg.Space(ck, catalogSizes)
+		catKernels++
+		for _, cg := range []*arch.GPU{arch.GA100(), arch.Xavier()} {
+			cregion := feas.Derive(cprog, cg, cfg)
+			for i, tiles := range cspace {
+				catPoints++
+				cert := cregion.Check(tiles)
+				if cert == nil {
+					continue
+				}
+				catPruned++
+				if cerr := eatss.CertifyPrune(ck, ck.Params, cg, cfg, cert); cerr != nil {
+					fatal(fmt.Errorf("%s on %s point %d %v: certificate failed independent replay: %w",
+						name, cg.Name, i, tiles, cerr))
+				}
+			}
+		}
+	}
+
+	r := report{
+		Kernel:          k.Name,
+		GPU:             g.Name,
+		Points:          len(space),
+		Pruned:          prunedN,
+		PruneRate:       rate,
+		CheckPerPointUS: 1e6 * checkSec / float64(len(space)),
+		FullSweepSec:    fullSec,
+		PrunedSweepSec:  prunedSec,
+		SweepSpeedup:    fullSec / prunedSec,
+		Certified:       certified,
+		SMTConfirmed:    smtConfirmed,
+		ArgmaxAgree:     argmaxAgree,
+		CatalogKernels:  catKernels,
+		CatalogPoints:   catPoints,
+		CatalogPruned:   catPruned,
+		Meta:            bench.NewMeta(1),
+	}
+	if err := bench.WriteJSON(*outPath, r); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("feasbench: %s on %s, %d points: pruned %d (%.1f%%, %.3fus/pt), certified %d, smt-confirmed %d, sweep %.2fs -> %.2fs (%.2fx), catalog %d kernels / %d points / %d pruned\n",
+		r.Kernel, r.GPU, r.Points, r.Pruned, 100*r.PruneRate, r.CheckPerPointUS,
+		r.Certified, r.SMTConfirmed, r.FullSweepSec, r.PrunedSweepSec, r.SweepSpeedup,
+		r.CatalogKernels, r.CatalogPoints, r.CatalogPruned)
+	if *points == 0 && *kernel == "gemm" && rate < minPruneRate {
+		fatal(fmt.Errorf("prune rate %.1f%% under the %.0f%% floor", 100*rate, 100*minPruneRate))
+	}
+}
+
+// argmaxPPW returns the index of the highest-PPW point.
+func argmaxPPW(pts []eatss.SpacePoint) int {
+	best := 0
+	for i := range pts {
+		if pts[i].Result.PPW > pts[best].Result.PPW {
+			best = i
+		}
+	}
+	return best
+}
+
+func fatal(err error) { cli.Fatal(err) }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/feas"
 	"repro/internal/gpusim"
 	"repro/internal/obs"
 	"repro/internal/parser"
@@ -46,6 +47,9 @@ var (
 	mInfeasibleSplits = obs.NewCounter("eatss.infeasible_splits")
 	mFailedMaps       = obs.NewCounter("eatss.failed_maps")
 	mExploreSkipped   = obs.NewCounter("eatss.explore_skipped")
+	// mStaticSkips counts (split x warp-fraction) solver calls the
+	// static feasibility analysis proved UNSAT without the solver.
+	mStaticSkips = obs.NewCounter("eatss.static_skips")
 )
 
 // Re-exported core types. The aliases make the internal packages' types
@@ -339,6 +343,7 @@ func selectBestAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GPU
 		csp.SetFloat("split", split)
 		var sel *Selection
 		var err error
+		staticSkips := 0
 		for _, wf := range WarpFractions {
 			opts := Options{
 				SplitFactor:      split,
@@ -346,10 +351,26 @@ func selectBestAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GPU
 				Precision:        prec,
 				ProblemSizeAware: true,
 			}
+			// Static sibling skip: when the feasibility analysis proves
+			// this (split x warp-fraction) formulation's region empty,
+			// the solver call is guaranteed UNSAT — record the same
+			// failure it would report without paying for the search.
+			// The region mirrors the formulation exactly, so the
+			// protocol's outcome is unchanged; only the solver time is.
+			if cert := feasRegion(prog, g, feas.ModelConfig(split, wf, prec)).Empty; cert != nil {
+				staticSkips++
+				mStaticSkips.Add(1)
+				err = fmt.Errorf("eatss: %s on %s statically infeasible (split %.2f, warpfrac %.3f): %s",
+					k.Name, g.Name, split, wf, cert)
+				continue
+			}
 			sel, err = core.SelectTilesAnalyzed(cctx, prog, g, opts)
 			if err == nil {
 				break
 			}
+		}
+		if staticSkips > 0 {
+			csp.SetInt("static_skips", int64(staticSkips))
 		}
 		if err != nil {
 			// This split has no feasible configuration at any warp
@@ -414,6 +435,10 @@ func selectBestAnalyzed(ctx context.Context, prog *analysis.Program, g *arch.GPU
 type ExploreStats struct {
 	// Evaluated configurations compiled and simulated successfully.
 	Evaluated int
+	// Pruned configurations were removed before evaluation by the
+	// static feasibility pre-filter (SweepOptions.Prune); zero unless
+	// pruning was requested.
+	Pruned int
 	// Skipped configurations failed to map (execution-model limits).
 	Skipped int
 	// CacheHits counts configurations served from the memoizing

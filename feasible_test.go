@@ -1,0 +1,141 @@
+package eatss_test
+
+// Soundness gate for the static tile-space feasibility analysis: the
+// pruned sweep must be exactly the full sweep filtered through the same
+// region predicate — same surviving points, same results bit for bit,
+// same argmax — and every certificate must survive independent replay.
+// cmd/feasbench runs the same gate over the paper's full gemm space.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	eatss "repro"
+)
+
+// reduced per-dimension sizes: 8^3 = 512 gemm points, enough to cross
+// the register bound (512x512 blocks) while staying test-fast.
+var gateSizes = []int64{4, 16, 32, 64, 96, 160, 256, 512}
+
+func TestSweepPruneParity(t *testing.T) {
+	k := eatss.MustKernel("gemm")
+	g := eatss.GA100()
+	space := eatss.Space(k, gateSizes)
+	cfg := eatss.RunConfig{UseShared: true, Precision: eatss.FP64}
+	ctx := context.Background()
+
+	full, fullStats := eatss.ExploreSpaceOpt(ctx, k, g, space, cfg, eatss.SweepOptions{Cache: eatss.NewEvalCache()})
+	pruned, prunedStats := eatss.ExploreSpaceOpt(ctx, k, g, space, cfg,
+		eatss.SweepOptions{Prune: true, Cache: eatss.NewEvalCache()})
+
+	prog, err := eatss.Analyze(k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := prog.FeasibleRegion(g, cfg)
+
+	if fullStats.Pruned != 0 {
+		t.Fatalf("un-requested pruning: %d points pruned without SweepOptions.Prune", fullStats.Pruned)
+	}
+	if prunedStats.Pruned == 0 {
+		t.Fatalf("no point pruned across %d configurations — the pre-filter is vacuous on gemm", len(space))
+	}
+	if got := prunedStats.Pruned + prunedStats.Evaluated + prunedStats.Skipped; got != len(space) {
+		t.Fatalf("stats don't cover the space: pruned %d + evaluated %d + skipped %d != %d",
+			prunedStats.Pruned, prunedStats.Evaluated, prunedStats.Skipped, len(space))
+	}
+
+	// The pruned sweep must equal the full sweep filtered by the region.
+	var want []eatss.SpacePoint
+	for _, p := range full {
+		if region.Check(p.Tiles) == nil {
+			want = append(want, p)
+		}
+	}
+	if len(pruned) != len(want) {
+		t.Fatalf("pruned sweep kept %d points, region-filtered full sweep keeps %d", len(pruned), len(want))
+	}
+	bestP, bestW := -1, -1
+	for i := range want {
+		if !reflect.DeepEqual(pruned[i].Tiles, want[i].Tiles) || !reflect.DeepEqual(pruned[i].Result, want[i].Result) {
+			t.Fatalf("surviving point %d diverges: %v vs %v", i, pruned[i].Tiles, want[i].Tiles)
+		}
+		if bestP < 0 || pruned[i].Result.PPW > pruned[bestP].Result.PPW {
+			bestP = i
+		}
+		if bestW < 0 || want[i].Result.PPW > want[bestW].Result.PPW {
+			bestW = i
+		}
+	}
+	if bestP != bestW {
+		t.Fatalf("argmax-PPW diverges: pruned %v vs filtered %v", pruned[bestP].Tiles, want[bestW].Tiles)
+	}
+
+	// Every pruned point carries a certificate that replays under the
+	// independent math/big certifier and re-decides UNSAT.
+	pcfg := eatss.SweepPruneConfig(eatss.FP64)
+	checked := 0
+	for _, tiles := range space {
+		cert := region.Check(tiles)
+		if cert == nil {
+			continue
+		}
+		if err := eatss.CertifyPrune(k, k.Params, g, pcfg, cert); err != nil {
+			t.Fatalf("certificate for %v failed independent replay: %v", tiles, err)
+		}
+		if checked%16 == 0 && !region.UnsatSMT(tiles) {
+			t.Fatalf("solver finds pruned point %v satisfiable (claimed %s)", tiles, cert.Constraint)
+		}
+		checked++
+	}
+	if checked != prunedStats.Pruned {
+		t.Fatalf("region prunes %d points but the sweep pruned %d", checked, prunedStats.Pruned)
+	}
+}
+
+// The solver's own selections must always survive the sweep pre-filter:
+// the region only encodes constraints every core.Options enforces, so a
+// prune of a solver-returned tile choice would be unsound by
+// construction (and would make the service 422 its own solve results).
+func TestSolverSelectionsNeverPruned(t *testing.T) {
+	for _, g := range []*eatss.GPU{eatss.GA100(), eatss.Xavier()} {
+		for _, name := range eatss.Kernels() {
+			k := eatss.MustKernel(name)
+			best, err := eatss.SelectBest(k, g, eatss.FP64, nil)
+			if err != nil {
+				continue // nothing selected, nothing to protect
+			}
+			prog, aerr := eatss.Analyze(k, nil)
+			if aerr != nil {
+				t.Fatal(aerr)
+			}
+			region := prog.FeasibleRegion(g, eatss.RunConfig{Precision: eatss.FP64})
+			for _, c := range best.Candidates {
+				if cert := region.Check(c.Selection.Tiles); cert != nil {
+					t.Errorf("%s on %s: solver selection %v (split %.2f) pruned: %s",
+						name, g.Name, c.Selection.Tiles, c.SharedFrac, cert)
+				}
+			}
+		}
+	}
+}
+
+// FeasibleRegion is memoized on the Program artifact, so a service
+// caching Programs per fingerprint derives each region once.
+func TestFeasibleRegionMemoized(t *testing.T) {
+	prog, err := eatss.Analyze(eatss.MustKernel("gemm"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := eatss.GA100()
+	cfg := eatss.RunConfig{Precision: eatss.FP64}
+	a := prog.FeasibleRegion(g, cfg)
+	b := prog.FeasibleRegion(g, cfg)
+	if a != b {
+		t.Fatalf("FeasibleRegion re-derived for identical (GPU, config)")
+	}
+	if a.Empty != nil {
+		t.Fatalf("gemm region unexpectedly empty: %s", a.Empty)
+	}
+}

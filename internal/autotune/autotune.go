@@ -25,6 +25,8 @@ import (
 	"repro/internal/arch"
 
 	"repro/internal/affine"
+	"repro/internal/analysis"
+	"repro/internal/feas"
 	"repro/internal/gpusim"
 	"repro/internal/ppcg"
 	"repro/internal/sweep"
@@ -147,6 +149,25 @@ func Tune(k *affine.Kernel, g *arch.GPU, space []map[string]int64, cfg Config) O
 	// fanning the evaluations out and folding them back in input order
 	// reproduces the sequential tuner exactly.
 	perm := rng.Perm(len(space))
+	// Feasible-first seeding: the static feasibility region (the
+	// option-free tile-domain + register box of internal/feas) is a
+	// stable partition key on the shuffled order — statically feasible
+	// points are sampled before provably model-infeasible ones, so the
+	// bootstrap budget lands inside the feasible box first. No point is
+	// excluded (the surrogate rounds still roam the whole space), and
+	// the reordering is a pure function of (kernel, GPU, space, seed),
+	// so determinism per seed is preserved.
+	region := feas.Derive(analysis.Analyze(k, nil), g, feas.SweepConfig(cfg.Precision))
+	feasFirst := make([]int, 0, len(perm))
+	var rest []int
+	for _, i := range perm {
+		if region.Feasible(space[i]) {
+			feasFirst = append(feasFirst, i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+	perm = append(feasFirst, rest...)
 	boot := perm
 	if cfg.Bootstrap < len(boot) {
 		boot = boot[:cfg.Bootstrap]

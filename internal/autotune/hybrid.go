@@ -11,6 +11,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/feas"
 	"repro/internal/gpusim"
 	"repro/internal/sweep"
 )
@@ -39,6 +40,12 @@ func HybridTune(k *affine.Kernel, g *arch.GPU, space []map[string]int64, cfg Con
 	seedOut, seedDone, _ := sweep.Map(context.Background(), cfg.Workers, splits,
 		func(wctx context.Context, _ int, split float64) map[string]int64 {
 			for _, wf := range []float64{0.5, 0.25, 0.125} {
+				// The static region decides emptiness without the solver:
+				// an Empty certificate proves this (split, warp-fraction)
+				// sibling UNSAT, so the solver call is skipped outright.
+				if feas.Derive(prog, g, feas.ModelConfig(split, wf, cfg.Precision)).Empty != nil {
+					continue
+				}
 				opts := core.Options{
 					SplitFactor:      split,
 					WarpFraction:     wf,

@@ -43,15 +43,17 @@ func (e HistoryEntry) key() string {
 // (+1: lower is better) or down (-1: higher is better). The direction
 // is read from the name's unit suffix — latencies (_ms, _per_point_us)
 // regress upward, rates (_per_sec) regress downward — so new reports
-// opt into gating just by naming their metrics conventionally.
-// Unlisted metrics are recorded in the history but never gate.
+// opt into gating just by naming their metrics conventionally. The
+// static pre-filter's prune_rate also gates: pruning fewer points than
+// history means the feasibility analysis got weaker. Unlisted metrics
+// are recorded in the history but never gate.
 func metricDirection(name string) int {
 	switch {
 	case strings.HasSuffix(name, "_per_point_us"), strings.HasSuffix(name, "_ms"):
 		return +1
 	case strings.HasSuffix(name, "_per_sec"):
 		return -1
-	case name == "speedup":
+	case name == "speedup", name == "prune_rate":
 		return -1
 	}
 	return 0

@@ -1,0 +1,542 @@
+// Package feas is the static tile-space feasibility analysis: a
+// solver-free over-approximation of the Sec. IV constraint system,
+// derived once per (Program, GPU, Config) and evaluated per point in a
+// handful of integer multiplications.
+//
+// The SMT solver (internal/core) decides the same constraints exactly,
+// but only inside a solve; a tile-space sweep, an autotuner bootstrap
+// or an explicit-tiles service request sees every point, feasible or
+// not. Derive rebuilds the model generator's constraint set — the
+// warp-aligned tile domains of IV-B, the B_size block limit of IV-A/F,
+// the register bound of IV-G/IV-I, and the L1/shared/L2 capacity split
+// of IV-H/IV-J — as per-dimension interval Bounds plus labeled monotone
+// capacity Predicates (every coefficient is positive and every tile is
+// >= 1, so each left-hand side is monotone in every variable). That
+// monotonicity is what makes two cheap judgements sound:
+//
+//   - Point check: a tile choice violating one predicate violates the
+//     matching model constraint, so the configuration is point-wise
+//     UNSAT under the formulation — pruning it cannot change which
+//     feasible point a search would keep.
+//   - Region check: if a predicate already fails on the domain box's
+//     minimum corner (evaluated with smt.Interval arithmetic), every
+//     point of the region fails it, so the whole (Program, GPU, Config)
+//     region is empty and a solver call would return UNSAT.
+//
+// Every verdict is a machine-checkable PruneCert naming the violated
+// constraint with its interval witness; verify.CertifyPrune replays
+// certificates independently in math/big, and Region.UnsatSMT re-decides
+// them against the finite-domain solver. The sweep engine
+// (SweepOptions.Prune), SelectBest's (split x warp-fraction) sibling
+// loop, both autotuners and the eatssd service consume the analysis;
+// cmd/feasbench gates its soundness catalog-wide.
+package feas
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/affine"
+	"repro/internal/analysis"
+	"repro/internal/arch"
+	"repro/internal/smt"
+)
+
+// Config selects which of the model generator's constraint families the
+// derived region enforces. It deliberately mirrors core.Options field
+// for field where a family is option-dependent, so a Region can be
+// derived for exactly the formulation a solver call would build.
+type Config struct {
+	// Precision scales the register bound (Sec. IV-I) and the capacity
+	// pools (bytes / element size, Sec. IV-J).
+	Precision affine.Precision
+	// SplitFactor divides the L1+shared pool (Sec. IV-J); only read
+	// when Capacity is set.
+	SplitFactor float64
+	// WarpFraction sets the warp-alignment step (Sec. IV-B). 0 disables
+	// alignment (step 1) — unlike core.Options, which normalizes 0 to
+	// full-warp alignment, because a sweep's points carry no alignment
+	// obligation.
+	WarpFraction float64
+	// ProblemSizeAware tightens tile upper bounds to min(T_P_B, N).
+	ProblemSizeAware bool
+	// EnforceThreadBlockLimit adds B_size <= T_P_B (Sec. IV-A).
+	EnforceThreadBlockLimit bool
+	// Capacity adds the L1/shared/L2 capacity predicates (IV-H/IV-J),
+	// which depend on SplitFactor.
+	Capacity bool
+}
+
+// SweepConfig is the option-free constraint family a tile-space sweep
+// (or an explicit-tiles service request) can prune against: the
+// register bound and the problem-size-aware tile domains — exactly the
+// constraints every core.Options instantiation enforces. Warp
+// alignment, the capacity split and the thread-block limit are choices
+// of one solve's Options (the block limit is off by default, matching
+// the published artifact), so they stay out: a sweep prune must hold
+// under every Options, and in particular must never reject a tile
+// choice the solver itself could return.
+func SweepConfig(prec affine.Precision) Config {
+	return Config{Precision: prec, ProblemSizeAware: true}
+}
+
+// ModelConfig mirrors one core.Options instantiation exactly (block
+// limit off, capacity split on), so Region.Empty implies that solve
+// would return UNSAT.
+func ModelConfig(split, warpFrac float64, prec affine.Precision) Config {
+	return Config{
+		Precision:        prec,
+		SplitFactor:      split,
+		WarpFraction:     warpFrac,
+		ProblemSizeAware: true,
+		Capacity:         true,
+	}
+}
+
+// Bound is one tile dimension's domain: multiples of Step inside
+// [Iv.Lo, Iv.Hi] (Iv.Lo is Step, Iv.Hi the largest admissible multiple
+// — exactly the smt.RangeVar domain the model generator declares).
+type Bound struct {
+	Name string
+	Iv   smt.Interval
+	Step int64
+}
+
+// Term is Coeff x the product of the named tile variables — one
+// monomial of a predicate's left-hand side.
+type Term struct {
+	Coeff int64
+	Iters []string
+}
+
+// Predicate is one labeled monotone constraint: sum of Terms <= Cap.
+// Labels use verify's vocabulary ("block-limit", "register",
+// "shared-capacity", "l1-capacity", "l2-share"). Box is the predicate's
+// left-hand side evaluated over the domain box in interval arithmetic;
+// Box.Lo > Cap proves the whole region infeasible.
+type Predicate struct {
+	Label string
+	Nest  string
+	Terms []Term
+	Cap   int64
+	Box   smt.Interval
+}
+
+// PruneCert is a machine-checkable infeasibility verdict: which
+// constraint is violated, by which point (or, for Region certificates,
+// by the domain box's minimum corner — and therefore by every point),
+// with the concrete arithmetic witness. verify.CertifyPrune replays it
+// independently.
+type PruneCert struct {
+	Kernel string
+	GPU    string
+	// Constraint names the violated constraint ("tile-domain",
+	// "tile-alignment", "parallelism", or a Predicate label).
+	Constraint string
+	// Nest is set for per-nest resource constraints; Loop for
+	// per-dimension domain constraints.
+	Nest string
+	Loop string
+	// Tiles is the judged point. For Region certificates it is the
+	// domain box's minimum corner (empty for domain-empty regions).
+	Tiles map[string]int64
+	// LHS and Cap state the violated comparison LHS > Cap. For domain
+	// certificates LHS is the tile value and Cap the domain bound.
+	LHS int64
+	Cap int64
+	// Interval is the witness: the constraint's left-hand side over the
+	// whole domain box for Region certificates, the degenerate
+	// point-value interval otherwise.
+	Interval smt.Interval
+	// Region marks a whole-region (every point infeasible) certificate.
+	Region bool
+}
+
+// String renders the certificate for error messages and 422 bodies.
+func (c *PruneCert) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", c.Constraint)
+	if c.Region {
+		b.WriteString(" (whole region)")
+	}
+	b.WriteString(": ")
+	switch c.Constraint {
+	case "tile-domain":
+		fmt.Fprintf(&b, "T_%s = %d outside [1, %d]", c.Loop, c.LHS, c.Cap)
+	case "tile-alignment":
+		fmt.Fprintf(&b, "T_%s = %d is not a positive multiple of %d", c.Loop, c.LHS, c.Cap)
+	case "parallelism":
+		fmt.Fprintf(&b, "nest %q has no parallel loop", c.Nest)
+	default:
+		fmt.Fprintf(&b, "nest %q: %d exceeds the %s limit %d", c.Nest, c.LHS, c.Constraint, c.Cap)
+	}
+	if len(c.Tiles) > 0 {
+		names := make([]string, 0, len(c.Tiles))
+		for n := range c.Tiles {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString(" at")
+		for _, n := range names {
+			fmt.Fprintf(&b, " T_%s=%d", n, c.Tiles[n])
+		}
+	}
+	return b.String()
+}
+
+// Region is the derived feasible-region over-approximation for one
+// (Program, GPU, Config): every model-feasible tile choice satisfies
+// all Bounds and all Predicates (the converse need not hold — the
+// region is an over-approximation, so Check returning nil proves
+// nothing). Immutable after Derive; safe for concurrent use.
+type Region struct {
+	Kernel string
+	GPU    string
+	Cfg    Config
+	// Bounds holds one domain per loop name, sorted by name.
+	Bounds []Bound
+	// Preds holds the monotone resource predicates in model-emission
+	// order.
+	Preds []Predicate
+	// Empty, when non-nil, certifies that the whole region is
+	// infeasible: the domain is empty or a predicate fails on the
+	// domain box's minimum corner.
+	Empty *PruneCert
+}
+
+// satCeil is the saturation threshold for overflow-free monotone
+// arithmetic: far above every device capacity, far below int64
+// overflow territory for one more multiplication by a tile <= T_P_B.
+const satCeil = math.MaxInt64 >> 16
+
+func satMul(a, b int64) int64 {
+	if a > 0 && b > 0 && a > satCeil/b {
+		return satCeil
+	}
+	return a * b
+}
+
+func satAdd(a, b int64) int64 {
+	if a > satCeil-b {
+		return satCeil
+	}
+	return a + b
+}
+
+// Derive builds the region for (prog, g, cfg), mirroring the model
+// generator's constraint emission (core.SelectTilesAnalyzed): the same
+// upper-bound intersection across nests, the same warp-alignment step,
+// and the same per-nest resource bounds with the same capacity
+// arithmetic. It never calls the solver; cost is linear in the
+// kernel's nests and arrays.
+func Derive(prog *analysis.Program, g *arch.GPU, cfg Config) *Region {
+	r := &Region{Kernel: prog.Kernel.Name, GPU: g.Name, Cfg: cfg}
+
+	step := int64(1)
+	if cfg.WarpFraction > 0 {
+		step = int64(cfg.WarpFraction * float64(g.ThreadsPerWarp))
+		if step < 1 {
+			step = 1
+		}
+	}
+
+	// IV-B: per-dimension domains, upper bounds intersected across
+	// nests sharing a loop name.
+	upper := make(map[string]int64)
+	var names []string
+	for _, na := range prog.Nests {
+		for _, l := range na.Nest.Loops {
+			hi := g.ThreadsPerBlock
+			if cfg.ProblemSizeAware {
+				if ext := na.Extents[l.Name]; ext < hi {
+					hi = ext
+				}
+			}
+			if prev, ok := upper[l.Name]; !ok || hi < prev {
+				if !ok {
+					names = append(names, l.Name)
+				}
+				upper[l.Name] = hi
+			}
+		}
+	}
+	sort.Strings(names)
+	iv := make(map[string]smt.Interval, len(names))
+	for _, name := range names {
+		hi := (upper[name] / step) * step // largest multiple of step in the domain
+		b := Bound{Name: name, Iv: smt.Interval{Lo: step, Hi: hi}, Step: step}
+		r.Bounds = append(r.Bounds, b)
+		iv[name] = b.Iv
+		if b.Iv.Empty() && r.Empty == nil {
+			r.Empty = &PruneCert{
+				Kernel: r.Kernel, GPU: r.GPU, Constraint: "tile-domain", Loop: name,
+				LHS: step, Cap: upper[name], Interval: b.Iv, Region: true,
+			}
+		}
+	}
+	if r.Empty != nil {
+		return r
+	}
+
+	// Per-nest resource predicates, in the generator's emission order.
+	elemB := cfg.Precision.Bytes()
+	for _, na := range prog.Nests {
+		nest := na.Nest.Name
+		if len(na.Parallel) == 0 {
+			// The model generator errors out here; the region is empty
+			// in the same sense — no solve can succeed.
+			if r.Empty == nil {
+				r.Empty = &PruneCert{
+					Kernel: r.Kernel, GPU: r.GPU, Constraint: "parallelism",
+					Nest: nest, Region: true,
+				}
+			}
+			continue
+		}
+		bsize := Term{Coeff: 1, Iters: na.Parallel}
+		if cfg.EnforceThreadBlockLimit {
+			r.addPred(Predicate{
+				Label: "block-limit", Nest: nest,
+				Terms: []Term{bsize}, Cap: g.ThreadsPerBlock,
+			}, iv)
+		}
+		r.addPred(Predicate{
+			Label: "register", Nest: nest,
+			Terms: []Term{{Coeff: na.Reuse.DistinctLineRefs * cfg.Precision.Factor(), Iters: na.Parallel}},
+			Cap:   g.RegsPerSM,
+		}, iv)
+
+		if !cfg.Capacity {
+			continue
+		}
+		var l1Terms, shTerms []Term
+		for _, av := range na.Arrays {
+			if len(av.Iters) == 0 {
+				continue // scalar: negligible volume
+			}
+			t := Term{Coeff: 1, Iters: av.Iters}
+			if av.L1 || cfg.SplitFactor == 0 {
+				l1Terms = append(l1Terms, t)
+			} else {
+				shTerms = append(shTerms, t)
+			}
+		}
+		pool := g.L1SharedBytes / elemB
+		shCap := int64(cfg.SplitFactor * float64(pool))
+		l1Cap := pool - shCap
+		if len(shTerms) > 0 {
+			r.addPred(Predicate{Label: "shared-capacity", Nest: nest, Terms: shTerms, Cap: shCap}, iv)
+		}
+		if len(l1Terms) > 0 {
+			if cfg.SplitFactor >= 1.0 {
+				l2Cap := g.L2Bytes / g.SMCount / elemB
+				r.addPred(Predicate{Label: "l2-share", Nest: nest, Terms: l1Terms, Cap: l2Cap}, iv)
+			} else {
+				r.addPred(Predicate{Label: "l1-capacity", Nest: nest, Terms: l1Terms, Cap: l1Cap}, iv)
+			}
+		}
+	}
+	return r
+}
+
+// addPred computes the predicate's interval box and appends it; a box
+// minimum above the cap proves the whole region empty (monotone LHS:
+// its minimum over the box is at the minimum corner).
+func (r *Region) addPred(p Predicate, iv map[string]smt.Interval) {
+	box := smt.Interval{}
+	for _, t := range p.Terms {
+		lo, hi := t.Coeff, t.Coeff
+		for _, it := range t.Iters {
+			v := iv[it]
+			lo, hi = satMul(lo, v.Lo), satMul(hi, v.Hi)
+		}
+		box.Lo, box.Hi = satAdd(box.Lo, lo), satAdd(box.Hi, hi)
+	}
+	p.Box = box
+	r.Preds = append(r.Preds, p)
+	if box.Lo > p.Cap && r.Empty == nil {
+		r.Empty = &PruneCert{
+			Kernel: r.Kernel, GPU: r.GPU, Constraint: p.Label, Nest: p.Nest,
+			Tiles: r.minCorner(), LHS: box.Lo, Cap: p.Cap, Interval: box, Region: true,
+		}
+	}
+}
+
+// minCorner returns the domain box's minimum corner (every tile at its
+// domain minimum, i.e. the warp-alignment step).
+func (r *Region) minCorner() map[string]int64 {
+	min := make(map[string]int64, len(r.Bounds))
+	for _, b := range r.Bounds {
+		min[b.Name] = b.Iv.Lo
+	}
+	return min
+}
+
+// eval computes a predicate's left-hand side at a point, saturating
+// instead of overflowing (saturation only ever inflates the value, so
+// LHS > Cap verdicts stay sound while caps are below satCeil). ok is
+// false when the point does not bind every variable the predicate
+// reads — an unbindable predicate never prunes.
+func (p *Predicate) eval(tiles map[string]int64) (int64, bool) {
+	var lhs int64
+	for _, t := range p.Terms {
+		v := t.Coeff
+		for _, it := range t.Iters {
+			tv, ok := tiles[it]
+			if !ok {
+				return 0, false
+			}
+			v = satMul(v, tv)
+		}
+		lhs = satAdd(lhs, v)
+	}
+	return lhs, true
+}
+
+// Check judges one tile choice against the region. nil means the point
+// is inside the over-approximation (it may still be infeasible — Check
+// never proves feasibility); a non-nil PruneCert proves the point
+// violates the named model constraint. Domain bounds are checked before
+// resource predicates, so predicate arithmetic only ever sees positive
+// in-domain values.
+func (r *Region) Check(tiles map[string]int64) *PruneCert {
+	if r.Empty != nil {
+		return r.Empty
+	}
+	for _, b := range r.Bounds {
+		t, ok := tiles[b.Name]
+		if !ok {
+			continue
+		}
+		if t < 1 || t > b.Iv.Hi {
+			return &PruneCert{
+				Kernel: r.Kernel, GPU: r.GPU, Constraint: "tile-domain", Loop: b.Name,
+				Tiles: copyTiles(tiles), LHS: t, Cap: b.Iv.Hi,
+				Interval: smt.Interval{Lo: t, Hi: t},
+			}
+		}
+		if b.Step > 1 && t%b.Step != 0 {
+			return &PruneCert{
+				Kernel: r.Kernel, GPU: r.GPU, Constraint: "tile-alignment", Loop: b.Name,
+				Tiles: copyTiles(tiles), LHS: t, Cap: b.Step,
+				Interval: smt.Interval{Lo: t, Hi: t},
+			}
+		}
+	}
+	for i := range r.Preds {
+		p := &r.Preds[i]
+		lhs, ok := p.eval(tiles)
+		if !ok {
+			continue
+		}
+		if lhs > p.Cap {
+			return &PruneCert{
+				Kernel: r.Kernel, GPU: r.GPU, Constraint: p.Label, Nest: p.Nest,
+				Tiles: copyTiles(tiles), LHS: lhs, Cap: p.Cap,
+				Interval: smt.Interval{Lo: lhs, Hi: lhs},
+			}
+		}
+	}
+	return nil
+}
+
+// Feasible reports that Check finds no violation (the point is inside
+// the over-approximation).
+func (r *Region) Feasible(tiles map[string]int64) bool { return r.Check(tiles) == nil }
+
+// TightenedBounds propagates each predicate back into per-dimension
+// upper bounds: for dimension d, every other variable is set to its
+// domain minimum and the predicate is solved for d, which is the
+// loosest bound any feasible point can give d (monotone LHS). The
+// result is the feasible box the autotuners seed from: still an
+// over-approximation, but often far tighter than the raw domains.
+func (r *Region) TightenedBounds() []Bound {
+	out := make([]Bound, len(r.Bounds))
+	copy(out, r.Bounds)
+	if r.Empty != nil {
+		return out
+	}
+	idx := make(map[string]int, len(out))
+	for i, b := range out {
+		idx[b.Name] = i
+	}
+	min := r.minCorner()
+	for _, p := range r.Preds {
+		for _, b := range r.Bounds {
+			d := b.Name
+			// LHS(d) = a*d + rest, with every other variable at its
+			// minimum: a collects terms containing d, rest the others.
+			var a, rest int64
+			uses := false
+			for _, t := range p.Terms {
+				v := t.Coeff
+				hasD := false
+				for _, it := range t.Iters {
+					if it == d {
+						hasD = true
+						continue
+					}
+					v = satMul(v, min[it])
+				}
+				if hasD {
+					uses = true
+					a = satAdd(a, v)
+				} else {
+					rest = satAdd(rest, v)
+				}
+			}
+			if !uses || a <= 0 || p.Cap < rest {
+				continue
+			}
+			hi := (p.Cap - rest) / a
+			hi = (hi / b.Step) * b.Step
+			if hi < out[idx[d]].Iv.Hi {
+				out[idx[d]].Iv.Hi = hi
+			}
+		}
+	}
+	return out
+}
+
+// UnsatSMT re-decides a pruned point against the finite-domain solver:
+// it rebuilds the region's constraint system as an smt.Problem (the
+// same RangeVar domains and labeled constraints the model generator
+// declares), pins the tile variables to the point, and reports whether
+// the solver finds it unsatisfiable. A sound prune must always return
+// true; cmd/feasbench and the fuzz property gate on it. Tiles outside a
+// variable's declared domain are unsatisfiable by construction (the
+// EQ pin cannot hold), matching the solver's own semantics.
+func (r *Region) UnsatSMT(tiles map[string]int64) bool {
+	p := smt.NewProblem()
+	vars := make(map[string]smt.Var, len(r.Bounds))
+	for _, b := range r.Bounds {
+		v := p.RangeVar("T_"+b.Name, 1, b.Iv.Hi, b.Step)
+		vars[b.Name] = v
+		if t, ok := tiles[b.Name]; ok {
+			p.RequireEQ(smt.V(v), smt.C(t))
+		}
+	}
+	for _, pr := range r.Preds {
+		var terms []smt.Expr
+		for _, t := range pr.Terms {
+			factors := make([]smt.Expr, 0, len(t.Iters))
+			for _, it := range t.Iters {
+				factors = append(factors, smt.V(vars[it]))
+			}
+			terms = append(terms, smt.Scale(t.Coeff, smt.Mul(factors...)))
+		}
+		p.RequireLabeled(pr.Label, smt.Sum(terms...), smt.LE, smt.C(pr.Cap))
+	}
+	_, sat := smt.NewSolver(p).Solve()
+	return !sat
+}
+
+func copyTiles(tiles map[string]int64) map[string]int64 {
+	cp := make(map[string]int64, len(tiles))
+	for n, v := range tiles {
+		cp[n] = v
+	}
+	return cp
+}

@@ -29,6 +29,7 @@ type SweepProgress struct {
 	done     atomic.Int64
 	hits     atomic.Int64
 	skipped  atomic.Int64
+	pruned   atomic.Int64
 	symbolic atomic.Int64
 	residual atomic.Int64
 	finished atomic.Bool
@@ -61,6 +62,27 @@ func (p *SweepProgress) PointDone(cacheHit, ok bool) {
 		p.skipped.Add(1)
 	}
 	p.done.Add(1)
+}
+
+// PointPruned records one configuration removed by the static
+// feasibility pre-filter before evaluation. Pruned points count toward
+// Done (the sweep's Total covers the unfiltered space, and a pruned
+// point is as finished as an evaluated one), so /progress percentages
+// stay monotone whether or not pruning is on.
+func (p *SweepProgress) PointPruned() {
+	if p == nil {
+		return
+	}
+	p.pruned.Add(1)
+	p.done.Add(1)
+}
+
+// Pruned returns the number of statically pruned points.
+func (p *SweepProgress) Pruned() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.pruned.Load()
 }
 
 // SetEvaluator records which evaluation backend the sweep runs on

@@ -201,6 +201,9 @@ type sweepView struct {
 	Done      int64  `json:"done"`
 	CacheHits int64  `json:"cache_hits"`
 	Skipped   int64  `json:"skipped"`
+	// Pruned counts configurations removed by the static feasibility
+	// pre-filter before evaluation (zero when pruning is off).
+	Pruned int64 `json:"pruned"`
 	// SymbolicPoints / ResidualPoints split the fresh evaluations by
 	// backend: closed-form vs simulator fallback.
 	SymbolicPoints int64   `json:"symbolic_points"`
@@ -234,6 +237,7 @@ func handleProgress(w http.ResponseWriter, _ *http.Request) {
 			Done:           done,
 			CacheHits:      hits,
 			Skipped:        p.Skipped(),
+			Pruned:         p.Pruned(),
 			SymbolicPoints: p.SymbolicPoints(),
 			ResidualPoints: p.ResidualPoints(),
 			Finished:       p.Finished(),

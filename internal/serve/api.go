@@ -393,6 +393,24 @@ func (s *Server) do(ctx context.Context, req *Request) *Response {
 		}
 		cfg := runConfig(req)
 		cfg.Evaluator = eval
+		// Explicit tiles are judged by the static feasibility analysis
+		// before any heavy work: a point that provably violates the
+		// option-free model constraints (tile domains, register bound)
+		// is rejected with 422 naming the violated constraint. The
+		// region is memoized on the Program, so a server caching
+		// Programs per fingerprint pays one derivation per fingerprint.
+		// Solver-selected tiles (the empty-Tiles path above) are model-
+		// feasible by construction and skip the check.
+		if len(req.Tiles) != 0 {
+			if cert := prog.FeasibleRegion(g, cfg).Check(req.Tiles); cert != nil {
+				mInfeasibleTiles.Add(1)
+				_, fsp := obs.Start(ctx, "serve.infeasible_tiles")
+				fsp.SetStr("constraint", cert.Constraint)
+				fsp.End()
+				return fail(resp, http.StatusUnprocessableEntity, StatusError,
+					fmt.Errorf("tiles statically infeasible on %s: %s", g.Name, cert))
+			}
+		}
 		err := s.heavy(ctx, func() error {
 			if req.Op == "compile" {
 				m, err := prog.CompileCtx(ctx, g, tiles, cfg)

@@ -63,6 +63,9 @@ var (
 	mProgMisses = obs.NewCounter("serve.program_cache_misses")
 	mSelHits    = obs.NewCounter("serve.selection_cache_hits")
 	mSelMisses  = obs.NewCounter("serve.selection_cache_misses")
+	// mInfeasibleTiles counts explicit-tiles requests rejected by the
+	// static feasibility analysis (422 before any heavy work).
+	mInfeasibleTiles = obs.NewCounter("serve.infeasible_tiles")
 	mInflight   = obs.NewGauge("serve.inflight")
 	mQueueDepth = obs.NewGauge("serve.queue_depth")
 	mRequestSec = obs.NewHistogram("serve.request_seconds",

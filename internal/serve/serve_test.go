@@ -521,3 +521,31 @@ func TestEvaluatorBackendParity(t *testing.T) {
 		t.Fatalf("best diverges across backends: %g vs %g", b1.Result.EnergyJ, b2.Result.EnergyJ)
 	}
 }
+
+// Explicit tiles that provably violate the static feasibility region
+// must be rejected with 422 before any heavy work, naming the violated
+// constraint; feasible explicit tiles and solver-chosen tiles (no tiles
+// in the request) are untouched by the pre-filter.
+func TestInfeasibleTilesRejected(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A 512x512 parallel block puts REG_SM far over GA100's 65536.
+	for _, op := range []string{"simulate", "compile"} {
+		r := post(t, ts, "/v1/"+op,
+			`{"kernel":"gemm","tiles":{"i":512,"j":512,"k":4}}`, http.StatusUnprocessableEntity)
+		if r.Status != StatusError || !strings.Contains(r.Error, "register") {
+			t.Fatalf("%s: want a register-constraint 422, got status %q error %q", op, r.Status, r.Error)
+		}
+	}
+	if post(t, ts, "/v1/simulate", `{"kernel":"gemm","tiles":{"i":32,"j":32,"k":16}}`,
+		http.StatusOK).Result == nil {
+		t.Fatal("feasible explicit tiles returned no result")
+	}
+	// The solve-first path asks the solver for tiles; its output is
+	// feasible by construction and must never be pre-filtered.
+	if post(t, ts, "/v1/simulate", `{"kernel":"gemm"}`, http.StatusOK).Result == nil {
+		t.Fatal("solver-tiles simulate returned no result")
+	}
+}

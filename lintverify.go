@@ -35,6 +35,16 @@ const (
 // malformations as Error-severity diagnostics.
 func Lint(k *AffineKernel, params map[string]int64) []Diag { return lint.Lint(k, params) }
 
+// LintGPU is Lint plus device-dependent feasibility diagnostics: an
+// Error-severity "infeasible-region" finding when the static feasible
+// tile region (internal/feas) is empty on g, or when every solver
+// configuration (shared splits × warp fractions) is statically
+// infeasible — i.e. SelectBest is guaranteed to fail. Empty regions
+// are proved by prune certificates, not sampled.
+func LintGPU(k *AffineKernel, params map[string]int64, g *GPU, prec Precision) []Diag {
+	return lint.LintGPU(k, params, g, prec)
+}
+
 // LintHasErrors reports whether any diagnostic is Error-severity.
 func LintHasErrors(diags []Diag) bool { return lint.HasErrors(diags) }
 

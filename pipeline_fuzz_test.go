@@ -162,3 +162,69 @@ func TestRandomKernelsThroughPipeline(t *testing.T) {
 		t.Fatalf("symbolic backend fell back on %d of %d mapped kernels", residualPoints, mapped)
 	}
 }
+
+// FuzzPipeline is the false-prune property: on randomly generated
+// kernels, every point the static feasibility region would prune from a
+// sweep must (a) carry a certificate that replays under the independent
+// math/big certifier and (b) be unsatisfiable when re-decided by the
+// SMT solver — and the solver's own selections must never be pruned.
+// `go test -fuzz=FuzzPipeline` explores new shapes; the seed corpus
+// runs on every plain `go test`.
+func FuzzPipeline(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1234, 98765} {
+		f.Add(seed)
+	}
+	g := eatss.GA100()
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		k := affine.RandomKernel(r)
+		if k.Validate() != nil {
+			t.Skip("generator rejected the shape")
+		}
+		prog, err := eatss.Analyze(k, nil)
+		if err != nil {
+			t.Skip("kernel does not analyze")
+		}
+		region := prog.FeasibleRegion(g, eatss.RunConfig{Precision: eatss.FP64})
+		cfg := eatss.SweepPruneConfig(eatss.FP64)
+
+		space := eatss.Space(k, []int64{4, 16, 64, 512})
+		if len(space) > 4096 {
+			space = space[:4096]
+		}
+		smtChecked := 0
+		for _, tiles := range space {
+			cert := region.Check(tiles)
+			if cert == nil {
+				continue
+			}
+			if err := eatss.CertifyPrune(k, k.Params, g, cfg, cert); err != nil {
+				t.Fatalf("false prune of %v: %v\nkernel:\n%s", tiles, err, k)
+			}
+			// Solver re-decisions are the expensive half; a bounded
+			// sample per kernel keeps the corpus fast while -fuzz still
+			// accumulates coverage across inputs.
+			if smtChecked < 24 {
+				if !region.UnsatSMT(tiles) {
+					t.Fatalf("solver finds pruned point %v satisfiable (claimed %s)\nkernel:\n%s",
+						tiles, cert.Constraint, k)
+				}
+				smtChecked++
+			}
+		}
+
+		for _, wf := range eatss.WarpFractions {
+			sel, err := eatss.SelectTiles(k, g, eatss.Options{
+				SplitFactor: 0.5, WarpFraction: wf,
+				Precision: eatss.FP64, ProblemSizeAware: true,
+			})
+			if err != nil {
+				continue
+			}
+			if cert := region.Check(sel.Tiles); cert != nil {
+				t.Fatalf("solver selection %v pruned: %s\nkernel:\n%s", sel.Tiles, cert, k)
+			}
+			break
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"repro/internal/analysis"
+	"repro/internal/feas"
 	"repro/internal/lru"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
@@ -34,6 +35,9 @@ var (
 	// latency — the p99 the /metrics scrape watches during long sweeps.
 	mSweepPointSec = obs.NewHistogram("eatss.sweep.point_seconds",
 		1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1)
+	// mSweepPrunedPoints counts configurations the static feasibility
+	// pre-filter (SweepOptions.Prune) removed before any evaluation.
+	mSweepPrunedPoints = obs.NewCounter("eatss.sweep.pruned_points")
 )
 
 // SweepOptions configures the parallel sweep engine behind ExploreSpace
@@ -50,6 +54,19 @@ type SweepOptions struct {
 	// nil uses the process-wide DefaultEvalCache; NoCache disables
 	// memoization (every point is evaluated fresh).
 	Cache *EvalCache
+	// Prune pre-filters the space through the static feasibility
+	// analysis (internal/feas): points that provably violate the
+	// option-free Sec. IV constraints — the problem-size-aware tile
+	// domains, the register bound — are counted in ExploreStats.Pruned
+	// and never evaluated. Off by default: a pruned sweep covers only
+	// the model-feasible subspace, so exhaustive studies that
+	// deliberately walk infeasible configurations (the paper's Sec. II
+	// exploration figures) must leave it off. Every prune is certified
+	// sound (see CertifyPrune and cmd/feasbench's catalog gate), so
+	// with Prune on, the surviving points — and the argmax over them —
+	// are bit-identical to filtering a full sweep's output through the
+	// same feasibility predicate.
+	Prune bool
 }
 
 // EvalCache memoizes compile+simulate outcomes across sweeps, bounded
@@ -238,6 +255,27 @@ func exploreAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, space 
 	progress.SetEvaluator(cfg.Evaluator.String())
 	defer progress.Finish()
 
+	// Static feasibility pre-filter: points the region analysis proves
+	// infeasible are dropped before any worker sees them. The filter
+	// runs in the calling goroutine — a Check is a handful of integer
+	// multiplications, far cheaper than dispatching the point.
+	pruned := 0
+	if opt.Prune {
+		region := feasRegion(prog, g, feas.SweepConfig(cfg.Precision))
+		kept := make([]map[string]int64, 0, len(space))
+		for i, tiles := range space {
+			if cert := region.Check(tiles); cert != nil {
+				pruned++
+				mSweepPrunedPoints.Add(1)
+				progress.PointPruned()
+				flight.Default.SweepPoint(prog.Kernel.Name, int64(i), false, false)
+				continue
+			}
+			kept = append(kept, tiles)
+		}
+		space = kept
+	}
+
 	cache := opt.Cache
 	if cache == nil {
 		cache = DefaultEvalCache
@@ -302,11 +340,13 @@ func exploreAnalyzed(ctx context.Context, prog *analysis.Program, g *GPU, space 
 		out = append(out, SpacePoint{Tiles: copyTiles(space[i]), Result: o.res})
 	}
 	stats.Evaluated = len(out)
+	stats.Pruned = pruned
 	stats.Aborted = cerr != nil
 	if stats.Aborted {
 		mSweepAborted.Add(1)
 	}
 	sp.SetInt("evaluated", int64(stats.Evaluated))
+	sp.SetInt("pruned", int64(stats.Pruned))
 	sp.SetInt("skipped", int64(stats.Skipped))
 	sp.SetInt("cache_hits", int64(stats.CacheHits))
 	sp.SetStr("evaluator", cfg.Evaluator.String())

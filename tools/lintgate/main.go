@@ -3,7 +3,9 @@
 // files under testdata/kernels — and fails when any kernel carries an
 // Error-severity diagnostic. Warnings are printed but do not fail the
 // gate (some catalog kernels legitimately warn, e.g. single-iteration
-// batch loops). Run via `make lint-gate`.
+// batch loops). It also runs the static feasibility pass (LintGPU)
+// over the catalog on both reference GPUs and fails on unexpectedly
+// empty feasible regions. Run via `make lint-gate`.
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"sort"
 
 	"repro/internal/affine"
+	"repro/internal/arch"
 	"repro/internal/lint"
 	"repro/internal/parser"
 )
@@ -42,6 +45,23 @@ func main() {
 	for _, name := range names {
 		k := affine.MustLookup(name)
 		report("catalog/"+name, lint.Lint(k, nil))
+	}
+
+	// Static feasibility pass: every catalog kernel must have a
+	// non-empty feasible tile region on both reference GPUs — an
+	// unexpectedly empty region means the solver can select nothing
+	// (each emptiness verdict is a prune certificate, so a failure here
+	// is a provable model regression, not a flaky heuristic).
+	for _, g := range []*arch.GPU{arch.GA100(), arch.Xavier()} {
+		for _, name := range names {
+			k := affine.MustLookup(name)
+			for _, d := range lint.LintGPU(k, nil, g, affine.FP64) {
+				if d.Code != lint.CodeInfeasibleRegion {
+					continue // plain Lint findings already reported above
+				}
+				report("catalog/"+name+"@"+g.Name, []lint.Diag{d})
+			}
+		}
 	}
 
 	files, err := filepath.Glob(filepath.Join(dir, "*.kdsl"))

@@ -16,7 +16,12 @@
 //	    obs.NewHistogram has a literal, snake_case, dot-namespaced name
 //	    ("serve.queue_depth", not "queueDepth" or a computed string),
 //	    and each name is registered at exactly one call site — two
-//	    registrations of one name would split or shadow the series.
+//	    registrations of one name would split or shadow the series;
+//	R5  no code under internal/serve/** or internal/sweep/** calls
+//	    context.Background() or context.TODO() — both packages sit on
+//	    request/cancellation paths and must thread the caller's context
+//	    (a fresh root context silently detaches work from deadlines,
+//	    cancellation and trace propagation).
 //
 // Test files and testdata are exempt. Run via `make selfcheck`; exits
 // nonzero when any rule fires.
@@ -106,7 +111,7 @@ func checkFile(fset *token.FileSet, file *ast.File, rel string) []finding {
 	var out []finding
 	// Resolve the local names of the obs, time and context imports —
 	// rules must survive import aliasing.
-	obsName, timeName := "", "time"
+	obsName, timeName, ctxName := "", "time", "context"
 	for _, imp := range file.Imports {
 		p := strings.Trim(imp.Path.Value, `"`)
 		local := ""
@@ -124,6 +129,11 @@ func checkFile(fset *token.FileSet, file *ast.File, rel string) []finding {
 			if local != "" {
 				timeName = local
 			}
+		case "context":
+			ctxName = "context"
+			if local != "" {
+				ctxName = local
+			}
 		}
 	}
 
@@ -140,6 +150,47 @@ func checkFile(fset *token.FileSet, file *ast.File, rel string) []finding {
 	if timeRestricted(rel) {
 		out = append(out, checkTimeNow(fset, file, timeName, rel)...)
 	}
+	if ctxRestricted(rel) {
+		out = append(out, checkBareContext(fset, file, ctxName)...)
+	}
+	return out
+}
+
+// ctxRestricted reports whether the file lives in a package that must
+// thread its caller's context (R5).
+func ctxRestricted(rel string) bool {
+	for _, p := range []string{"internal/serve/", "internal/sweep/"} {
+		if strings.Contains(rel, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBareContext implements R5 for one restricted file.
+func checkBareContext(fset *token.FileSet, file *ast.File, ctxName string) []finding {
+	var out []finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != ctxName {
+			return true
+		}
+		out = append(out, finding{
+			pos:  fset.Position(call.Pos()),
+			rule: "R5",
+			msg: fmt.Sprintf("context.%s() in a request-path package; thread the caller's context instead",
+				sel.Sel.Name),
+		})
+		return true
+	})
 	return out
 }
 
